@@ -1,0 +1,160 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//
+//  (a) k1 sensitivity (Sec. 6): the selective sampler's near-neighbor cut.
+//      The paper derives k1 from kmax * |Xtr| / |db|; this sweep shows the
+//      cost at k = 10 / 95% accuracy as k1 varies.
+//  (b) 1D embedding family (Sec. 5.3): reference-only vs pivot-only vs
+//      the mixed pool used by BoostMap.
+//  (c) Training budget: boosting rounds J (the dimensionality budget).
+//  (d) Candidate pool size |C| (Sec. 7 discusses the |C|^2 preprocessing
+//      trade-off; Fig. 6 is the extreme version of this sweep).
+//
+// All sweeps run Se-QS on the digits workload.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/retrieval/embedder_adapters.h"
+#include "src/util/logging.h"
+#include "src/util/random.h"
+
+namespace qse {
+namespace {
+
+size_t CostOf(const bench::MethodLadder& m, size_t db, size_t k,
+              double pct) {
+  return OptimalCost(m.ladder, k, pct, db);
+}
+
+}  // namespace
+}  // namespace qse
+
+int main(int argc, char** argv) {
+  using namespace qse;
+  bench::Flags flags(argc, argv);
+
+  bench::WorkloadScale wscale;
+  wscale.db_size = flags.GetSize("db", 800);
+  wscale.num_queries = flags.GetSize("queries", 80);
+  wscale.seed = flags.GetSize("seed", 2005);
+
+  bench::TrainingScale base;
+  base.num_cand = flags.GetSize("cand", 150);
+  base.num_train = flags.GetSize("train", 150);
+  base.num_triples = flags.GetSize("triples", 6000);
+  base.rounds = flags.GetSize("rounds", 48);
+  base.embeddings_per_round = flags.GetSize("epr", 32);
+  base.k1 = 5;
+  base.seed = flags.GetSize("train_seed", 7);
+
+  const size_t kmax = 20;
+  const size_t report_k = 10;
+  const double report_pct = 0.95;
+
+  bench::Workload workload = bench::MakeDigitsWorkload(wscale);
+  GroundTruth gt = bench::ComputeWorkloadGroundTruth(workload, kmax);
+  workload.SaveCache();
+  const size_t n = workload.db_ids.size();
+
+  // (a) k1 sweep.
+  {
+    Table table({"k1", "cost_k10_95pct"});
+    for (size_t k1 : {1u, 3u, 5u, 9u, 15u, 30u}) {
+      bench::TrainingScale scale = base;
+      scale.k1 = k1;
+      auto m = bench::RunBoostMapVariant(workload, gt,
+                                         "Se-QS k1=" + std::to_string(k1),
+                                         TripleSampling::kSelective, true,
+                                         scale);
+      table.AddRow({Table::Fmt(k1),
+                    Table::Fmt(CostOf(m, n, report_k, report_pct))});
+    }
+    std::printf("\nAblation (a): k1 sensitivity (Se-QS, digits)\n%s",
+                table.ToPretty().c_str());
+    (void)table.WriteCsv(bench::ResultsPath("ablation_k1"));
+  }
+
+  // (b) 1D embedding family: pivot_fraction in {0, 0.5, 1}.
+  {
+    Table table({"pivot_fraction", "cost_k10_95pct"});
+    for (double pf : {0.0, 0.5, 1.0}) {
+      bench::TrainingScale scale = base;
+      BoostMapConfig config;  // Build manually to set pivot_fraction.
+      config.sampling = TripleSampling::kSelective;
+      config.num_triples = scale.num_triples;
+      config.k1 = scale.k1;
+      config.sampling_seed = scale.seed + 13;
+      config.boost.rounds = scale.rounds;
+      config.boost.embeddings_per_round = scale.embeddings_per_round;
+      config.boost.query_sensitive = true;
+      config.boost.pivot_fraction = pf;
+      config.boost.seed = scale.seed + 29;
+      Rng rng(scale.seed + 1);
+      auto picks = rng.SampleWithoutReplacement(workload.db_ids.size(),
+                                                scale.num_cand);
+      std::vector<size_t> cand;
+      for (size_t p : picks) cand.push_back(workload.db_ids[p]);
+      auto artifacts =
+          TrainBoostMap(*workload.oracle, cand, cand, config);
+      QSE_CHECK(artifacts.ok());
+      bench::MethodLadder m;
+      m.name = "pf=" + Table::Fmt(pf);
+      QuerySensitiveScorer scorer(&artifacts->model);
+      for (size_t j : bench::DoublingLadder(artifacts->model.num_rounds())) {
+        QuerySensitiveEmbedding prefix = artifacts->model.Prefix(j);
+        QseEmbedderAdapter adapter(&prefix);
+        QuerySensitiveScorer prefix_scorer(&prefix);
+        EmbeddedDatabase db =
+            EmbedDatabase(adapter, *workload.oracle, workload.db_ids);
+        m.ladder.push_back(EvaluateLadderPoint(
+            adapter, prefix_scorer, db, *workload.oracle, workload.db_ids,
+            workload.query_ids, gt, j));
+      }
+      table.AddRow({Table::Fmt(pf),
+                    Table::Fmt(CostOf(m, n, report_k, report_pct))});
+    }
+    std::printf(
+        "\nAblation (b): 1D embedding family (0 = references only, 1 = "
+        "pivots only)\n%s",
+        table.ToPretty().c_str());
+    (void)table.WriteCsv(bench::ResultsPath("ablation_pivot_fraction"));
+  }
+
+  // (c) Rounds sweep.
+  {
+    Table table({"rounds", "cost_k10_95pct"});
+    for (size_t rounds : {8u, 16u, 32u, 64u}) {
+      bench::TrainingScale scale = base;
+      scale.rounds = rounds;
+      auto m = bench::RunBoostMapVariant(
+          workload, gt, "Se-QS J=" + std::to_string(rounds),
+          TripleSampling::kSelective, true, scale);
+      table.AddRow({Table::Fmt(rounds),
+                    Table::Fmt(CostOf(m, n, report_k, report_pct))});
+    }
+    std::printf("\nAblation (c): boosting rounds J\n%s",
+                table.ToPretty().c_str());
+    (void)table.WriteCsv(bench::ResultsPath("ablation_rounds"));
+  }
+
+  // (d) Candidate pool size.
+  {
+    Table table({"num_cand", "cost_k10_95pct"});
+    for (size_t nc : {40u, 80u, 150u}) {
+      bench::TrainingScale scale = base;
+      scale.num_cand = nc;
+      scale.num_train = nc;
+      scale.k1 = std::min<size_t>(5, nc / 8);
+      auto m = bench::RunBoostMapVariant(
+          workload, gt, "Se-QS |C|=" + std::to_string(nc),
+          TripleSampling::kSelective, true, scale);
+      table.AddRow({Table::Fmt(nc),
+                    Table::Fmt(CostOf(m, n, report_k, report_pct))});
+    }
+    std::printf("\nAblation (d): candidate pool size |C| = |Xtr|\n%s",
+                table.ToPretty().c_str());
+    (void)table.WriteCsv(bench::ResultsPath("ablation_candidates"));
+  }
+
+  workload.SaveCache();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Figure 4: number of exact Shape Context distance
+// computations needed per query to retrieve all k nearest neighbors
+// (k = 1..50) for 90% / 95% / 99% of the queries, comparing FastMap, the
+// original BoostMap (Ra-QI), the intermediate Se-QI, and the proposed
+// Se-QS, on the MNIST-substitute digits workload.
+//
+// Scale note: the paper uses the 60,000-image MNIST database with 10,000
+// queries, |C| = |Xtr| = 5,000 and 300,000 training triples; defaults
+// here are sized for a single-core box (see EXPERIMENTS.md).  The shape
+// to verify is the method ordering Se-QS <= Se-QI <= Ra-QI << FastMap
+// and the growth of all curves with k and with the accuracy target.
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace qse;
+  bench::Flags flags(argc, argv);
+
+  bench::WorkloadScale wscale;
+  wscale.db_size = flags.GetSize("db", 1200);
+  wscale.num_queries = flags.GetSize("queries", 120);
+  wscale.seed = flags.GetSize("seed", 2005);
+
+  bench::TrainingScale tscale;
+  tscale.num_cand = flags.GetSize("cand", 400);
+  tscale.num_train = flags.GetSize("train", 400);
+  tscale.num_triples = flags.GetSize("triples", 30000);
+  tscale.rounds = flags.GetSize("rounds", 128);
+  tscale.embeddings_per_round = flags.GetSize("epr", 48);
+  tscale.k1 = flags.GetSize("k1", 5);  // Paper value for MNIST.
+  tscale.seed = flags.GetSize("train_seed", 7);
+
+  size_t kmax = flags.GetSize("kmax", 50);
+  bench::Workload workload = bench::MakeDigitsWorkload(wscale);
+  bench::RunAccuracyFigure(workload, tscale, "fig4_mnist",
+                           {0.90, 0.95, 0.99},
+                           {1, 2, 5, 10, 20, 30, 40, 50}, kmax,
+                           /*include_ra_qs=*/false);
+  return 0;
+}

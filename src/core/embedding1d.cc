@@ -1,0 +1,40 @@
+#include "src/core/embedding1d.h"
+
+#include <cassert>
+
+namespace qse {
+
+double PivotProjection(double d1, double d2, double d12) {
+  assert(d12 > 0.0);
+  return (d1 * d1 + d12 * d12 - d2 * d2) / (2.0 * d12);
+}
+
+double Eval1DOnTrainObject(const Embedding1DSpec& spec,
+                           const TrainingContext& ctx, size_t o) {
+  if (spec.type == Embedding1DSpec::Type::kReference) {
+    return ctx.CandTrain(spec.c1, o);
+  }
+  double d12 = ctx.CandCand(spec.c1, spec.c2);
+  return PivotProjection(ctx.CandTrain(spec.c1, o), ctx.CandTrain(spec.c2, o),
+                         d12);
+}
+
+void Eval1DOnAllTrainObjects(const Embedding1DSpec& spec,
+                             const TrainingContext& ctx, double* values) {
+  const size_t nt = ctx.num_train_objects();
+  if (spec.type == Embedding1DSpec::Type::kReference) {
+    for (size_t o = 0; o < nt; ++o) values[o] = ctx.CandTrain(spec.c1, o);
+    return;
+  }
+  const double d12 = ctx.CandCand(spec.c1, spec.c2);
+  assert(d12 > 0.0);
+  const double inv = 1.0 / (2.0 * d12);
+  const double dd = d12 * d12;
+  for (size_t o = 0; o < nt; ++o) {
+    double d1 = ctx.CandTrain(spec.c1, o);
+    double d2 = ctx.CandTrain(spec.c2, o);
+    values[o] = (d1 * d1 + dd - d2 * d2) * inv;
+  }
+}
+
+}  // namespace qse

@@ -1,0 +1,46 @@
+#ifndef QSE_CORE_EMBEDDING1D_H_
+#define QSE_CORE_EMBEDDING1D_H_
+
+#include <cstdint>
+
+#include "src/core/training_context.h"
+
+namespace qse {
+
+/// A one-dimensional embedding F : X -> R built from candidate objects
+/// (Sec. 3.1):
+///  * kReference — F^r(x) = DX(x, r)                                (Eq. 1)
+///  * kPivot     — F^{x1,x2}(x) = (DX(x,x1)^2 + DX(x1,x2)^2
+///                                 - DX(x,x2)^2) / (2 DX(x1,x2))    (Eq. 2)
+/// c1/c2 are *local* candidate indices into a TrainingContext; the final
+/// model resolves them to database ids (see ModelCoordinate).
+struct Embedding1DSpec {
+  enum class Type : uint8_t { kReference = 0, kPivot = 1 };
+
+  Type type = Type::kReference;
+  uint32_t c1 = 0;
+  uint32_t c2 = 0;  // Only used by kPivot.
+
+  friend bool operator==(const Embedding1DSpec& a, const Embedding1DSpec& b) {
+    if (a.type != b.type || a.c1 != b.c1) return false;
+    return a.type == Type::kReference || a.c2 == b.c2;
+  }
+};
+
+/// Value of the pivot ("line projection") embedding given the raw
+/// distances d1 = DX(x, x1), d2 = DX(x, x2) and d12 = DX(x1, x2) > 0.
+double PivotProjection(double d1, double d2, double d12);
+
+/// F(x) for training object `o` (local index), reading the precomputed
+/// matrices of `ctx`.
+double Eval1DOnTrainObject(const Embedding1DSpec& spec,
+                           const TrainingContext& ctx, size_t o);
+
+/// Fills values[o] = F(o) for every training object.  `values` must have
+/// size ctx.num_train_objects().
+void Eval1DOnAllTrainObjects(const Embedding1DSpec& spec,
+                             const TrainingContext& ctx, double* values);
+
+}  // namespace qse
+
+#endif  // QSE_CORE_EMBEDDING1D_H_

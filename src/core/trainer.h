@@ -1,0 +1,66 @@
+#ifndef QSE_CORE_TRAINER_H_
+#define QSE_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "src/core/qs_embedding.h"
+#include "src/data/dataset.h"
+#include "src/util/statusor.h"
+
+namespace qse {
+
+/// How training triples are drawn (paper Sec. 6 / experiment tags).
+enum class TripleSampling {
+  kRandom,     // "Ra": uniform over X^3, as in the original BoostMap.
+  kSelective,  // "Se": near/far neighbor heuristic of Sec. 6.
+};
+
+/// End-to-end configuration for training a (query-sensitive) BoostMap
+/// embedding.  The four paper variants map to:
+///   Ra-QI: {kRandom,    query_sensitive=false}   (original BoostMap)
+///   Ra-QS: {kRandom,    query_sensitive=true}
+///   Se-QI: {kSelective, query_sensitive=false}
+///   Se-QS: {kSelective, query_sensitive=true}    (the proposed method)
+struct BoostMapConfig {
+  TripleSampling sampling = TripleSampling::kSelective;
+
+  /// Number of training triples (the paper uses 300k at full scale, 10k
+  /// in the "Quick" variant of Fig. 6).
+  size_t num_triples = 20000;
+
+  /// Sec. 6 parameter: a is drawn from q's k1 nearest neighbors in Xtr.
+  /// Set from kmax * |Xtr| / |database| (paper: 5 for MNIST, 9 for the
+  /// time-series data).  Ignored for kRandom sampling.
+  size_t k1 = 5;
+
+  /// Seed for triple sampling (AdaBoost has its own in `boost.seed`).
+  uint64_t sampling_seed = 11;
+
+  /// The boosting loop configuration; `boost.query_sensitive` selects
+  /// QI vs QS.
+  AdaBoostOptions boost;
+};
+
+/// Everything produced by a training run.
+struct BoostMapArtifacts {
+  QuerySensitiveEmbedding model;
+  std::vector<RoundInfo> history;
+  double final_training_error = 1.0;
+  /// Number of exact distances evaluated for the precomputed matrices
+  /// (the one-time preprocessing cost of Sec. 7).
+  size_t preprocessing_distances = 0;
+};
+
+/// Trains a BoostMap/QSE model.
+///
+/// `candidate_ids` is the set C of candidate reference/pivot objects and
+/// `train_ids` the set Xtr that triples are drawn from; both index into
+/// `oracle`'s universe (typically: random samples of the database).
+/// Fails with InvalidArgument on inconsistent configuration.
+StatusOr<BoostMapArtifacts> TrainBoostMap(
+    const DistanceOracle& oracle, const std::vector<size_t>& candidate_ids,
+    const std::vector<size_t>& train_ids, const BoostMapConfig& config);
+
+}  // namespace qse
+
+#endif  // QSE_CORE_TRAINER_H_

@@ -1,0 +1,27 @@
+#ifndef QSE_CORE_TRIPLE_H_
+#define QSE_CORE_TRIPLE_H_
+
+#include <cstdint>
+
+namespace qse {
+
+/// A training triple (q, a, b) of indices into the training-object set
+/// Xtr, with its class label (Sec. 5.2):
+///   y = +1  if q is closer to a than to b,
+///   y = -1  if q is closer to b than to a.
+/// Triples where q is equidistant ("type 0") are not used for training.
+struct Triple {
+  uint32_t q = 0;
+  uint32_t a = 0;
+  uint32_t b = 0;
+  int8_t y = 1;
+
+  friend bool operator==(const Triple& lhs, const Triple& rhs) {
+    return lhs.q == rhs.q && lhs.a == rhs.a && lhs.b == rhs.b &&
+           lhs.y == rhs.y;
+  }
+};
+
+}  // namespace qse
+
+#endif  // QSE_CORE_TRIPLE_H_

@@ -1,0 +1,43 @@
+#ifndef QSE_CORE_TRIPLE_SAMPLER_H_
+#define QSE_CORE_TRIPLE_SAMPLER_H_
+
+#include <vector>
+
+#include "src/core/triple.h"
+#include "src/util/matrix.h"
+#include "src/util/random.h"
+
+namespace qse {
+
+/// Samples `count` training triples (q, a, b) uniformly at random from the
+/// training set, as in the original BoostMap algorithm ("Ra" in the
+/// paper's experiment naming).  q, a, b are distinct; the label is set
+/// from the exact distances in `train_dist` (|Xtr| x |Xtr|).  Triples with
+/// DX(q,a) == DX(q,b) ("type 0") are rejected and resampled.
+std::vector<Triple> SampleRandomTriples(const Matrix& train_dist,
+                                        size_t count, Rng* rng);
+
+/// Samples triples with the selective heuristic of Sec. 6 ("Se"):
+///   1. q uniform in Xtr,
+///   2. k' uniform in [1, k1]; a = the k'-th nearest neighbor of q,
+///   3. k' uniform in [k1+1, |Xtr|-1]; b = the k'-th nearest neighbor.
+/// The label is therefore always +1 (a is strictly nearer, up to ties,
+/// which are rejected).  k1 should be set from the maximum number of
+/// neighbors kmax the embedding must retrieve: the paper recommends
+/// k1 ≈ kmax * |Xtr| / |database| (e.g. k1 = 5 for kmax = 50 when Xtr is
+/// a tenth of the database).
+///
+/// Requires k1 >= 1 and k1 + 1 <= |Xtr| - 1.
+std::vector<Triple> SampleSelectiveTriples(const Matrix& train_dist,
+                                           size_t count, size_t k1,
+                                           Rng* rng);
+
+/// Per-row neighbor ordering of a distance matrix: result[i] lists all
+/// other indices sorted by ascending distance from i (deterministic
+/// tie-break by index).  result[i][0] is i's nearest neighbor.  Shared by
+/// the selective sampler and by evaluation code.
+std::vector<std::vector<uint32_t>> NeighborOrdering(const Matrix& dist);
+
+}  // namespace qse
+
+#endif  // QSE_CORE_TRIPLE_SAMPLER_H_

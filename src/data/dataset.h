@@ -1,0 +1,95 @@
+#ifndef QSE_DATA_DATASET_H_
+#define QSE_DATA_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/distance/distance.h"
+
+namespace qse {
+
+/// The core library's view of the paper's "arbitrary space X with distance
+/// DX": a universe of objects addressed by index, behind an opaque distance
+/// oracle.  Everything above this interface (BoostMap training, FastMap,
+/// filter-and-refine, evaluation) is independent of the object type.
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  /// Number of objects in the universe.
+  virtual size_t size() const = 0;
+
+  /// DX between objects i and j.  Implementations may be asymmetric (the
+  /// paper's setting allows non-metric DX); callers must not assume
+  /// Distance(i, j) == Distance(j, i) unless they know the measure.
+  virtual double Distance(size_t i, size_t j) const = 0;
+};
+
+/// Binds a concrete object container and a DistanceFn into an oracle.
+template <typename T>
+class ObjectOracle : public DistanceOracle {
+ public:
+  ObjectOracle(std::vector<T> objects, DistanceFn<T> distance)
+      : objects_(std::move(objects)), distance_(std::move(distance)) {}
+
+  size_t size() const override { return objects_.size(); }
+  double Distance(size_t i, size_t j) const override {
+    return distance_(objects_[i], objects_[j]);
+  }
+
+  const std::vector<T>& objects() const { return objects_; }
+  const T& object(size_t i) const { return objects_[i]; }
+
+  /// Distance from an out-of-universe query object to database object j;
+  /// used to embed previously unseen queries (paper Sec. 8, embedding
+  /// step).
+  double DistanceToObject(const T& query, size_t j) const {
+    return distance_(query, objects_[j]);
+  }
+
+ private:
+  std::vector<T> objects_;
+  DistanceFn<T> distance_;
+};
+
+/// Decorator that counts every exact-distance evaluation.  The paper's
+/// efficiency metric is precisely "number of exact distance computations
+/// per query" (Sec. 9); benches wrap their oracles in this.
+class CountingOracle : public DistanceOracle {
+ public:
+  explicit CountingOracle(const DistanceOracle* inner) : inner_(inner) {}
+
+  size_t size() const override { return inner_->size(); }
+  double Distance(size_t i, size_t j) const override {
+    ++count_;
+    return inner_->Distance(i, j);
+  }
+
+  uint64_t count() const { return count_; }
+  void ResetCount() { count_ = 0; }
+
+ private:
+  const DistanceOracle* inner_;
+  mutable uint64_t count_ = 0;
+};
+
+/// Oracle defined by a plain function; convenient in tests.
+class FunctionOracle : public DistanceOracle {
+ public:
+  using Fn = std::function<double(size_t, size_t)>;
+  FunctionOracle(size_t n, Fn fn) : n_(n), fn_(std::move(fn)) {}
+
+  size_t size() const override { return n_; }
+  double Distance(size_t i, size_t j) const override { return fn_(i, j); }
+
+ private:
+  size_t n_;
+  Fn fn_;
+};
+
+}  // namespace qse
+
+#endif  // QSE_DATA_DATASET_H_

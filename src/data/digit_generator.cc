@@ -1,0 +1,241 @@
+#include "src/data/digit_generator.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qse {
+
+namespace {
+
+/// A polyline stroke in the unit box.
+using Stroke = std::vector<Point2>;
+
+/// Appends a circular arc as a polyline (angles in radians, CCW).
+void AppendArc(Stroke* s, Point2 centre, double rx, double ry,
+               double theta_start, double theta_end, size_t segments = 24) {
+  for (size_t k = 0; k <= segments; ++k) {
+    double t = theta_start + (theta_end - theta_start) *
+                                 static_cast<double>(k) /
+                                 static_cast<double>(segments);
+    s->push_back({centre.x + rx * std::cos(t), centre.y + ry * std::sin(t)});
+  }
+}
+
+/// Hand-designed stroke templates for digits 0-9 in the unit box
+/// (x right, y up).  Deliberately simple — intra-class variation comes
+/// from the random distortions, as in handwriting.
+std::vector<Stroke> DigitStrokes(int digit) {
+  std::vector<Stroke> strokes;
+  switch (digit) {
+    case 0: {
+      Stroke s;
+      AppendArc(&s, {0.5, 0.5}, 0.28, 0.42, 0.0, 2.0 * M_PI, 40);
+      strokes.push_back(std::move(s));
+      break;
+    }
+    case 1: {
+      strokes.push_back({{0.35, 0.78}, {0.52, 0.95}});
+      strokes.push_back({{0.52, 0.95}, {0.52, 0.05}});
+      break;
+    }
+    case 2: {
+      Stroke top;
+      AppendArc(&top, {0.5, 0.7}, 0.25, 0.24, M_PI * 0.95, -M_PI * 0.15, 20);
+      strokes.push_back(std::move(top));
+      strokes.push_back({{0.71, 0.62}, {0.26, 0.08}});
+      strokes.push_back({{0.26, 0.08}, {0.76, 0.08}});
+      break;
+    }
+    case 3: {
+      Stroke upper, lower;
+      AppendArc(&upper, {0.45, 0.72}, 0.24, 0.22, M_PI * 0.8, -M_PI * 0.5, 20);
+      AppendArc(&lower, {0.45, 0.3}, 0.27, 0.24, M_PI * 0.5, -M_PI * 0.8, 20);
+      strokes.push_back(std::move(upper));
+      strokes.push_back(std::move(lower));
+      break;
+    }
+    case 4: {
+      strokes.push_back({{0.62, 0.95}, {0.2, 0.42}});
+      strokes.push_back({{0.2, 0.42}, {0.8, 0.42}});
+      strokes.push_back({{0.64, 0.68}, {0.64, 0.05}});
+      break;
+    }
+    case 5: {
+      strokes.push_back({{0.72, 0.92}, {0.3, 0.92}});
+      strokes.push_back({{0.3, 0.92}, {0.29, 0.56}});
+      Stroke belly;
+      AppendArc(&belly, {0.46, 0.33}, 0.26, 0.25, M_PI * 0.55, -M_PI * 0.7,
+                24);
+      strokes.push_back(std::move(belly));
+      break;
+    }
+    case 6: {
+      Stroke sweep;
+      AppendArc(&sweep, {0.52, 0.52}, 0.3, 0.42, M_PI * 0.45, M_PI * 1.05,
+                20);
+      strokes.push_back(std::move(sweep));
+      Stroke loop;
+      AppendArc(&loop, {0.47, 0.27}, 0.22, 0.2, 0.0, 2.0 * M_PI, 28);
+      strokes.push_back(std::move(loop));
+      break;
+    }
+    case 7: {
+      strokes.push_back({{0.24, 0.92}, {0.76, 0.92}});
+      strokes.push_back({{0.76, 0.92}, {0.4, 0.05}});
+      break;
+    }
+    case 8: {
+      Stroke upper, lower;
+      AppendArc(&upper, {0.5, 0.7}, 0.2, 0.19, 0.0, 2.0 * M_PI, 28);
+      AppendArc(&lower, {0.5, 0.29}, 0.24, 0.23, 0.0, 2.0 * M_PI, 28);
+      strokes.push_back(std::move(upper));
+      strokes.push_back(std::move(lower));
+      break;
+    }
+    case 9: {
+      Stroke loop;
+      AppendArc(&loop, {0.5, 0.68}, 0.22, 0.21, 0.0, 2.0 * M_PI, 28);
+      strokes.push_back(std::move(loop));
+      strokes.push_back({{0.72, 0.62}, {0.6, 0.05}});
+      break;
+    }
+    default:
+      assert(false && "digit must be in [0, 9]");
+  }
+  return strokes;
+}
+
+double StrokeLength(const Stroke& s) {
+  double len = 0.0;
+  for (size_t i = 1; i < s.size(); ++i) {
+    len += PointDistance(s[i - 1], s[i]);
+  }
+  return len;
+}
+
+/// Point at arc-length position `target` along the polyline.
+Point2 PointAtLength(const Stroke& s, double target) {
+  double walked = 0.0;
+  for (size_t i = 1; i < s.size(); ++i) {
+    double seg = PointDistance(s[i - 1], s[i]);
+    if (walked + seg >= target && seg > 0.0) {
+      double f = (target - walked) / seg;
+      return {(1 - f) * s[i - 1].x + f * s[i].x,
+              (1 - f) * s[i - 1].y + f * s[i].y};
+    }
+    walked += seg;
+  }
+  return s.back();
+}
+
+}  // namespace
+
+PointSet DigitGenerator::Template(int digit, size_t points) {
+  assert(digit >= 0 && digit <= 9);
+  assert(points >= 2);
+  std::vector<Stroke> strokes = DigitStrokes(digit);
+  std::vector<double> lengths(strokes.size());
+  double total = 0.0;
+  for (size_t i = 0; i < strokes.size(); ++i) {
+    lengths[i] = StrokeLength(strokes[i]);
+    total += lengths[i];
+  }
+  PointSet out;
+  out.points.reserve(points);
+  // Distribute sample points across strokes proportionally to length, by
+  // walking the concatenated arc length.
+  for (size_t k = 0; k < points; ++k) {
+    double target = total * (static_cast<double>(k) + 0.5) /
+                    static_cast<double>(points);
+    size_t idx = 0;
+    while (idx + 1 < strokes.size() && target > lengths[idx]) {
+      target -= lengths[idx];
+      ++idx;
+    }
+    out.points.push_back(PointAtLength(strokes[idx], target));
+  }
+  return out;
+}
+
+DigitGenerator::DigitGenerator(const DigitGeneratorParams& params,
+                               uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+LabeledPointSet DigitGenerator::SampleDigit(int digit) {
+  LabeledPointSet sample;
+  sample.label = digit;
+  sample.shape = Template(digit, params_.points_per_digit);
+
+  // Random similarity + shear ("writer slant") around the box centre.
+  double theta = rng_.Gaussian(0.0, params_.rotation_stddev_deg * M_PI / 180);
+  double shear = rng_.Gaussian(0.0, params_.shear_stddev);
+  double sx = 1.0 + rng_.Gaussian(0.0, params_.scale_stddev);
+  double sy = 1.0 + rng_.Gaussian(0.0, params_.scale_stddev);
+  double ct = std::cos(theta), st = std::sin(theta);
+
+  // Smooth low-frequency warp parameters (stroke curvature variation).
+  double ax = rng_.Gaussian(0.0, params_.warp_amplitude);
+  double ay = rng_.Gaussian(0.0, params_.warp_amplitude);
+  double fx = rng_.Uniform(1.5, 3.5), fy = rng_.Uniform(1.5, 3.5);
+  double px = rng_.Uniform(0.0, 2.0 * M_PI), py = rng_.Uniform(0.0, 2.0 * M_PI);
+
+  for (Point2& p : sample.shape.points) {
+    double x = p.x - 0.5, y = p.y - 0.5;
+    // Shear, anisotropic scale, rotation.
+    x += shear * y;
+    x *= sx;
+    y *= sy;
+    double rx = ct * x - st * y;
+    double ry = st * x + ct * y;
+    // Smooth warp.
+    rx += ax * std::sin(fx * ry * 2.0 * M_PI + px);
+    ry += ay * std::sin(fy * rx * 2.0 * M_PI + py);
+    // Jitter.
+    rx += rng_.Gaussian(0.0, params_.jitter_stddev);
+    ry += rng_.Gaussian(0.0, params_.jitter_stddev);
+    p = {rx + 0.5, ry + 0.5};
+  }
+  return sample;
+}
+
+LabeledPointSet DigitGenerator::Sample() {
+  return SampleDigit(static_cast<int>(rng_.Index(10)));
+}
+
+std::vector<LabeledPointSet> DigitGenerator::Generate(size_t count) {
+  std::vector<LabeledPointSet> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(SampleDigit(static_cast<int>(i % 10)));
+  }
+  // Shuffle so the database has no class periodicity.
+  rng_.Shuffle(&out);
+  return out;
+}
+
+std::vector<std::string> RenderAscii(const PointSet& ps, size_t width,
+                                     size_t height) {
+  std::vector<std::string> rows(height, std::string(width, '.'));
+  if (ps.empty()) return rows;
+  double min_x = ps.points[0].x, max_x = min_x;
+  double min_y = ps.points[0].y, max_y = min_y;
+  for (const Point2& p : ps.points) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  double span_x = max_x - min_x > 1e-12 ? max_x - min_x : 1.0;
+  double span_y = max_y - min_y > 1e-12 ? max_y - min_y : 1.0;
+  for (const Point2& p : ps.points) {
+    size_t cx = static_cast<size_t>((p.x - min_x) / span_x *
+                                    static_cast<double>(width - 1));
+    // Flip y: row 0 is the top of the glyph.
+    size_t cy = static_cast<size_t>((max_y - p.y) / span_y *
+                                    static_cast<double>(height - 1));
+    rows[cy][cx] = '#';
+  }
+  return rows;
+}
+
+}  // namespace qse

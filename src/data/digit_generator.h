@@ -1,0 +1,69 @@
+#ifndef QSE_DATA_DIGIT_GENERATOR_H_
+#define QSE_DATA_DIGIT_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/distance/point_set.h"
+#include "src/util/random.h"
+
+namespace qse {
+
+/// Parameters controlling the synthetic handwritten-digit generator.
+///
+/// This generator is the repo's stand-in for the MNIST database [22] used
+/// by the paper (DESIGN.md substitution #1): each sample is a 2D point set
+/// drawn from one of ten stroke templates (digits 0-9), distorted by a
+/// random affine map, a smooth low-frequency warp and per-point jitter —
+/// the same kinds of variation that distinguish writers in MNIST.
+struct DigitGeneratorParams {
+  /// Points sampled along the digit's strokes (shape context input size).
+  size_t points_per_digit = 24;
+  /// Std-dev of the random rotation, degrees.
+  double rotation_stddev_deg = 9.0;
+  /// Std-dev of the random shear coefficient.
+  double shear_stddev = 0.12;
+  /// Std-dev of the random anisotropic scale around 1.
+  double scale_stddev = 0.08;
+  /// Amplitude of the smooth sinusoidal warp (units of the unit box).
+  double warp_amplitude = 0.035;
+  /// Per-point Gaussian jitter std-dev.
+  double jitter_stddev = 0.012;
+};
+
+/// A generated digit: the point-set shape and its class label in [0, 9].
+struct LabeledPointSet {
+  PointSet shape;
+  int label = 0;
+};
+
+/// Deterministic (seeded) generator of synthetic handwritten digits.
+class DigitGenerator {
+ public:
+  DigitGenerator(const DigitGeneratorParams& params, uint64_t seed);
+
+  /// One sample of a uniformly random digit class.
+  LabeledPointSet Sample();
+
+  /// One sample of the given class (0-9).
+  LabeledPointSet SampleDigit(int digit);
+
+  /// `count` samples with uniformly rotating class labels (balanced).
+  std::vector<LabeledPointSet> Generate(size_t count);
+
+  /// The undistorted template point set for a class; exposed for tests.
+  static PointSet Template(int digit, size_t points);
+
+ private:
+  DigitGeneratorParams params_;
+  Rng rng_;
+};
+
+/// Renders a point set into `height` strings of `width` characters
+/// ('#' where a point lands); used by the examples for quick visuals.
+std::vector<std::string> RenderAscii(const PointSet& ps, size_t width,
+                                     size_t height);
+
+}  // namespace qse
+
+#endif  // QSE_DATA_DIGIT_GENERATOR_H_

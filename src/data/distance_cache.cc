@@ -1,0 +1,76 @@
+#include "src/data/distance_cache.h"
+
+#include <fstream>
+
+#include "src/util/serialize.h"
+
+namespace qse {
+
+namespace {
+constexpr uint32_t kCacheMagic = 0x51534543;  // "QSEC"
+}  // namespace
+
+double CachingOracle::Distance(size_t i, size_t j) const {
+  uint64_t key = Key(i, j);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  double d = inner_->Distance(i, j);
+  cache_.emplace(key, d);
+  return d;
+}
+
+Status CachingOracle::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  BinaryWriter w(&out);
+  w.WriteU32(kCacheMagic);
+  w.WriteString(fingerprint_);
+  w.WriteU64(size());
+  w.WriteU64(cache_.size());
+  for (const auto& [key, value] : cache_) {
+    w.WriteU64(key);
+    w.WriteDouble(value);
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status CachingOracle::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cache file not found: " + path);
+  BinaryReader r(&in);
+  uint32_t magic = 0;
+  QSE_RETURN_IF_ERROR(r.ReadU32(&magic));
+  if (magic != kCacheMagic) {
+    return Status::IOError("bad magic in cache file: " + path);
+  }
+  std::string fingerprint;
+  QSE_RETURN_IF_ERROR(r.ReadString(&fingerprint));
+  if (fingerprint != fingerprint_) {
+    return Status::FailedPrecondition(
+        "cache fingerprint mismatch: file has '" + fingerprint +
+        "', oracle expects '" + fingerprint_ + "'");
+  }
+  uint64_t n = 0;
+  QSE_RETURN_IF_ERROR(r.ReadU64(&n));
+  if (n != size()) {
+    return Status::FailedPrecondition("cache universe size mismatch");
+  }
+  uint64_t pairs = 0;
+  QSE_RETURN_IF_ERROR(r.ReadU64(&pairs));
+  cache_.reserve(cache_.size() + pairs);
+  for (uint64_t k = 0; k < pairs; ++k) {
+    uint64_t key = 0;
+    double value = 0.0;
+    QSE_RETURN_IF_ERROR(r.ReadU64(&key));
+    QSE_RETURN_IF_ERROR(r.ReadDouble(&value));
+    cache_[key] = value;
+  }
+  return Status::OK();
+}
+
+}  // namespace qse

@@ -1,0 +1,180 @@
+#include "src/data/timeseries_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qse {
+
+namespace {
+
+/// Evaluates a series at fractional position t in [0, len-1] by linear
+/// interpolation; out-of-range positions are clamped to the endpoints.
+double SampleAt(const Series& s, double t, size_t d) {
+  assert(s.length() > 0);
+  if (t <= 0.0) return s.at(0, d);
+  double max_t = static_cast<double>(s.length() - 1);
+  if (t >= max_t) return s.at(s.length() - 1, d);
+  size_t lo = static_cast<size_t>(std::floor(t));
+  size_t hi = lo + 1 < s.length() ? lo + 1 : lo;
+  double f = t - static_cast<double>(lo);
+  return (1.0 - f) * s.at(lo, d) + f * s.at(hi, d);
+}
+
+}  // namespace
+
+TimeSeriesGenerator::TimeSeriesGenerator(
+    const TimeSeriesGeneratorParams& params, uint64_t seed)
+    : params_(params), rng_(seed) {
+  assert(params_.num_seeds > 0);
+  assert(params_.dims > 0);
+  assert(params_.base_length >= 8);
+  seeds_.reserve(params_.num_seeds);
+  for (size_t i = 0; i < params_.num_seeds; ++i) {
+    seeds_.push_back(MakeSeed());
+  }
+}
+
+Series TimeSeriesGenerator::MakeSeed() {
+  const size_t n = params_.base_length;
+  const size_t dims = params_.dims;
+  std::vector<double> values(n * dims, 0.0);
+  // Four seed shape families, mirroring the variety of the real seed
+  // recordings in [32].
+  size_t family = rng_.Index(4);
+  for (size_t d = 0; d < dims; ++d) {
+    switch (family) {
+      case 0: {  // Sum of random sinusoids.
+        size_t waves = 2 + rng_.Index(3);
+        std::vector<double> amp(waves), freq(waves), phase(waves);
+        for (size_t w = 0; w < waves; ++w) {
+          amp[w] = rng_.Uniform(0.4, 1.2);
+          freq[w] = rng_.Uniform(1.0, 6.0);
+          phase[w] = rng_.Uniform(0.0, 2.0 * M_PI);
+        }
+        for (size_t t = 0; t < n; ++t) {
+          double x = static_cast<double>(t) / static_cast<double>(n);
+          double v = 0.0;
+          for (size_t w = 0; w < waves; ++w) {
+            v += amp[w] * std::sin(2.0 * M_PI * freq[w] * x + phase[w]);
+          }
+          values[t * dims + d] = v;
+        }
+        break;
+      }
+      case 1: {  // Smoothed random walk.
+        double v = 0.0, smooth = 0.0;
+        double drift = rng_.Gaussian(0.0, 0.02);
+        for (size_t t = 0; t < n; ++t) {
+          v += drift + rng_.Gaussian(0.0, 0.25);
+          smooth = 0.85 * smooth + 0.15 * v;
+          values[t * dims + d] = smooth;
+        }
+        break;
+      }
+      case 2: {  // Piecewise-linear ramps between random knots.
+        size_t knots = 4 + rng_.Index(5);
+        std::vector<double> kt(knots), kv(knots);
+        for (size_t k = 0; k < knots; ++k) {
+          kt[k] = static_cast<double>(k) / static_cast<double>(knots - 1);
+          kv[k] = rng_.Uniform(-1.5, 1.5);
+        }
+        for (size_t t = 0; t < n; ++t) {
+          double x = static_cast<double>(t) / static_cast<double>(n - 1);
+          size_t k = 0;
+          while (k + 2 < knots && kt[k + 1] < x) ++k;
+          double f = (x - kt[k]) / (kt[k + 1] - kt[k]);
+          values[t * dims + d] = (1.0 - f) * kv[k] + f * kv[k + 1];
+        }
+        break;
+      }
+      default: {  // Pulse train: Gaussian bumps at random positions.
+        size_t pulses = 2 + rng_.Index(4);
+        std::vector<double> centre(pulses), width(pulses), height(pulses);
+        for (size_t p = 0; p < pulses; ++p) {
+          centre[p] = rng_.Uniform(0.08, 0.92);
+          width[p] = rng_.Uniform(0.02, 0.08);
+          height[p] = rng_.Uniform(0.6, 1.8) * (rng_.Bernoulli(0.5) ? 1 : -1);
+        }
+        for (size_t t = 0; t < n; ++t) {
+          double x = static_cast<double>(t) / static_cast<double>(n - 1);
+          double v = 0.0;
+          for (size_t p = 0; p < pulses; ++p) {
+            double z = (x - centre[p]) / width[p];
+            v += height[p] * std::exp(-0.5 * z * z);
+          }
+          values[t * dims + d] = v;
+        }
+        break;
+      }
+    }
+  }
+  Series s(dims, std::move(values));
+  s.SubtractMean();
+  return s;
+}
+
+Series TimeSeriesGenerator::MakeVariant(size_t seed_index) {
+  const Series& seed = seeds_[seed_index % seeds_.size()];
+  const size_t dims = seed.dims();
+  const size_t seed_len = seed.length();
+
+  // Target length: random compression/decompression in time.
+  size_t target_len = params_.base_length;
+  if (!params_.fixed_length && params_.length_jitter > 0.0) {
+    double f = rng_.Uniform(1.0 - params_.length_jitter,
+                            1.0 + params_.length_jitter);
+    target_len = std::max<size_t>(
+        8, static_cast<size_t>(std::llround(
+               f * static_cast<double>(params_.base_length))));
+  }
+
+  // Smooth monotone time warp: cumulative sum of positive increments with
+  // random log-scale wobble, normalized onto [0, seed_len - 1].  This
+  // locally stretches some regions and compresses others.
+  std::vector<double> increments(target_len);
+  double wobble = 0.0;
+  for (size_t t = 0; t < target_len; ++t) {
+    wobble = 0.9 * wobble + rng_.Gaussian(0.0, params_.warp_strength * 0.3);
+    increments[t] = std::exp(wobble);
+  }
+  std::vector<double> warp(target_len);
+  double acc = 0.0;
+  for (size_t t = 0; t < target_len; ++t) {
+    acc += increments[t];
+    warp[t] = acc;
+  }
+  // Normalize onto [0, seed_len - 1].  The first element must be captured
+  // before the loop mutates it; clamp for floating-point safety.
+  const double front = warp.front();
+  double span = warp.back() - front;
+  if (span <= 0.0) span = 1.0;
+  const double top = static_cast<double>(seed_len - 1);
+  for (size_t t = 0; t < target_len; ++t) {
+    double pos = (warp[t] - front) / span * top;
+    warp[t] = pos < 0.0 ? 0.0 : (pos > top ? top : pos);
+  }
+
+  std::vector<double> values(target_len * dims);
+  for (size_t t = 0; t < target_len; ++t) {
+    for (size_t d = 0; d < dims; ++d) {
+      double v = SampleAt(seed, warp[t], d);
+      v += rng_.Gaussian(0.0, params_.amplitude_noise);
+      values[t * dims + d] = v;
+    }
+  }
+  Series out(dims, std::move(values));
+  out.SubtractMean();
+  return out;
+}
+
+std::vector<Series> TimeSeriesGenerator::Generate(size_t count) {
+  std::vector<Series> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(MakeVariant(i % seeds_.size()));
+  }
+  return out;
+}
+
+}  // namespace qse

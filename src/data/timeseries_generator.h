@@ -1,0 +1,71 @@
+#ifndef QSE_DATA_TIMESERIES_GENERATOR_H_
+#define QSE_DATA_TIMESERIES_GENERATOR_H_
+
+#include <vector>
+
+#include "src/distance/series.h"
+#include "src/util/random.h"
+
+namespace qse {
+
+/// Parameters of the synthetic time-series workload.
+///
+/// Reproduces the dataset-construction protocol of [32] as described in
+/// the paper (Sec. 9): "various real datasets were used as seeds for
+/// generating a large number of time-series that are variations of the
+/// original sequences. Multiple copies of every real sequence were
+/// constructed by incorporating small variations in the original patterns
+/// as well as additions of random compression and decompression in time";
+/// sequences are multi-dimensional and mean-normalized per dimension.
+/// We draw the seeds from four synthetic shape families instead of the
+/// (unavailable) real seed recordings — DESIGN.md substitution #2.
+struct TimeSeriesGeneratorParams {
+  /// Number of distinct seed sequences ("real" patterns).
+  size_t num_seeds = 32;
+  /// Dimensionality of each sample point.
+  size_t dims = 2;
+  /// Nominal seed length; variants vary around this.
+  size_t base_length = 96;
+  /// Variants draw their length in [base*(1-jitter), base*(1+jitter)] —
+  /// the "random compression and decompression in time".
+  double length_jitter = 0.2;
+  /// Std-dev of additive amplitude noise (relative to signal std-dev ~1).
+  double amplitude_noise = 0.06;
+  /// Strength of the smooth monotone time warp applied to variants
+  /// (0 = none, 1 = extremely uneven time flow).
+  double warp_strength = 0.35;
+  /// When true, every variant is resampled to exactly base_length samples
+  /// (required by LB_Keogh-style lower bounding).
+  bool fixed_length = false;
+};
+
+/// Deterministic (seeded) generator of the [32]-style workload.
+class TimeSeriesGenerator {
+ public:
+  TimeSeriesGenerator(const TimeSeriesGeneratorParams& params, uint64_t seed);
+
+  /// A variant of seed family `seed_index` (modulo num_seeds).  Variants
+  /// are mean-normalized per dimension.
+  Series MakeVariant(size_t seed_index);
+
+  /// `count` variants cycling round-robin over the seed families (the
+  /// database construction of [32]: many variants per seed).
+  std::vector<Series> Generate(size_t count);
+
+  /// The undistorted seed sequence of a family; exposed for tests.
+  const Series& seed(size_t seed_index) const {
+    return seeds_[seed_index % seeds_.size()];
+  }
+  size_t num_seeds() const { return seeds_.size(); }
+
+ private:
+  Series MakeSeed();
+
+  TimeSeriesGeneratorParams params_;
+  Rng rng_;
+  std::vector<Series> seeds_;
+};
+
+}  // namespace qse
+
+#endif  // QSE_DATA_TIMESERIES_GENERATOR_H_

@@ -1,0 +1,21 @@
+#ifndef QSE_DISTANCE_DISTANCE_H_
+#define QSE_DISTANCE_DISTANCE_H_
+
+#include <functional>
+#include <vector>
+
+namespace qse {
+
+/// Dense real vector, the codomain of all embeddings (Sec. 3.1 of the
+/// paper: F : X -> R^d).
+using Vector = std::vector<double>;
+
+/// A distance measure over an arbitrary object type T.  The paper's DX can
+/// be any such function — non-Euclidean and non-metric measures included —
+/// which is why the whole library is parameterized on this signature.
+template <typename T>
+using DistanceFn = std::function<double(const T&, const T&)>;
+
+}  // namespace qse
+
+#endif  // QSE_DISTANCE_DISTANCE_H_

@@ -1,0 +1,117 @@
+#include "src/distance/dtw.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace qse {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// L1 ground cost between sample i of a and sample j of b.
+inline double PointCost(const Series& a, size_t i, const Series& b, size_t j) {
+  double c = 0.0;
+  size_t dims = a.dims();
+  const double* pa = a.values().data() + i * dims;
+  const double* pb = b.values().data() + j * dims;
+  for (size_t d = 0; d < dims; ++d) c += std::fabs(pa[d] - pb[d]);
+  return c;
+}
+
+}  // namespace
+
+double ConstrainedDtwWindow(const Series& a, const Series& b, long window) {
+  if (a.empty() || b.empty()) return kInf;
+  assert(a.dims() == b.dims());
+  const long n = static_cast<long>(a.length());
+  const long m = static_cast<long>(b.length());
+  if (window < 0) window = 0;
+  // The band is centred on the scaled diagonal so paths exist even for
+  // unequal lengths; widen by 1 to guarantee connectivity after rounding.
+  const double slope = static_cast<double>(m) / static_cast<double>(n);
+  const long w = window + 1;
+
+  std::vector<double> prev(static_cast<size_t>(m) + 1, kInf);
+  std::vector<double> curr(static_cast<size_t>(m) + 1, kInf);
+  // DP over (i, j) in 1-based coordinates; row 0 is the virtual start.
+  prev[0] = 0.0;
+  for (long i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    long centre = static_cast<long>(std::llround(slope * (i - 1))) + 1;
+    long jlo = std::max<long>(1, centre - w);
+    long jhi = std::min<long>(m, centre + w);
+    for (long j = jlo; j <= jhi; ++j) {
+      double best = prev[static_cast<size_t>(j - 1)];       // diagonal
+      best = std::min(best, prev[static_cast<size_t>(j)]);  // insertion
+      best = std::min(best, curr[static_cast<size_t>(j - 1)]);  // deletion
+      if (best == kInf) continue;
+      curr[static_cast<size_t>(j)] =
+          best + PointCost(a, static_cast<size_t>(i - 1), b,
+                           static_cast<size_t>(j - 1));
+    }
+    std::swap(prev, curr);
+  }
+  return prev[static_cast<size_t>(m)];
+}
+
+double ConstrainedDtw(const Series& a, const Series& b,
+                      double band_fraction) {
+  if (a.empty() || b.empty()) return kInf;
+  size_t shorter = std::min(a.length(), b.length());
+  long window = static_cast<long>(
+      std::ceil(band_fraction * static_cast<double>(shorter)));
+  return ConstrainedDtwWindow(a, b, window);
+}
+
+double Dtw(const Series& a, const Series& b) {
+  long window = static_cast<long>(std::max(a.length(), b.length()));
+  return ConstrainedDtwWindow(a, b, window);
+}
+
+DtwEnvelope BuildEnvelope(const Series& s, long window) {
+  DtwEnvelope env;
+  env.dims = s.dims();
+  const long n = static_cast<long>(s.length());
+  env.lower.assign(s.values().size(), 0.0);
+  env.upper.assign(s.values().size(), 0.0);
+  if (window < 0) window = 0;
+  // The DP in ConstrainedDtwWindow widens the band by 1 for connectivity;
+  // the envelope must cover at least that reach to stay a lower bound.
+  const long w = window + 1;
+  for (long t = 0; t < n; ++t) {
+    long lo = std::max<long>(0, t - w);
+    long hi = std::min<long>(n - 1, t + w);
+    for (size_t d = 0; d < env.dims; ++d) {
+      double mn = kInf, mx = -kInf;
+      for (long u = lo; u <= hi; ++u) {
+        double v = s.at(static_cast<size_t>(u), d);
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+      env.lower[static_cast<size_t>(t) * env.dims + d] = mn;
+      env.upper[static_cast<size_t>(t) * env.dims + d] = mx;
+    }
+  }
+  return env;
+}
+
+double LbKeogh(const DtwEnvelope& query_envelope, const Series& c) {
+  assert(query_envelope.dims == c.dims());
+  assert(query_envelope.length() == c.length());
+  double lb = 0.0;
+  size_t total = c.values().size();
+  for (size_t i = 0; i < total; ++i) {
+    double v = c.values()[i];
+    if (v > query_envelope.upper[i]) {
+      lb += v - query_envelope.upper[i];
+    } else if (v < query_envelope.lower[i]) {
+      lb += query_envelope.lower[i] - v;
+    }
+  }
+  return lb;
+}
+
+}  // namespace qse

@@ -1,0 +1,49 @@
+#include "src/distance/lp.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qse {
+
+double L1Distance(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+double SquaredL2Distance(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double L2Distance(const Vector& a, const Vector& b) {
+  return std::sqrt(SquaredL2Distance(a, b));
+}
+
+double LInfDistance(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = std::fabs(a[i] - b[i]);
+    if (d > worst) worst = d;
+  }
+  return worst;
+}
+
+double LpDistance(const Vector& a, const Vector& b, double p) {
+  assert(a.size() == b.size());
+  assert(p >= 1.0);
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += std::pow(std::fabs(a[i] - b[i]), p);
+  }
+  return std::pow(sum, 1.0 / p);
+}
+
+}  // namespace qse

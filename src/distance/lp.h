@@ -1,0 +1,27 @@
+#ifndef QSE_DISTANCE_LP_H_
+#define QSE_DISTANCE_LP_H_
+
+#include <cstddef>
+
+#include "src/distance/distance.h"
+
+namespace qse {
+
+/// L1 (Manhattan) distance.  Requires equal dimensionality.
+double L1Distance(const Vector& a, const Vector& b);
+
+/// L2 (Euclidean) distance.
+double L2Distance(const Vector& a, const Vector& b);
+
+/// Squared Euclidean distance (avoids the sqrt; used in hot loops).
+double SquaredL2Distance(const Vector& a, const Vector& b);
+
+/// L-infinity (Chebyshev) distance.
+double LInfDistance(const Vector& a, const Vector& b);
+
+/// General Minkowski Lp distance for p >= 1.
+double LpDistance(const Vector& a, const Vector& b, double p);
+
+}  // namespace qse
+
+#endif  // QSE_DISTANCE_LP_H_

@@ -1,0 +1,64 @@
+#include "src/distance/point_set.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace qse {
+
+double Norm(Point2 p) { return std::sqrt(p.x * p.x + p.y * p.y); }
+
+double PointDistance(Point2 a, Point2 b) { return Norm(a - b); }
+
+Point2 PointSet::Centroid() const {
+  assert(!points.empty());
+  Point2 c;
+  for (const Point2& p : points) {
+    c.x += p.x;
+    c.y += p.y;
+  }
+  c.x /= static_cast<double>(points.size());
+  c.y /= static_cast<double>(points.size());
+  return c;
+}
+
+double PointSet::MeanPairwiseDistance() const {
+  if (points.size() < 2) return 0.0;
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      total += PointDistance(points[i], points[j]);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+void PointSet::CenterAtOrigin() {
+  if (points.empty()) return;
+  Point2 c = Centroid();
+  for (Point2& p : points) {
+    p.x -= c.x;
+    p.y -= c.y;
+  }
+}
+
+double DirectedChamfer(const PointSet& a, const PointSet& b) {
+  assert(!a.empty() && !b.empty());
+  double total = 0.0;
+  for (const Point2& pa : a.points) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const Point2& pb : b.points) {
+      best = std::min(best, PointDistance(pa, pb));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(a.size());
+}
+
+double ChamferDistance(const PointSet& a, const PointSet& b) {
+  return DirectedChamfer(a, b) + DirectedChamfer(b, a);
+}
+
+}  // namespace qse

@@ -1,0 +1,39 @@
+#include "src/distance/series.h"
+
+#include <cmath>
+
+namespace qse {
+
+void Series::SubtractMean() {
+  size_t n = length();
+  if (n == 0) return;
+  for (size_t d = 0; d < dims_; ++d) {
+    double mean = 0.0;
+    for (size_t t = 0; t < n; ++t) mean += at(t, d);
+    mean /= static_cast<double>(n);
+    for (size_t t = 0; t < n; ++t) at(t, d) -= mean;
+  }
+}
+
+Series Series::Resampled(size_t new_length) const {
+  assert(new_length > 0);
+  size_t n = length();
+  assert(n > 0);
+  std::vector<double> out(new_length * dims_);
+  for (size_t t = 0; t < new_length; ++t) {
+    // Map t in [0, new_length-1] onto [0, n-1].
+    double src = new_length == 1
+                     ? 0.0
+                     : static_cast<double>(t) * static_cast<double>(n - 1) /
+                           static_cast<double>(new_length - 1);
+    size_t lo = static_cast<size_t>(std::floor(src));
+    size_t hi = lo + 1 < n ? lo + 1 : lo;
+    double frac = src - static_cast<double>(lo);
+    for (size_t d = 0; d < dims_; ++d) {
+      out[t * dims_ + d] = (1.0 - frac) * at(lo, d) + frac * at(hi, d);
+    }
+  }
+  return Series(dims_, std::move(out));
+}
+
+}  // namespace qse

@@ -1,0 +1,18 @@
+#include "src/distance/weighted_l1.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qse {
+
+double WeightedL1Distance(const Vector& a, const Vector& b, const Vector& w) {
+  assert(a.size() == b.size());
+  assert(a.size() == w.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += w[i] * std::fabs(a[i] - b[i]);
+  }
+  return sum;
+}
+
+}  // namespace qse

@@ -1,0 +1,19 @@
+#ifndef QSE_DISTANCE_WEIGHTED_L1_H_
+#define QSE_DISTANCE_WEIGHTED_L1_H_
+
+#include "src/distance/distance.h"
+
+namespace qse {
+
+/// Weighted L1 distance sum_i w[i] * |a[i] - b[i]|.
+///
+/// This is the building block of the paper's D_out (Eq. 11): there the
+/// weight vector is A(q), a function of the *query's* embedding, which
+/// makes D_out asymmetric and non-metric.  The plain function below is
+/// symmetric for a fixed w; query sensitivity lives in how the caller
+/// chooses w (see QuerySensitiveEmbedding::QueryWeights).
+double WeightedL1Distance(const Vector& a, const Vector& b, const Vector& w);
+
+}  // namespace qse
+
+#endif  // QSE_DISTANCE_WEIGHTED_L1_H_

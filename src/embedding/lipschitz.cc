@@ -1,0 +1,110 @@
+#include "src/embedding/lipschitz.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/logging.h"
+#include "src/util/serialize.h"
+
+namespace qse {
+
+LipschitzModel BuildLipschitz(const std::vector<size_t>& sample_ids,
+                              const LipschitzOptions& options) {
+  QSE_CHECK_MSG(!sample_ids.empty(), "need a non-empty sample");
+  Rng rng(options.seed);
+  const size_t n = sample_ids.size();
+
+  size_t log2n = 0;
+  while ((1ull << (log2n + 1)) <= n) ++log2n;
+
+  std::vector<std::vector<uint32_t>> sets;
+  sets.reserve(options.dims);
+  for (size_t i = 0; i < options.dims; ++i) {
+    size_t size = options.bourgain_sizes
+                      ? (1ull << (i % (log2n + 1)))
+                      : std::max<size_t>(1, options.fixed_set_size);
+    size = std::min(size, n);
+    std::vector<size_t> chosen = rng.SampleWithoutReplacement(n, size);
+    std::vector<uint32_t> set;
+    set.reserve(size);
+    for (size_t idx : chosen) {
+      set.push_back(static_cast<uint32_t>(sample_ids[idx]));
+    }
+    std::sort(set.begin(), set.end());
+    sets.push_back(std::move(set));
+  }
+  return LipschitzModel(std::move(sets));
+}
+
+Vector LipschitzModel::Embed(const DxToDatabaseFn& dx,
+                             size_t* num_exact) const {
+  std::unordered_map<uint32_t, double> raw;
+  auto lookup = [&](uint32_t db_id) {
+    auto it = raw.find(db_id);
+    if (it != raw.end()) return it->second;
+    double d = dx(db_id);
+    raw.emplace(db_id, d);
+    return d;
+  };
+  Vector out(sets_.size());
+  for (size_t i = 0; i < sets_.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (uint32_t id : sets_[i]) {
+      best = std::min(best, lookup(id));
+    }
+    out[i] = best;
+  }
+  if (num_exact != nullptr) *num_exact = raw.size();
+  return out;
+}
+
+size_t LipschitzModel::EmbeddingCost() const {
+  std::unordered_set<uint32_t> seen;
+  for (const auto& set : sets_) seen.insert(set.begin(), set.end());
+  return seen.size();
+}
+
+LipschitzModel LipschitzModel::Prefix(size_t d) const {
+  size_t take = d < sets_.size() ? d : sets_.size();
+  return LipschitzModel(std::vector<std::vector<uint32_t>>(
+      sets_.begin(), sets_.begin() + static_cast<long>(take)));
+}
+
+namespace {
+constexpr uint32_t kLipschitzMagic = 0x514C5031;  // "QLP1"
+}  // namespace
+
+Status LipschitzModel::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  BinaryWriter w(&out);
+  w.WriteU32(kLipschitzMagic);
+  w.WriteU64(sets_.size());
+  for (const auto& set : sets_) w.WriteU32Vec(set);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<LipschitzModel> LipschitzModel::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("model file not found: " + path);
+  BinaryReader r(&in);
+  uint32_t magic = 0;
+  QSE_RETURN_IF_ERROR(r.ReadU32(&magic));
+  if (magic != kLipschitzMagic) {
+    return Status::IOError("bad magic in Lipschitz model file: " + path);
+  }
+  uint64_t n = 0;
+  QSE_RETURN_IF_ERROR(r.ReadU64(&n));
+  if (n > (1ull << 20)) return Status::IOError("set count implausible");
+  std::vector<std::vector<uint32_t>> sets(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    QSE_RETURN_IF_ERROR(r.ReadU32Vec(&sets[i]));
+  }
+  return LipschitzModel(std::move(sets));
+}
+
+}  // namespace qse

@@ -1,0 +1,64 @@
+#ifndef QSE_EMBEDDING_LIPSCHITZ_H_
+#define QSE_EMBEDDING_LIPSCHITZ_H_
+
+#include <string>
+#include <vector>
+
+#include "src/embedding/embedder.h"
+#include "src/util/random.h"
+#include "src/util/statusor.h"
+
+namespace qse {
+
+/// Options for building a Lipschitz embedding [7, 15].
+struct LipschitzOptions {
+  /// Output dimensionality (number of reference sets).
+  size_t dims = 32;
+  /// When true, reference-set sizes follow the Bourgain schedule
+  /// 1, 2, 4, ..., 2^floor(log2 n) cyclically; when false every set has
+  /// `fixed_set_size` members.
+  bool bourgain_sizes = true;
+  size_t fixed_set_size = 1;
+  uint64_t seed = 5;
+};
+
+/// A Lipschitz embedding: coordinate i maps x to its distance to the
+/// nearest member of reference set R_i,
+///
+///   F_i(x) = min_{r in R_i} DX(x, r).
+///
+/// With singleton sets this reduces to the reference-object embeddings
+/// F^r of Eq. 1; with the Bourgain size schedule it is the classical
+/// construction of [7] as popularized for retrieval by [15].  Distances
+/// between Lipschitz vectors are measured with L1.
+class LipschitzModel : public Embedder {
+ public:
+  LipschitzModel() = default;
+  explicit LipschitzModel(std::vector<std::vector<uint32_t>> sets)
+      : sets_(std::move(sets)) {}
+
+  size_t dims() const override { return sets_.size(); }
+  Vector Embed(const DxToDatabaseFn& dx,
+               size_t* num_exact = nullptr) const override;
+  size_t EmbeddingCost() const override;
+
+  LipschitzModel Prefix(size_t d) const;
+
+  /// Binary model persistence (the reference sets).
+  Status Save(const std::string& path) const;
+  static StatusOr<LipschitzModel> Load(const std::string& path);
+
+  const std::vector<std::vector<uint32_t>>& sets() const { return sets_; }
+
+ private:
+  std::vector<std::vector<uint32_t>> sets_;  // Database ids per set.
+};
+
+/// Samples the reference sets from `sample_ids` (no distance evaluations
+/// are needed to build the model — only to apply it).
+LipschitzModel BuildLipschitz(const std::vector<size_t>& sample_ids,
+                              const LipschitzOptions& options);
+
+}  // namespace qse
+
+#endif  // QSE_EMBEDDING_LIPSCHITZ_H_

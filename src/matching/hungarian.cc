@@ -1,0 +1,70 @@
+#include "src/matching/hungarian.h"
+
+#include <cassert>
+#include <limits>
+
+namespace qse {
+
+AssignmentResult SolveAssignment(const Matrix& cost) {
+  const size_t n = cost.rows();
+  const size_t m = cost.cols();
+  assert(n > 0);
+  assert(n <= m);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Potentials-based Hungarian algorithm (1-based internal indexing).
+  // u[i], v[j] are the dual potentials; p[j] is the row matched to column j.
+  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+  std::vector<size_t> p(m + 1, 0), way(m + 1, 0);
+
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;  // Virtual column currently holding row i.
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<char> used(m + 1, 0);
+    do {
+      used[j0] = 1;
+      size_t i0 = p[j0], j1 = 0;
+      double delta = kInf;
+      for (size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult result;
+  result.row_to_col.assign(n, 0);
+  for (size_t j = 1; j <= m; ++j) {
+    if (p[j] != 0) result.row_to_col[p[j] - 1] = j - 1;
+  }
+  for (size_t r = 0; r < n; ++r) {
+    result.total_cost += cost(r, result.row_to_col[r]);
+  }
+  return result;
+}
+
+}  // namespace qse

@@ -1,0 +1,29 @@
+#ifndef QSE_MATCHING_HUNGARIAN_H_
+#define QSE_MATCHING_HUNGARIAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/matrix.h"
+
+namespace qse {
+
+/// Result of a minimum-cost bipartite assignment.
+struct AssignmentResult {
+  /// row_to_col[r] = column matched to row r.
+  std::vector<size_t> row_to_col;
+  /// Total cost of the optimal assignment.
+  double total_cost = 0.0;
+};
+
+/// Solves the rectangular assignment problem min_perm sum_r cost(r, perm(r))
+/// with the O(n^2 m) Hungarian algorithm (Kuhn-Munkres with potentials).
+///
+/// Requires rows() <= cols(); every row is matched to a distinct column.
+/// This is the "computationally expensive Hungarian algorithm" step of the
+/// Shape Context Distance [4] used by the paper's MNIST experiments.
+AssignmentResult SolveAssignment(const Matrix& cost);
+
+}  // namespace qse
+
+#endif  // QSE_MATCHING_HUNGARIAN_H_

@@ -1,0 +1,76 @@
+#include "src/matching/shape_context.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qse {
+
+std::vector<Vector> ComputeShapeContexts(const PointSet& ps,
+                                         const ShapeContextParams& params) {
+  const size_t n = ps.size();
+  assert(n >= 2);
+  const size_t bins = params.descriptor_size();
+  std::vector<Vector> descriptors(n, Vector(bins, 0.0));
+
+  const double scale = ps.MeanPairwiseDistance();
+  assert(scale > 0.0);
+  const double log_inner = std::log(params.r_inner);
+  const double log_outer = std::log(params.r_outer);
+  const double log_span = log_outer - log_inner;
+  const double two_pi = 2.0 * M_PI;
+
+  for (size_t i = 0; i < n; ++i) {
+    Vector& h = descriptors[i];
+    size_t counted = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      Point2 d = ps.points[j] - ps.points[i];
+      double r = Norm(d) / scale;
+      if (r <= 0.0) continue;  // Coincident points carry no direction.
+      // Log-radial bin; points nearer than r_inner go to bin 0, farther
+      // than r_outer to the last bin (standard clamping in [5]).
+      double lr = (std::log(r) - log_inner) / log_span;
+      long rb = static_cast<long>(
+          std::floor(lr * static_cast<double>(params.radial_bins)));
+      if (rb < 0) rb = 0;
+      if (rb >= static_cast<long>(params.radial_bins)) {
+        rb = static_cast<long>(params.radial_bins) - 1;
+      }
+      double theta = std::atan2(d.y, d.x);
+      if (theta < 0) theta += two_pi;
+      size_t ab = static_cast<size_t>(
+          theta / two_pi * static_cast<double>(params.angular_bins));
+      if (ab >= params.angular_bins) ab = params.angular_bins - 1;
+      h[static_cast<size_t>(rb) * params.angular_bins + ab] += 1.0;
+      ++counted;
+    }
+    if (counted > 0) {
+      for (double& v : h) v /= static_cast<double>(counted);
+    }
+  }
+  return descriptors;
+}
+
+double ChiSquareCost(const Vector& h1, const Vector& h2) {
+  assert(h1.size() == h2.size());
+  double cost = 0.0;
+  for (size_t k = 0; k < h1.size(); ++k) {
+    double num = h1[k] - h2[k];
+    double den = h1[k] + h2[k];
+    if (den > 0.0) cost += num * num / den;
+  }
+  return 0.5 * cost;
+}
+
+Matrix ShapeContextCostMatrix(const std::vector<Vector>& a,
+                              const std::vector<Vector>& b) {
+  Matrix cost(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      cost(i, j) = ChiSquareCost(a[i], b[j]);
+    }
+  }
+  return cost;
+}
+
+}  // namespace qse

@@ -1,0 +1,45 @@
+#ifndef QSE_MATCHING_SHAPE_CONTEXT_H_
+#define QSE_MATCHING_SHAPE_CONTEXT_H_
+
+#include <vector>
+
+#include "src/distance/distance.h"
+#include "src/distance/point_set.h"
+#include "src/util/matrix.h"
+
+namespace qse {
+
+/// Parameters of the log-polar shape context descriptor [4, 5].
+struct ShapeContextParams {
+  /// Number of radial (log-spaced) bins.
+  size_t radial_bins = 5;
+  /// Number of angular bins over [0, 2*pi).
+  size_t angular_bins = 12;
+  /// Inner/outer radii of the log-polar grid, in units of the mean
+  /// pairwise distance of the point set (the scale normalizer from [5]).
+  double r_inner = 0.125;
+  double r_outer = 2.0;
+
+  size_t descriptor_size() const { return radial_bins * angular_bins; }
+};
+
+/// Computes the shape context descriptor of every point of `ps`: for point
+/// i, a histogram of the positions of all other points in a log-polar grid
+/// centred at i, normalized to sum to 1.  Radii are measured relative to
+/// the set's mean pairwise distance, making descriptors scale-invariant.
+std::vector<Vector> ComputeShapeContexts(const PointSet& ps,
+                                         const ShapeContextParams& params);
+
+/// Chi-squared histogram distance 0.5 * sum (h1-h2)^2 / (h1+h2), the
+/// matching cost between two shape context descriptors [5].  In [0, 1] for
+/// normalized histograms.
+double ChiSquareCost(const Vector& h1, const Vector& h2);
+
+/// Builds the full n x m chi-squared cost matrix between the descriptors
+/// of two point sets.
+Matrix ShapeContextCostMatrix(const std::vector<Vector>& a,
+                              const std::vector<Vector>& b);
+
+}  // namespace qse
+
+#endif  // QSE_MATCHING_SHAPE_CONTEXT_H_

@@ -1,0 +1,110 @@
+#include "src/matching/shape_context_distance.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/matching/hungarian.h"
+
+namespace qse {
+
+namespace {
+
+/// Normalizes a copy of `ps`: centroid at origin, mean pairwise distance 1.
+/// Makes the alignment residual translation- and scale-free so the two
+/// terms of the distance live on comparable scales.
+PointSet Normalized(const PointSet& ps) {
+  PointSet out = ps;
+  out.CenterAtOrigin();
+  double scale = out.MeanPairwiseDistance();
+  if (scale > 0.0) {
+    for (Point2& p : out.points) {
+      p.x /= scale;
+      p.y /= scale;
+    }
+  }
+  return out;
+}
+
+/// Least-squares similarity alignment of paired points (complex-number
+/// formulation): find s*e^{i*theta} and translation minimizing
+/// sum |T(src_k) - dst_k|^2, return the RMS residual.
+double SimilarityAlignmentResidual(const std::vector<Point2>& src,
+                                   const std::vector<Point2>& dst) {
+  assert(src.size() == dst.size());
+  const size_t n = src.size();
+  if (n == 0) return 0.0;
+  // Center both sides (optimal translation folds into the centroids).
+  Point2 cs{0, 0}, cd{0, 0};
+  for (size_t k = 0; k < n; ++k) {
+    cs = cs + src[k];
+    cd = cd + dst[k];
+  }
+  double inv = 1.0 / static_cast<double>(n);
+  cs = inv * cs;
+  cd = inv * cd;
+  // Treat points as complex numbers: optimal s*e^{i theta} =
+  // (sum conj(a_k) b_k) / (sum |a_k|^2).
+  double num_re = 0.0, num_im = 0.0, den = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    double ax = src[k].x - cs.x, ay = src[k].y - cs.y;
+    double bx = dst[k].x - cd.x, by = dst[k].y - cd.y;
+    num_re += ax * bx + ay * by;
+    num_im += ax * by - ay * bx;
+    den += ax * ax + ay * ay;
+  }
+  double wr = 0.0, wi = 0.0;
+  if (den > 0.0) {
+    wr = num_re / den;
+    wi = num_im / den;
+  }
+  double ss = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    double ax = src[k].x - cs.x, ay = src[k].y - cs.y;
+    double bx = dst[k].x - cd.x, by = dst[k].y - cd.y;
+    double rx = wr * ax - wi * ay - bx;
+    double ry = wr * ay + wi * ax - by;
+    ss += rx * rx + ry * ry;
+  }
+  return std::sqrt(ss * inv);
+}
+
+}  // namespace
+
+ShapeContextDistanceResult ShapeContextDistanceDetailed(
+    const PointSet& a, const PointSet& b,
+    const ShapeContextDistanceParams& params) {
+  assert(a.size() >= 2 && b.size() >= 2);
+  // Match the smaller set into the larger so the assignment is feasible.
+  const PointSet& small = a.size() <= b.size() ? a : b;
+  const PointSet& large = a.size() <= b.size() ? b : a;
+
+  PointSet ns = Normalized(small);
+  PointSet nl = Normalized(large);
+
+  std::vector<Vector> ds = ComputeShapeContexts(ns, params.descriptor);
+  std::vector<Vector> dl = ComputeShapeContexts(nl, params.descriptor);
+
+  Matrix cost = ShapeContextCostMatrix(ds, dl);
+  AssignmentResult assignment = SolveAssignment(cost);
+
+  ShapeContextDistanceResult result;
+  result.matching_cost =
+      assignment.total_cost / static_cast<double>(small.size());
+
+  std::vector<Point2> src(small.size()), dst(small.size());
+  for (size_t k = 0; k < small.size(); ++k) {
+    src[k] = ns.points[k];
+    dst[k] = nl.points[assignment.row_to_col[k]];
+  }
+  result.alignment_cost = SimilarityAlignmentResidual(src, dst);
+  result.total =
+      result.matching_cost + params.alignment_weight * result.alignment_cost;
+  return result;
+}
+
+double ShapeContextDistance(const PointSet& a, const PointSet& b,
+                            const ShapeContextDistanceParams& params) {
+  return ShapeContextDistanceDetailed(a, b, params).total;
+}
+
+}  // namespace qse

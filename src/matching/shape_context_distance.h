@@ -1,0 +1,50 @@
+#ifndef QSE_MATCHING_SHAPE_CONTEXT_DISTANCE_H_
+#define QSE_MATCHING_SHAPE_CONTEXT_DISTANCE_H_
+
+#include "src/distance/point_set.h"
+#include "src/matching/shape_context.h"
+
+namespace qse {
+
+/// Parameters of the Shape Context Distance.
+struct ShapeContextDistanceParams {
+  ShapeContextParams descriptor;
+  /// Weight of the alignment-residual term relative to the matching term.
+  /// The paper's distance [4] is "a weighted sum of three terms: the cost
+  /// of matching shape context features, the cost of the alignment, and
+  /// the intensity-level differences ..."; we keep the matching term and
+  /// model the geometric terms with a similarity-alignment residual (see
+  /// DESIGN.md substitution #4).
+  double alignment_weight = 1.0;
+};
+
+/// Breakdown of the two terms, exposed for tests and diagnostics.
+struct ShapeContextDistanceResult {
+  double matching_cost = 0.0;   // Mean chi^2 cost of the optimal assignment.
+  double alignment_cost = 0.0;  // RMS residual after similarity alignment.
+  double total = 0.0;
+};
+
+/// Full Shape Context Distance between two 2D point sets:
+///  1. compute per-point log-polar shape context descriptors,
+///  2. chi-squared cost matrix + Hungarian optimal assignment,
+///  3. least-squares similarity transform (rotation + scale + translation)
+///     of a's points onto their matches in b; the RMS residual is the
+///     alignment cost.
+///
+/// The result is symmetric only approximately and violates the triangle
+/// inequality — a genuinely non-metric DX, as required by the paper's
+/// experimental setting.  Requires both sets to have >= 2 points and
+/// a.size() <= b.size() is NOT required (the smaller set is matched into
+/// the larger one).
+ShapeContextDistanceResult ShapeContextDistanceDetailed(
+    const PointSet& a, const PointSet& b,
+    const ShapeContextDistanceParams& params = {});
+
+/// Convenience wrapper returning only the scalar distance.
+double ShapeContextDistance(const PointSet& a, const PointSet& b,
+                            const ShapeContextDistanceParams& params = {});
+
+}  // namespace qse
+
+#endif  // QSE_MATCHING_SHAPE_CONTEXT_DISTANCE_H_

@@ -1,0 +1,35 @@
+#ifndef QSE_RETRIEVAL_EMBEDDER_ADAPTERS_H_
+#define QSE_RETRIEVAL_EMBEDDER_ADAPTERS_H_
+
+#include "src/core/qs_embedding.h"
+#include "src/embedding/embedder.h"
+
+namespace qse {
+
+/// Presents a trained QuerySensitiveEmbedding through the shared Embedder
+/// interface so the retrieval pipeline and the evaluation protocol can
+/// treat BoostMap variants and the baseline methods uniformly.  Does not
+/// own the model.
+class QseEmbedderAdapter : public Embedder {
+ public:
+  explicit QseEmbedderAdapter(const QuerySensitiveEmbedding* model)
+      : model_(model) {}
+
+  size_t dims() const override { return model_->dims(); }
+
+  Vector Embed(const DxToDatabaseFn& dx,
+               size_t* num_exact = nullptr) const override {
+    return model_->Embed(dx, num_exact);
+  }
+
+  size_t EmbeddingCost() const override { return model_->EmbeddingCost(); }
+
+  const QuerySensitiveEmbedding* model() const { return model_; }
+
+ private:
+  const QuerySensitiveEmbedding* model_;
+};
+
+}  // namespace qse
+
+#endif  // QSE_RETRIEVAL_EMBEDDER_ADAPTERS_H_

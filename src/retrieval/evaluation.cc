@@ -1,0 +1,110 @@
+#include "src/retrieval/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+#include "src/util/stats.h"
+#include "src/util/top_k.h"
+
+namespace qse {
+
+GroundTruth ComputeGroundTruth(const DistanceOracle& oracle,
+                               const std::vector<size_t>& db_ids,
+                               const std::vector<size_t>& query_ids,
+                               size_t kmax) {
+  QSE_CHECK(kmax >= 1 && kmax <= db_ids.size());
+  GroundTruth gt;
+  gt.kmax = kmax;
+  gt.knn.resize(query_ids.size());
+  std::vector<double> scores(db_ids.size());
+  for (size_t qi = 0; qi < query_ids.size(); ++qi) {
+    for (size_t i = 0; i < db_ids.size(); ++i) {
+      scores[i] = oracle.Distance(query_ids[qi], db_ids[i]);
+    }
+    std::vector<ScoredIndex> top = SmallestK(scores, kmax);
+    gt.knn[qi].resize(top.size());
+    for (size_t j = 0; j < top.size(); ++j) {
+      gt.knn[qi][j] = static_cast<uint32_t>(top[j].index);
+    }
+  }
+  return gt;
+}
+
+LadderPoint EvaluateLadderPoint(const Embedder& embedder,
+                                const FilterScorer& scorer,
+                                const EmbeddedDatabase& db,
+                                const DistanceOracle& oracle,
+                                const std::vector<size_t>& db_ids,
+                                const std::vector<size_t>& query_ids,
+                                const GroundTruth& gt, size_t param) {
+  QSE_CHECK(gt.knn.size() == query_ids.size());
+  QSE_CHECK(db.size() == db_ids.size());
+
+  LadderPoint point;
+  point.param = param;
+  point.dims = embedder.dims();
+  point.query_cost = embedder.EmbeddingCost();
+  point.required_p.resize(query_ids.size());
+
+  std::vector<double> scores;
+  std::vector<size_t> rank_of(db_ids.size());
+  for (size_t qi = 0; qi < query_ids.size(); ++qi) {
+    size_t query_id = query_ids[qi];
+    Vector fq = embedder.Embed(
+        [&](size_t db_id) { return oracle.Distance(query_id, db_id); },
+        nullptr);
+    scorer.Score(fq, db, &scores);
+
+    // rank_of[position] = 1-based rank in the filter ordering
+    // (deterministic tie-break by position, matching SmallestK).
+    std::vector<size_t> order = ArgsortAscending(scores);
+    for (size_t r = 0; r < order.size(); ++r) rank_of[order[r]] = r + 1;
+
+    const std::vector<uint32_t>& truth = gt.knn[qi];
+    std::vector<uint32_t>& req = point.required_p[qi];
+    req.resize(truth.size());
+    uint32_t worst = 0;
+    for (size_t k = 0; k < truth.size(); ++k) {
+      worst = std::max(worst, static_cast<uint32_t>(rank_of[truth[k]]));
+      req[k] = worst;
+    }
+  }
+  return point;
+}
+
+OptimalSetting OptimalCostSetting(const std::vector<LadderPoint>& ladder,
+                                  size_t k, double accuracy_fraction,
+                                  size_t db_size) {
+  QSE_CHECK(k >= 1);
+  QSE_CHECK(accuracy_fraction > 0.0 && accuracy_fraction <= 1.0);
+  OptimalSetting best;
+  best.total_cost = db_size;  // Brute force fallback.
+  best.brute_force = true;
+  for (const LadderPoint& point : ladder) {
+    if (point.required_p.empty()) continue;
+    QSE_CHECK(k <= point.required_p[0].size());
+    std::vector<double> req(point.required_p.size());
+    for (size_t qi = 0; qi < point.required_p.size(); ++qi) {
+      req[qi] = static_cast<double>(point.required_p[qi][k - 1]);
+    }
+    size_t p = static_cast<size_t>(
+        QuantileNearestRank(std::move(req), accuracy_fraction));
+    size_t total = point.query_cost + p;
+    if (total < best.total_cost) {
+      best.param = point.param;
+      best.dims = point.dims;
+      best.p = p;
+      best.total_cost = total;
+      best.brute_force = false;
+    }
+  }
+  return best;
+}
+
+size_t OptimalCost(const std::vector<LadderPoint>& ladder, size_t k,
+                   double accuracy_fraction, size_t db_size) {
+  return OptimalCostSetting(ladder, k, accuracy_fraction, db_size).total_cost;
+}
+
+}  // namespace qse

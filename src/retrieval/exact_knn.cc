@@ -1,0 +1,26 @@
+#include "src/retrieval/exact_knn.h"
+
+namespace qse {
+
+std::vector<ScoredIndex> ExactKnn(const DistanceOracle& oracle,
+                                  size_t query_id,
+                                  const std::vector<size_t>& db_ids,
+                                  size_t k) {
+  std::vector<double> scores(db_ids.size());
+  for (size_t i = 0; i < db_ids.size(); ++i) {
+    scores[i] = oracle.Distance(query_id, db_ids[i]);
+  }
+  return SmallestK(scores, k);
+}
+
+std::vector<ScoredIndex> ExactKnnExternal(const DxToDatabaseFn& dx,
+                                          const std::vector<size_t>& db_ids,
+                                          size_t k) {
+  std::vector<double> scores(db_ids.size());
+  for (size_t i = 0; i < db_ids.size(); ++i) {
+    scores[i] = dx(db_ids[i]);
+  }
+  return SmallestK(scores, k);
+}
+
+}  // namespace qse

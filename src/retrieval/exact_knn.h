@@ -1,0 +1,29 @@
+#ifndef QSE_RETRIEVAL_EXACT_KNN_H_
+#define QSE_RETRIEVAL_EXACT_KNN_H_
+
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/embedding/embedder.h"
+#include "src/util/top_k.h"
+
+namespace qse {
+
+/// Brute-force exact k-nearest-neighbor search: evaluates DX from the
+/// query to every database object.  Returned indices are *positions* in
+/// `db_ids` (not database ids), ascending by (distance, position) — the
+/// deterministic ordering used as ground truth throughout the repo.
+std::vector<ScoredIndex> ExactKnn(const DistanceOracle& oracle,
+                                  size_t query_id,
+                                  const std::vector<size_t>& db_ids,
+                                  size_t k);
+
+/// Same for an external query given its distance function to database
+/// objects (keyed by database id).
+std::vector<ScoredIndex> ExactKnnExternal(const DxToDatabaseFn& dx,
+                                          const std::vector<size_t>& db_ids,
+                                          size_t k);
+
+}  // namespace qse
+
+#endif  // QSE_RETRIEVAL_EXACT_KNN_H_

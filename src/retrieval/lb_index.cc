@@ -1,0 +1,54 @@
+#include "src/retrieval/lb_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace qse {
+
+LbDtwIndex::LbDtwIndex(std::vector<Series> database, double band_fraction)
+    : database_(std::move(database)), band_fraction_(band_fraction) {
+  QSE_CHECK_MSG(!database_.empty(), "empty database");
+  const size_t len = database_[0].length();
+  const size_t dims = database_[0].dims();
+  for (const Series& s : database_) {
+    QSE_CHECK_MSG(s.length() == len && s.dims() == dims,
+                  "LB_Keogh requires fixed-length, fixed-dims series");
+  }
+  window_ = static_cast<long>(
+      std::ceil(band_fraction_ * static_cast<double>(len)));
+}
+
+LbDtwIndex::Result LbDtwIndex::Search(const Series& query, size_t k) const {
+  QSE_CHECK(query.length() == database_[0].length());
+  QSE_CHECK(query.dims() == database_[0].dims());
+  QSE_CHECK(k >= 1);
+  k = std::min(k, database_.size());
+
+  DtwEnvelope envelope = BuildEnvelope(query, window_);
+  std::vector<ScoredIndex> by_lb(database_.size());
+  for (size_t i = 0; i < database_.size(); ++i) {
+    by_lb[i] = {i, LbKeogh(envelope, database_[i])};
+  }
+  std::sort(by_lb.begin(), by_lb.end());
+
+  Result result;
+  std::vector<ScoredIndex> best;  // Kept sorted ascending, size <= k.
+  for (const ScoredIndex& cand : by_lb) {
+    if (best.size() == k && cand.score > best.back().score) {
+      break;  // All remaining lower bounds exceed the k-th best: done.
+    }
+    double exact =
+        ConstrainedDtwWindow(query, database_[cand.index], window_);
+    ++result.exact_evaluations;
+    ScoredIndex entry{cand.index, exact};
+    auto it = std::lower_bound(best.begin(), best.end(), entry);
+    best.insert(it, entry);
+    if (best.size() > k) best.pop_back();
+  }
+  result.neighbors = std::move(best);
+  return result;
+}
+
+}  // namespace qse

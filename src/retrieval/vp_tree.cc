@@ -1,0 +1,131 @@
+#include "src/retrieval/vp_tree.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace qse {
+
+VpTree::VpTree(const DistanceOracle* oracle, std::vector<size_t> db_ids,
+               size_t leaf_size, uint64_t seed)
+    : oracle_(oracle),
+      db_ids_(std::move(db_ids)),
+      leaf_size_(leaf_size < 1 ? 1 : leaf_size) {
+  QSE_CHECK(!db_ids_.empty());
+  Rng rng(seed);
+  std::vector<size_t> positions(db_ids_.size());
+  for (size_t i = 0; i < positions.size(); ++i) positions[i] = i;
+  root_ = Build(std::move(positions), &rng);
+}
+
+std::unique_ptr<VpTree::Node> VpTree::Build(std::vector<size_t> positions,
+                                            Rng* rng) {
+  auto node = std::make_unique<Node>();
+  if (positions.size() <= leaf_size_) {
+    node->is_leaf = true;
+    node->leaf_positions = std::move(positions);
+    return node;
+  }
+  // Random vantage point (Yianilos suggests sampling for spread; random
+  // choice keeps construction cost low and is standard practice).
+  size_t vp_at = rng->Index(positions.size());
+  std::swap(positions[vp_at], positions.back());
+  node->vantage_position = positions.back();
+  positions.pop_back();
+
+  std::vector<ScoredIndex> scored(positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    double d = oracle_->Distance(db_ids_[node->vantage_position],
+                                 db_ids_[positions[i]]);
+    ++build_evaluations_;
+    scored[i] = {positions[i], d};
+  }
+  size_t mid = scored.size() / 2;
+  std::nth_element(scored.begin(), scored.begin() + static_cast<long>(mid),
+                   scored.end());
+  node->radius = scored[mid].score;
+
+  std::vector<size_t> inside, outside;
+  for (const ScoredIndex& s : scored) {
+    if (s.score < node->radius) {
+      inside.push_back(s.index);
+    } else {
+      outside.push_back(s.index);
+    }
+  }
+  // Degenerate split (all-equal distances): fall back to a leaf.
+  if (inside.empty() || outside.empty()) {
+    node->is_leaf = true;
+    node->leaf_positions.push_back(node->vantage_position);
+    for (size_t p : inside) node->leaf_positions.push_back(p);
+    for (size_t p : outside) node->leaf_positions.push_back(p);
+    return node;
+  }
+  node->inside = Build(std::move(inside), rng);
+  node->outside = Build(std::move(outside), rng);
+  return node;
+}
+
+namespace {
+
+/// Inserts (position, distance) into the sorted top-k buffer.
+void Consider(std::vector<ScoredIndex>* best, size_t k, size_t position,
+              double distance) {
+  ScoredIndex entry{position, distance};
+  if (best->size() == k && !(entry < best->back())) return;
+  auto it = std::lower_bound(best->begin(), best->end(), entry);
+  best->insert(it, entry);
+  if (best->size() > k) best->pop_back();
+}
+
+}  // namespace
+
+void VpTree::SearchNode(const Node* node, const DxToDatabaseFn& dx, size_t k,
+                        std::vector<ScoredIndex>* best,
+                        size_t* evaluations) const {
+  if (node->is_leaf) {
+    for (size_t p : node->leaf_positions) {
+      ++*evaluations;
+      Consider(best, k, p, dx(db_ids_[p]));
+    }
+    return;
+  }
+  ++*evaluations;
+  double dv = dx(db_ids_[node->vantage_position]);
+  Consider(best, k, node->vantage_position, dv);
+
+  // tau = current k-th best (infinite until the buffer fills).
+  auto tau = [&]() {
+    return best->size() == k ? best->back().score
+                             : std::numeric_limits<double>::infinity();
+  };
+  // Visit the more promising side first, prune the other by the triangle
+  // inequality: an object inside the ball can be no farther from q than
+  // dv + radius, no closer than dv - radius (ONLY if DX is metric).
+  const Node* first = dv < node->radius ? node->inside.get()
+                                        : node->outside.get();
+  const Node* second = dv < node->radius ? node->outside.get()
+                                         : node->inside.get();
+  SearchNode(first, dx, k, best, evaluations);
+  bool second_is_outside = second == node->outside.get();
+  if (second_is_outside) {
+    if (dv + tau() >= node->radius) {
+      SearchNode(second, dx, k, best, evaluations);
+    }
+  } else {
+    if (dv - tau() <= node->radius) {
+      SearchNode(second, dx, k, best, evaluations);
+    }
+  }
+}
+
+VpTree::Result VpTree::Search(const DxToDatabaseFn& dx, size_t k) const {
+  QSE_CHECK(k >= 1);
+  k = std::min(k, db_ids_.size());
+  Result result;
+  SearchNode(root_.get(), dx, k, &result.neighbors,
+             &result.distance_evaluations);
+  return result;
+}
+
+}  // namespace qse

@@ -1,0 +1,77 @@
+#ifndef QSE_RETRIEVAL_VP_TREE_H_
+#define QSE_RETRIEVAL_VP_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/embedding/embedder.h"
+#include "src/util/random.h"
+#include "src/util/top_k.h"
+
+namespace qse {
+
+/// A vantage-point tree [38] for exact k-NN search in *metric* spaces.
+///
+/// The paper (Secs. 1, 2, 10) argues that general metric-space indices
+/// like vp-trees "cannot be applied" to its workloads because Shape
+/// Context and cDTW violate the triangle inequality — the pruning rule
+/// |D(q,v) - mu| > tau is only sound under that inequality.  This
+/// implementation exists to make that argument concrete and testable:
+///
+///  * on metric data it returns exact k-NN while pruning a large fraction
+///    of distance evaluations (see vp_tree_test.cc);
+///  * on non-metric data its pruned search MISSES true neighbors — the
+///    bench/ablation demonstrates the recall loss that motivates
+///    embedding-based methods.
+///
+/// Construction cost: O(n log n) distance evaluations; queries count their
+/// evaluations for comparison against the embedding pipeline.
+class VpTree {
+ public:
+  /// Builds the tree over db_ids (positions are indices into db_ids, as
+  /// elsewhere in retrieval/).  `leaf_size` controls when recursion stops.
+  VpTree(const DistanceOracle* oracle, std::vector<size_t> db_ids,
+         size_t leaf_size = 8, uint64_t seed = 17);
+
+  struct Result {
+    /// k best neighbors found (positions into db_ids), ascending by
+    /// (distance, position).  Exact iff the distance is metric.
+    std::vector<ScoredIndex> neighbors;
+    /// Number of exact distance evaluations spent.
+    size_t distance_evaluations = 0;
+  };
+
+  /// k-NN search for an external query given its distance function to
+  /// database ids.
+  Result Search(const DxToDatabaseFn& dx, size_t k) const;
+
+  /// Distance evaluations spent building the tree.
+  size_t build_distance_evaluations() const { return build_evaluations_; }
+
+  size_t size() const { return db_ids_.size(); }
+
+ private:
+  struct Node {
+    size_t vantage_position = 0;  // Position into db_ids_.
+    double radius = 0.0;          // Median distance to the vantage point.
+    std::unique_ptr<Node> inside;
+    std::unique_ptr<Node> outside;
+    std::vector<size_t> leaf_positions;  // Non-empty only for leaves.
+    bool is_leaf = false;
+  };
+
+  std::unique_ptr<Node> Build(std::vector<size_t> positions, Rng* rng);
+  void SearchNode(const Node* node, const DxToDatabaseFn& dx, size_t k,
+                  std::vector<ScoredIndex>* best, size_t* evaluations) const;
+
+  const DistanceOracle* oracle_;
+  std::vector<size_t> db_ids_;
+  std::unique_ptr<Node> root_;
+  size_t leaf_size_;
+  size_t build_evaluations_ = 0;
+};
+
+}  // namespace qse
+
+#endif  // QSE_RETRIEVAL_VP_TREE_H_

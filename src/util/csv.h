@@ -1,0 +1,47 @@
+#ifndef QSE_UTIL_CSV_H_
+#define QSE_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace qse {
+
+/// Accumulates rows of a rectangular table and renders them as CSV and as
+/// an aligned text table (used by bench binaries to print paper-style rows
+/// and persist machine-readable results).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with %.6g and integers verbatim.
+  static std::string Fmt(double v);
+  static std::string Fmt(size_t v);
+  static std::string Fmt(long long v);
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// CSV serialization (header + rows).  Fields containing commas or quotes
+  /// are quoted per RFC 4180.
+  std::string ToCsv() const;
+
+  /// Pretty-printed, column-aligned text rendering for stdout.
+  std::string ToPretty() const;
+
+  /// Writes ToCsv() to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qse
+
+#endif  // QSE_UTIL_CSV_H_

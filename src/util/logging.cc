@@ -1,0 +1,23 @@
+#include "src/util/logging.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace qse {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& msg) {
+  std::fprintf(stderr, "[FATAL] %s:%d: check failed: %s%s%s\n", file, line,
+               expr, msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+void LogLine(const char* level, const std::string& msg) {
+  auto now = std::chrono::system_clock::now().time_since_epoch();
+  double secs = std::chrono::duration<double>(now).count();
+  std::fprintf(stderr, "[%s %.3f] %s\n", level, secs, msg.c_str());
+}
+
+}  // namespace internal
+}  // namespace qse

@@ -1,0 +1,64 @@
+#ifndef QSE_UTIL_LOGGING_H_
+#define QSE_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace qse {
+namespace internal {
+
+/// Terminates the process after printing `msg`; used by QSE_CHECK.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+
+/// Writes one timestamped log line to stderr.
+void LogLine(const char* level, const std::string& msg);
+
+/// Stream-style collector so call sites can write
+/// QSE_LOG("built model: " << d << " dims").
+class MessageStream {
+ public:
+  template <typename T>
+  MessageStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace qse
+
+/// Unconditional informational log line to stderr.
+#define QSE_LOG(msg_expr)                                             \
+  do {                                                                \
+    ::qse::internal::MessageStream _qse_ms;                           \
+    _qse_ms << msg_expr;                                              \
+    ::qse::internal::LogLine("INFO", _qse_ms.str());                  \
+  } while (0)
+
+/// Fatal invariant check; always on (used for programming errors, not for
+/// recoverable conditions — those return Status).
+#define QSE_CHECK(cond)                                               \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::qse::internal::CheckFailed(__FILE__, __LINE__, #cond, "");    \
+    }                                                                 \
+  } while (0)
+
+#define QSE_CHECK_MSG(cond, msg_expr)                                 \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::qse::internal::MessageStream _qse_ms;                         \
+      _qse_ms << msg_expr;                                            \
+      ::qse::internal::CheckFailed(__FILE__, __LINE__, #cond,         \
+                                   _qse_ms.str());                    \
+    }                                                                 \
+  } while (0)
+
+#endif  // QSE_UTIL_LOGGING_H_

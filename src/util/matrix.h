@@ -1,0 +1,54 @@
+#ifndef QSE_UTIL_MATRIX_H_
+#define QSE_UTIL_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace qse {
+
+/// Minimal dense row-major matrix of doubles.  Used for assignment-problem
+/// cost matrices and for the precomputed distance matrices that drive
+/// BoostMap training (Sec. 5.2: "a matrix of distances between any two
+/// objects in C, and ... from each c in C to each qi, ai and bi").
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row r (contiguous, cols() long).
+  const double* Row(size_t r) const {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  double* Row(size_t r) {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace qse
+
+#endif  // QSE_UTIL_MATRIX_H_

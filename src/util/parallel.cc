@@ -1,0 +1,46 @@
+#include "src/util/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace qse {
+
+size_t DefaultParallelism() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& body,
+                 size_t num_threads) {
+  if (begin >= end) return;
+  if (num_threads == 0) num_threads = DefaultParallelism();
+  size_t n = end - begin;
+  // Below this size thread startup dominates; run serially.
+  constexpr size_t kSerialCutoff = 256;
+  if (num_threads <= 1 || n < kSerialCutoff) {
+    for (size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::atomic<size_t> next(begin);
+  // Chunked dynamic scheduling: balances uneven per-item cost (e.g. DTW on
+  // variable-length series) without per-item atomic traffic.
+  size_t chunk = n / (num_threads * 8);
+  if (chunk == 0) chunk = 1;
+  auto worker = [&]() {
+    for (;;) {
+      size_t lo = next.fetch_add(chunk);
+      if (lo >= end) return;
+      size_t hi = lo + chunk < end ? lo + chunk : end;
+      for (size_t i = lo; i < hi; ++i) body(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (size_t t = 1; t < num_threads; ++t) threads.emplace_back(worker);
+  worker();
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace qse

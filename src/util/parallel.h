@@ -1,0 +1,25 @@
+#ifndef QSE_UTIL_PARALLEL_H_
+#define QSE_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace qse {
+
+/// Runs body(i) for i in [begin, end), splitting the range across
+/// `num_threads` worker threads (hardware concurrency when 0).  Falls back
+/// to a plain serial loop when the range is small or only one core is
+/// available, so there is no overhead on single-core boxes.
+///
+/// The body must be safe to invoke concurrently for distinct i; iteration
+/// order across threads is unspecified.
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& body,
+                 size_t num_threads = 0);
+
+/// Number of worker threads ParallelFor would use for `num_threads == 0`.
+size_t DefaultParallelism();
+
+}  // namespace qse
+
+#endif  // QSE_UTIL_PARALLEL_H_

@@ -1,0 +1,89 @@
+#include "src/util/serialize.h"
+
+#include <limits>
+
+namespace qse {
+
+void BinaryWriter::WriteU32(uint32_t v) {
+  out_->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::WriteU64(uint64_t v) {
+  out_->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::WriteI64(int64_t v) {
+  out_->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::WriteDouble(double v) {
+  out_->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  out_->write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+void BinaryWriter::WriteDoubleVec(const std::vector<double>& v) {
+  WriteU64(v.size());
+  out_->write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+void BinaryWriter::WriteFloatVec(const std::vector<float>& v) {
+  WriteU64(v.size());
+  out_->write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+void BinaryWriter::WriteU32Vec(const std::vector<uint32_t>& v) {
+  WriteU64(v.size());
+  out_->write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(uint32_t)));
+}
+
+Status BinaryReader::ReadRaw(void* dst, size_t n) {
+  if (in_ == nullptr || !in_->good()) {
+    return Status::IOError("stream not readable");
+  }
+  in_->read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
+  if (static_cast<size_t>(in_->gcount()) != n) {
+    return Status::IOError("truncated read");
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+Status BinaryReader::ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+Status BinaryReader::ReadI64(int64_t* v) { return ReadRaw(v, sizeof(*v)); }
+Status BinaryReader::ReadDouble(double* v) { return ReadRaw(v, sizeof(*v)); }
+
+Status BinaryReader::ReadString(std::string* s) {
+  uint64_t n = 0;
+  QSE_RETURN_IF_ERROR(ReadU64(&n));
+  if (n > (1ull << 32)) return Status::IOError("string length implausible");
+  s->resize(n);
+  return n == 0 ? Status::OK() : ReadRaw(s->data(), n);
+}
+
+namespace {
+constexpr uint64_t kMaxVecElems = 1ull << 33;
+}  // namespace
+
+Status BinaryReader::ReadDoubleVec(std::vector<double>* v) {
+  uint64_t n = 0;
+  QSE_RETURN_IF_ERROR(ReadU64(&n));
+  if (n > kMaxVecElems) return Status::IOError("vector length implausible");
+  v->resize(n);
+  return n == 0 ? Status::OK() : ReadRaw(v->data(), n * sizeof(double));
+}
+Status BinaryReader::ReadFloatVec(std::vector<float>* v) {
+  uint64_t n = 0;
+  QSE_RETURN_IF_ERROR(ReadU64(&n));
+  if (n > kMaxVecElems) return Status::IOError("vector length implausible");
+  v->resize(n);
+  return n == 0 ? Status::OK() : ReadRaw(v->data(), n * sizeof(float));
+}
+Status BinaryReader::ReadU32Vec(std::vector<uint32_t>* v) {
+  uint64_t n = 0;
+  QSE_RETURN_IF_ERROR(ReadU64(&n));
+  if (n > kMaxVecElems) return Status::IOError("vector length implausible");
+  v->resize(n);
+  return n == 0 ? Status::OK() : ReadRaw(v->data(), n * sizeof(uint32_t));
+}
+
+}  // namespace qse

@@ -1,0 +1,59 @@
+#ifndef QSE_UTIL_SERIALIZE_H_
+#define QSE_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace qse {
+
+/// Little-endian binary writer for model / cache persistence.
+/// All multi-byte values are written in host order; files are only intended
+/// to be read back on the machine (or architecture family) that wrote them,
+/// which is the standard contract for local model/cache files.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream* out) : out_(out) {}
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v);
+  void WriteDouble(double v);
+  void WriteString(const std::string& s);
+  void WriteDoubleVec(const std::vector<double>& v);
+  void WriteFloatVec(const std::vector<float>& v);
+  void WriteU32Vec(const std::vector<uint32_t>& v);
+
+  bool ok() const { return out_ != nullptr && out_->good(); }
+
+ private:
+  std::ostream* out_;
+};
+
+/// Counterpart reader.  All Read* methods return a Status; on error the
+/// output parameter is left unspecified.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream* in) : in_(in) {}
+
+  Status ReadU32(uint32_t* v);
+  Status ReadU64(uint64_t* v);
+  Status ReadI64(int64_t* v);
+  Status ReadDouble(double* v);
+  Status ReadString(std::string* s);
+  Status ReadDoubleVec(std::vector<double>* v);
+  Status ReadFloatVec(std::vector<float>* v);
+  Status ReadU32Vec(std::vector<uint32_t>* v);
+
+ private:
+  Status ReadRaw(void* dst, size_t n);
+  std::istream* in_;
+};
+
+}  // namespace qse
+
+#endif  // QSE_UTIL_SERIALIZE_H_

@@ -1,0 +1,30 @@
+#ifndef QSE_UTIL_TIMER_H_
+#define QSE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace qse {
+
+/// Wall-clock stopwatch used by benches and experiment harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qse
+
+#endif  // QSE_UTIL_TIMER_H_

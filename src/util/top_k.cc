@@ -1,0 +1,41 @@
+#include "src/util/top_k.h"
+
+#include <cassert>
+
+namespace qse {
+
+std::vector<ScoredIndex> SmallestK(const std::vector<double>& scores,
+                                   size_t k) {
+  k = std::min(k, scores.size());
+  std::vector<ScoredIndex> all(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) all[i] = {i, scores[i]};
+  if (k < all.size()) {
+    std::nth_element(all.begin(), all.begin() + static_cast<long>(k),
+                     all.end());
+    all.resize(k);
+  }
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+std::vector<size_t> ArgsortAscending(const std::vector<double>& scores) {
+  std::vector<ScoredIndex> all(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) all[i] = {i, scores[i]};
+  std::sort(all.begin(), all.end());
+  std::vector<size_t> idx(all.size());
+  for (size_t i = 0; i < all.size(); ++i) idx[i] = all[i].index;
+  return idx;
+}
+
+size_t RankOf(const std::vector<double>& scores, size_t target_index) {
+  assert(target_index < scores.size());
+  ScoredIndex target{target_index, scores[target_index]};
+  size_t rank = 1;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (i == target_index) continue;
+    if (ScoredIndex{i, scores[i]} < target) ++rank;
+  }
+  return rank;
+}
+
+}  // namespace qse

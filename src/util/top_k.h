@@ -1,0 +1,43 @@
+#ifndef QSE_UTIL_TOP_K_H_
+#define QSE_UTIL_TOP_K_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace qse {
+
+/// An (index, score) pair ordered by ascending score; ties broken by index
+/// so that results are fully deterministic.
+struct ScoredIndex {
+  size_t index = 0;
+  double score = 0.0;
+
+  friend bool operator<(const ScoredIndex& a, const ScoredIndex& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.index < b.index;
+  }
+  friend bool operator==(const ScoredIndex& a, const ScoredIndex& b) {
+    return a.index == b.index && a.score == b.score;
+  }
+};
+
+/// Returns the k smallest (index, score) pairs of `scores`, sorted
+/// ascending.  k is clamped to scores.size().  O(n + k log k) via
+/// nth_element.
+std::vector<ScoredIndex> SmallestK(const std::vector<double>& scores,
+                                   size_t k);
+
+/// Returns indices of `scores` sorted by ascending score (full argsort with
+/// deterministic tie-breaking by index).
+std::vector<size_t> ArgsortAscending(const std::vector<double>& scores);
+
+/// Rank (1-based) that `target_index` would take when all entries are sorted
+/// ascending by (score, index).  Used by the evaluation protocol to compute
+/// the filter-step rank of a true nearest neighbor.
+size_t RankOf(const std::vector<double>& scores, size_t target_index);
+
+}  // namespace qse
+
+#endif  // QSE_UTIL_TOP_K_H_

@@ -1,0 +1,127 @@
+#include "src/data/digit_generator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace qse {
+namespace {
+
+TEST(DigitGeneratorTest, TemplateHasRequestedPoints) {
+  for (int d = 0; d <= 9; ++d) {
+    PointSet t = DigitGenerator::Template(d, 24);
+    EXPECT_EQ(t.size(), 24u) << "digit " << d;
+  }
+}
+
+TEST(DigitGeneratorTest, TemplatesStayNearUnitBox) {
+  for (int d = 0; d <= 9; ++d) {
+    PointSet t = DigitGenerator::Template(d, 32);
+    for (const Point2& p : t.points) {
+      EXPECT_GE(p.x, -0.1);
+      EXPECT_LE(p.x, 1.1);
+      EXPECT_GE(p.y, -0.1);
+      EXPECT_LE(p.y, 1.1);
+    }
+  }
+}
+
+TEST(DigitGeneratorTest, TemplatesAreDistinctAcrossClasses) {
+  // Templates of different digits should not coincide.
+  for (int a = 0; a <= 9; ++a) {
+    for (int b = a + 1; b <= 9; ++b) {
+      PointSet ta = DigitGenerator::Template(a, 16);
+      PointSet tb = DigitGenerator::Template(b, 16);
+      double diff = 0.0;
+      for (size_t i = 0; i < 16; ++i) {
+        diff += PointDistance(ta.points[i], tb.points[i]);
+      }
+      EXPECT_GT(diff, 0.2) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(DigitGeneratorTest, DeterministicBySeed) {
+  DigitGeneratorParams params;
+  DigitGenerator g1(params, 42), g2(params, 42);
+  for (int i = 0; i < 10; ++i) {
+    LabeledPointSet a = g1.Sample();
+    LabeledPointSet b = g2.Sample();
+    EXPECT_EQ(a.label, b.label);
+    ASSERT_EQ(a.shape.size(), b.shape.size());
+    for (size_t p = 0; p < a.shape.size(); ++p) {
+      EXPECT_DOUBLE_EQ(a.shape.points[p].x, b.shape.points[p].x);
+      EXPECT_DOUBLE_EQ(a.shape.points[p].y, b.shape.points[p].y);
+    }
+  }
+}
+
+TEST(DigitGeneratorTest, SamplesVaryWithinClass) {
+  DigitGenerator gen({}, 7);
+  PointSet a = gen.SampleDigit(5).shape;
+  PointSet b = gen.SampleDigit(5).shape;
+  double diff = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff += PointDistance(a.points[i], b.points[i]);
+  }
+  EXPECT_GT(diff, 0.01);  // Distorted differently.
+}
+
+TEST(DigitGeneratorTest, SampleDigitSetsLabel) {
+  DigitGenerator gen({}, 7);
+  for (int d = 0; d <= 9; ++d) {
+    EXPECT_EQ(gen.SampleDigit(d).label, d);
+  }
+}
+
+TEST(DigitGeneratorTest, GenerateIsClassBalanced) {
+  DigitGenerator gen({}, 11);
+  auto batch = gen.Generate(100);
+  ASSERT_EQ(batch.size(), 100u);
+  int counts[10] = {0};
+  for (const auto& s : batch) {
+    ASSERT_GE(s.label, 0);
+    ASSERT_LE(s.label, 9);
+    counts[s.label]++;
+  }
+  for (int d = 0; d <= 9; ++d) EXPECT_EQ(counts[d], 10) << "digit " << d;
+}
+
+TEST(DigitGeneratorTest, GenerateShufflesClasses) {
+  DigitGenerator gen({}, 13);
+  auto batch = gen.Generate(50);
+  // Not strictly increasing label mod 10 (shuffled).
+  bool periodic = true;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].label != static_cast<int>(i % 10)) periodic = false;
+  }
+  EXPECT_FALSE(periodic);
+}
+
+TEST(DigitGeneratorTest, PointCountHonoursParams) {
+  DigitGeneratorParams params;
+  params.points_per_digit = 40;
+  DigitGenerator gen(params, 3);
+  EXPECT_EQ(gen.Sample().shape.size(), 40u);
+}
+
+TEST(RenderAsciiTest, MarksPoints) {
+  PointSet ps;
+  ps.points = {{0, 0}, {1, 1}};
+  auto rows = RenderAscii(ps, 8, 4);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].size(), 8u);
+  // Top-right and bottom-left corners marked ((1,1) maps to row 0).
+  EXPECT_EQ(rows[0][7], '#');
+  EXPECT_EQ(rows[3][0], '#');
+}
+
+TEST(RenderAsciiTest, EmptySetRendersBlank) {
+  auto rows = RenderAscii(PointSet{}, 4, 2);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row, std::string(4, '.'));
+  }
+}
+
+}  // namespace
+}  // namespace qse

@@ -1,0 +1,204 @@
+#include "src/distance/dtw.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/data/timeseries_generator.h"
+#include "src/util/random.h"
+
+namespace qse {
+namespace {
+
+Series S(std::vector<double> v) { return Series::FromValues(std::move(v)); }
+
+TEST(SeriesTest, LayoutAndAccess) {
+  Series s(2, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(s.dims(), 2u);
+  EXPECT_EQ(s.length(), 3u);
+  EXPECT_DOUBLE_EQ(s.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s.at(2, 1), 6.0);
+}
+
+TEST(SeriesTest, SubtractMeanCentersEachDimension) {
+  Series s(2, {1, 10, 3, 30, 5, 50});
+  s.SubtractMean();
+  double m0 = (s.at(0, 0) + s.at(1, 0) + s.at(2, 0)) / 3.0;
+  double m1 = (s.at(0, 1) + s.at(1, 1) + s.at(2, 1)) / 3.0;
+  EXPECT_NEAR(m0, 0.0, 1e-12);
+  EXPECT_NEAR(m1, 0.0, 1e-12);
+}
+
+TEST(SeriesTest, ResampledPreservesEndpointsAndLength) {
+  Series s = S({0, 1, 2, 3, 4});
+  Series r = s.Resampled(9);
+  EXPECT_EQ(r.length(), 9u);
+  EXPECT_DOUBLE_EQ(r.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r.at(8, 0), 4.0);
+  // Midpoint interpolates linearly.
+  EXPECT_NEAR(r.at(4, 0), 2.0, 1e-12);
+}
+
+TEST(DtwTest, IdenticalSeriesHaveZeroDistance) {
+  Series a = S({1, 2, 3, 2, 1});
+  EXPECT_DOUBLE_EQ(ConstrainedDtw(a, a, 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(Dtw(a, a), 0.0);
+}
+
+TEST(DtwTest, KnownSmallExample) {
+  // With a wide band, DTW({0,0,1},{0,1}) aligns 0-0, 0-0, 1-1 => cost 0.
+  EXPECT_DOUBLE_EQ(Dtw(S({0, 0, 1}), S({0, 1})), 0.0);
+  // DTW({0,3},{0,0}) must pay |3| at the end point.
+  EXPECT_DOUBLE_EQ(Dtw(S({0, 3}), S({0, 0})), 3.0);
+}
+
+TEST(DtwTest, SymmetricForEqualLengths) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> av(30), bv(30);
+    for (size_t i = 0; i < 30; ++i) {
+      av[i] = rng.Uniform(-1, 1);
+      bv[i] = rng.Uniform(-1, 1);
+    }
+    Series a = S(av), b = S(bv);
+    EXPECT_NEAR(ConstrainedDtw(a, b, 0.1), ConstrainedDtw(b, a, 0.1), 1e-9);
+  }
+}
+
+TEST(DtwTest, EmptySeriesGivesInfinity) {
+  EXPECT_TRUE(std::isinf(Dtw(Series(), S({1, 2}))));
+}
+
+TEST(DtwTest, ShiftedSpikeCheaperThanL1) {
+  // The classic DTW motivation: a time-shifted pattern matches cheaply.
+  Series a = S({0, 0, 5, 0, 0, 0});
+  Series b = S({0, 0, 0, 5, 0, 0});
+  double dtw = ConstrainedDtw(a, b, 0.34);
+  double l1 = 0.0;
+  for (size_t i = 0; i < a.length(); ++i) {
+    l1 += std::fabs(a.at(i, 0) - b.at(i, 0));
+  }
+  EXPECT_LT(dtw, l1);
+  EXPECT_NEAR(dtw, 0.0, 1e-12);
+}
+
+TEST(DtwTest, BandMonotonicity) {
+  // Widening the warping window can only lower (or keep) the cost.
+  Rng rng(7);
+  std::vector<double> av(50), bv(50);
+  for (size_t i = 0; i < 50; ++i) {
+    av[i] = std::sin(0.3 * static_cast<double>(i));
+    bv[i] = std::sin(0.3 * static_cast<double>(i) + 0.7) +
+            rng.Gaussian(0, 0.05);
+  }
+  Series a = S(av), b = S(bv);
+  double prev = ConstrainedDtwWindow(a, b, 0);
+  for (long w : {1, 2, 4, 8, 16, 32, 50}) {
+    double cur = ConstrainedDtwWindow(a, b, w);
+    EXPECT_LE(cur, prev + 1e-9) << "window " << w;
+    prev = cur;
+  }
+}
+
+TEST(DtwTest, ZeroWindowDegeneratesTowardsL1) {
+  // Window 0 (with the connectivity slack of 1) is close to pointwise
+  // alignment for equal lengths; for a series pair with identical shape
+  // it still finds cost 0.
+  Series a = S({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(ConstrainedDtwWindow(a, a, 0), 0.0);
+}
+
+TEST(DtwTest, MultiDimensionalUsesL1GroundCost) {
+  Series a(2, {0, 0, 0, 0});
+  Series b(2, {1, 2, 1, 2});
+  // Both points differ by |1| + |2| = 3; best alignment is diagonal.
+  EXPECT_DOUBLE_EQ(Dtw(a, b), 6.0);
+}
+
+TEST(DtwTest, VariableLengthsSupported) {
+  Series a = S({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Series b = a.Resampled(7);
+  double d = ConstrainedDtw(a, b, 0.3);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_LE(d, 4.0);  // Same shape, only resampled.
+}
+
+TEST(DtwTest, TriangleInequalityViolationExists) {
+  // cDTW is non-metric (paper Sec. 10); exhibit a violation: the short
+  // middle series b lets both sides absorb the level change cheaply
+  // (DTW(a,b) = DTW(b,c) = 2) while DTW(a,c) pays it at every sample.
+  Series a = S({0, 0, 0, 0});
+  Series b = S({0, 2});
+  Series c = S({2, 2, 2, 2});
+  double ab = Dtw(a, b), bc = Dtw(b, c), ac = Dtw(a, c);
+  EXPECT_GT(ac, ab + bc);
+}
+
+TEST(EnvelopeTest, ContainsTheSeries) {
+  Rng rng(11);
+  std::vector<double> v(40);
+  for (double& x : v) x = rng.Uniform(-3, 3);
+  Series s = S(v);
+  DtwEnvelope env = BuildEnvelope(s, 5);
+  ASSERT_EQ(env.length(), s.length());
+  for (size_t t = 0; t < s.length(); ++t) {
+    EXPECT_LE(env.lower[t], s.at(t, 0));
+    EXPECT_GE(env.upper[t], s.at(t, 0));
+  }
+}
+
+TEST(EnvelopeTest, WiderWindowWidensEnvelope) {
+  Series s = S({0, 5, 0, -5, 0, 5, 0});
+  DtwEnvelope narrow = BuildEnvelope(s, 0);
+  DtwEnvelope wide = BuildEnvelope(s, 3);
+  for (size_t t = 0; t < s.length(); ++t) {
+    EXPECT_LE(wide.lower[t], narrow.lower[t]);
+    EXPECT_GE(wide.upper[t], narrow.upper[t]);
+  }
+}
+
+TEST(LbKeoghTest, ZeroWhenInsideEnvelope) {
+  Series q = S({0, 1, 2, 1, 0});
+  DtwEnvelope env = BuildEnvelope(q, 2);
+  EXPECT_DOUBLE_EQ(LbKeogh(env, q), 0.0);
+}
+
+class LbKeoghLowerBound : public testing::TestWithParam<long> {};
+
+TEST_P(LbKeoghLowerBound, HoldsOnRandomSeries) {
+  // The fundamental LB property: LbKeogh(env(q,w), c) <= cDTW_w(q, c).
+  const long window = GetParam();
+  Rng rng(101 + static_cast<uint64_t>(window));
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> qv(32), cv(32);
+    for (size_t i = 0; i < 32; ++i) {
+      qv[i] = rng.Uniform(-2, 2);
+      cv[i] = rng.Uniform(-2, 2);
+    }
+    Series q = S(qv), c = S(cv);
+    DtwEnvelope env = BuildEnvelope(q, window);
+    double lb = LbKeogh(env, c);
+    double exact = ConstrainedDtwWindow(q, c, window);
+    EXPECT_LE(lb, exact + 1e-9) << "window " << window;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, LbKeoghLowerBound,
+                         testing::Values(0L, 1L, 2L, 4L, 8L, 16L));
+
+TEST(LbKeoghTest, MultiDimensionalLowerBound) {
+  TimeSeriesGeneratorParams params;
+  params.dims = 3;
+  params.base_length = 40;
+  params.fixed_length = true;
+  TimeSeriesGenerator gen(params, 77);
+  Series q = gen.MakeVariant(0);
+  DtwEnvelope env = BuildEnvelope(q, 4);
+  for (size_t i = 1; i < 8; ++i) {
+    Series c = gen.MakeVariant(i);
+    EXPECT_LE(LbKeogh(env, c), ConstrainedDtwWindow(q, c, 4) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace qse

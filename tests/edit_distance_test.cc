@@ -1,0 +1,112 @@
+#include "src/distance/edit_distance.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace qse {
+namespace {
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("same", "same"), 0u);
+}
+
+TEST(EditDistanceTest, SingleOperations) {
+  EXPECT_EQ(EditDistance("abc", "abcd"), 1u);  // Insert.
+  EXPECT_EQ(EditDistance("abcd", "abc"), 1u);  // Delete.
+  EXPECT_EQ(EditDistance("abc", "axc"), 1u);   // Substitute.
+}
+
+TEST(EditDistanceTest, MetricAxiomsOnRandomStrings) {
+  Rng rng(3);
+  auto random_string = [&](size_t max_len) {
+    std::string s;
+    size_t len = rng.Index(max_len + 1);
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>('a' + rng.Index(4));
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string a = random_string(12), b = random_string(12),
+                c = random_string(12);
+    size_t ab = EditDistance(a, b);
+    size_t ba = EditDistance(b, a);
+    size_t ac = EditDistance(a, c);
+    size_t bc = EditDistance(b, c);
+    EXPECT_EQ(ab, ba);                      // Symmetry.
+    EXPECT_LE(ac, ab + bc);                 // Triangle inequality.
+    EXPECT_EQ(EditDistance(a, a), 0u);      // Identity.
+  }
+}
+
+TEST(EditDistanceTest, BoundedByLongerLength) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string a, b;
+    for (size_t i = 0; i < rng.Index(10) + 1; ++i) {
+      a += static_cast<char>('a' + rng.Index(26));
+    }
+    for (size_t i = 0; i < rng.Index(10) + 1; ++i) {
+      b += static_cast<char>('a' + rng.Index(26));
+    }
+    EXPECT_LE(EditDistance(a, b), std::max(a.size(), b.size()));
+    EXPECT_GE(EditDistance(a, b),
+              a.size() > b.size() ? a.size() - b.size()
+                                  : b.size() - a.size());
+  }
+}
+
+TEST(WeightedEditDistanceTest, UnitCostsMatchPlain) {
+  EXPECT_DOUBLE_EQ(WeightedEditDistance("kitten", "sitting", 1, 1, 1), 3.0);
+}
+
+TEST(WeightedEditDistanceTest, ExpensiveSubstitutionPrefersInsertDelete) {
+  // With substitution cost 3 and insert+delete = 2, "a"->"b" costs 2.
+  EXPECT_DOUBLE_EQ(WeightedEditDistance("a", "b", 1, 1, 3), 2.0);
+}
+
+TEST(WeightedEditDistanceTest, AsymmetricCostsBreakSymmetry) {
+  // Insert cheap, delete expensive: growing is cheaper than shrinking.
+  double grow = WeightedEditDistance("ab", "abxy", 0.5, 5, 1);
+  double shrink = WeightedEditDistance("abxy", "ab", 0.5, 5, 1);
+  EXPECT_LT(grow, shrink);
+}
+
+TEST(BandedEditDistanceTest, LargeBandMatchesExact) {
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string a, b;
+    for (size_t i = 0; i < rng.Index(8) + 1; ++i) {
+      a += static_cast<char>('a' + rng.Index(3));
+    }
+    for (size_t i = 0; i < rng.Index(8) + 1; ++i) {
+      b += static_cast<char>('a' + rng.Index(3));
+    }
+    EXPECT_EQ(BandedEditDistance(a, b, 16), EditDistance(a, b));
+  }
+}
+
+TEST(BandedEditDistanceTest, IsUpperBound) {
+  Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string a, b;
+    for (size_t i = 0; i < 10; ++i) {
+      a += static_cast<char>('a' + rng.Index(3));
+      b += static_cast<char>('a' + rng.Index(3));
+    }
+    for (size_t band : {0u, 1u, 2u, 4u}) {
+      EXPECT_GE(BandedEditDistance(a, b, band), EditDistance(a, b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qse

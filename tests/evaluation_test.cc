@@ -1,0 +1,182 @@
+#include "src/retrieval/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/trainer.h"
+#include "src/embedding/fastmap.h"
+#include "src/retrieval/embedder_adapters.h"
+#include "src/retrieval/exact_knn.h"
+#include "tests/test_util.h"
+
+namespace qse {
+namespace {
+
+TEST(GroundTruthTest, MatchesExactKnn) {
+  auto oracle = test::MakePlaneOracle(40, 1);
+  std::vector<size_t> db_ids = test::Iota(30);
+  std::vector<size_t> query_ids = test::Iota(10, 30);
+  GroundTruth gt = ComputeGroundTruth(oracle, db_ids, query_ids, 5);
+  ASSERT_EQ(gt.knn.size(), 10u);
+  for (size_t qi = 0; qi < query_ids.size(); ++qi) {
+    auto exact = ExactKnn(oracle, query_ids[qi], db_ids, 5);
+    ASSERT_EQ(gt.knn[qi].size(), 5u);
+    for (size_t k = 0; k < 5; ++k) {
+      EXPECT_EQ(gt.knn[qi][k], exact[k].index);
+    }
+  }
+}
+
+/// A "perfect" embedder for testing: embeds plane points by their true
+/// coordinates via distances to two fixed anchor objects — placeholder
+/// that exercises the LadderPoint plumbing with a known-good filter.
+class IdentityEmbedder : public Embedder {
+ public:
+  explicit IdentityEmbedder(const ObjectOracle<Vector>* oracle)
+      : oracle_(oracle) {}
+  size_t dims() const override { return 2; }
+  size_t EmbeddingCost() const override { return 0; }
+  Vector Embed(const DxToDatabaseFn& dx, size_t* num_exact) const override {
+    // Identify the object by matching its distance profile to anchors 0, 1
+    // — cheaper: reconstruct from exact distances dx(0), dx(1) via
+    // trilateration on the two anchor points.
+    double d0 = dx(0), d1 = dx(1);
+    const Vector& a0 = oracle_->object(0);
+    const Vector& a1 = oracle_->object(1);
+    if (num_exact != nullptr) *num_exact = 2;
+    // Solve |x - a0| = d0, |x - a1| = d1 in the plane; pick either
+    // intersection deterministically (good enough as a filter signal).
+    double ex = a1[0] - a0[0], ey = a1[1] - a0[1];
+    double dist = std::sqrt(ex * ex + ey * ey);
+    double along = (d0 * d0 - d1 * d1 + dist * dist) / (2 * dist);
+    double h2 = std::max(0.0, d0 * d0 - along * along);
+    double h = std::sqrt(h2);
+    double ux = ex / dist, uy = ey / dist;
+    return {a0[0] + along * ux - h * uy, a0[1] + along * uy + h * ux};
+  }
+
+ private:
+  const ObjectOracle<Vector>* oracle_;
+};
+
+TEST(LadderPointTest, RequiredPIsMonotoneInK) {
+  auto oracle = test::MakePlaneOracle(50, 2);
+  std::vector<size_t> db_ids = test::Iota(40);
+  std::vector<size_t> query_ids = test::Iota(10, 40);
+  GroundTruth gt = ComputeGroundTruth(oracle, db_ids, query_ids, 8);
+  FastMapOptions options;
+  options.dims = 2;
+  FastMapModel fm = BuildFastMap(oracle, db_ids, options);
+  EmbeddedDatabase db = EmbedDatabase(fm, oracle, db_ids);
+  L2Scorer scorer;
+  LadderPoint point = EvaluateLadderPoint(fm, scorer, db, oracle, db_ids,
+                                          query_ids, gt, 2);
+  ASSERT_EQ(point.required_p.size(), query_ids.size());
+  for (const auto& req : point.required_p) {
+    ASSERT_EQ(req.size(), 8u);
+    for (size_t k = 1; k < req.size(); ++k) {
+      EXPECT_GE(req[k], req[k - 1]);  // Monotone by construction.
+    }
+    EXPECT_GE(req[0], 1u);
+    EXPECT_LE(req[7], db_ids.size());
+  }
+}
+
+TEST(LadderPointTest, PerfectFilterNeedsExactlyK) {
+  // With a perfect embedding + scorer, the filter ranking equals the
+  // exact ranking, so required_p(q, k) == k for every query.  All
+  // non-anchor points live strictly above the anchor baseline so the
+  // trilateration in IdentityEmbedder is unambiguous.
+  Rng rng(3);
+  std::vector<Vector> pts = {{0.0, 0.0}, {1.0, 0.0}};  // Anchors.
+  for (size_t i = 0; i < 38; ++i) {
+    pts.push_back({rng.Uniform(0, 1), rng.Uniform(0.05, 1)});
+  }
+  ObjectOracle<Vector> oracle(std::move(pts), L2Distance);
+  std::vector<size_t> db_ids = test::Iota(30);
+  std::vector<size_t> query_ids = test::Iota(8, 30);
+  GroundTruth gt = ComputeGroundTruth(oracle, db_ids, query_ids, 5);
+  IdentityEmbedder embedder(&oracle);
+  L2Scorer scorer;
+  EmbeddedDatabase db = EmbedDatabase(embedder, oracle, db_ids);
+  LadderPoint point = EvaluateLadderPoint(embedder, scorer, db, oracle,
+                                          db_ids, query_ids, gt, 0);
+  for (const auto& req : point.required_p) {
+    for (size_t k = 0; k < req.size(); ++k) {
+      EXPECT_EQ(req[k], k + 1);
+    }
+  }
+}
+
+TEST(OptimalCostTest, HandComputedExample) {
+  // Two ladder points; 4 queries; k = 1.
+  LadderPoint cheap;
+  cheap.param = 1;
+  cheap.dims = 1;
+  cheap.query_cost = 2;
+  cheap.required_p = {{10}, {20}, {30}, {100}};
+  LadderPoint rich;
+  rich.param = 2;
+  rich.dims = 8;
+  rich.query_cost = 50;
+  rich.required_p = {{1}, {1}, {2}, {2}};
+  std::vector<LadderPoint> ladder = {cheap, rich};
+  // 100% accuracy: cheap needs 2+100=102, rich needs 50+2=52.
+  EXPECT_EQ(OptimalCost(ladder, 1, 1.0, 1000), 52u);
+  // 75% accuracy: cheap needs 2+30=32, rich needs 50+2=52.
+  EXPECT_EQ(OptimalCost(ladder, 1, 0.75, 1000), 32u);
+  OptimalSetting setting = OptimalCostSetting(ladder, 1, 0.75, 1000);
+  EXPECT_EQ(setting.param, 1u);
+  EXPECT_EQ(setting.p, 30u);
+  EXPECT_FALSE(setting.brute_force);
+}
+
+TEST(OptimalCostTest, FallsBackToBruteForce) {
+  LadderPoint bad;
+  bad.param = 1;
+  bad.dims = 4;
+  bad.query_cost = 90;
+  bad.required_p = {{50}, {60}};
+  // 90 + 60 = 150 > db size 100: brute force wins.
+  OptimalSetting setting = OptimalCostSetting({bad}, 1, 1.0, 100);
+  EXPECT_TRUE(setting.brute_force);
+  EXPECT_EQ(setting.total_cost, 100u);
+}
+
+TEST(OptimalCostTest, HigherAccuracyNeverCheaper) {
+  auto oracle = test::MakePlaneOracle(60, 4);
+  std::vector<size_t> db_ids = test::Iota(45);
+  std::vector<size_t> query_ids = test::Iota(15, 45);
+  GroundTruth gt = ComputeGroundTruth(oracle, db_ids, query_ids, 5);
+  FastMapOptions options;
+  options.dims = 2;
+  FastMapModel fm = BuildFastMap(oracle, db_ids, options);
+  EmbeddedDatabase db = EmbedDatabase(fm, oracle, db_ids);
+  L2Scorer scorer;
+  std::vector<LadderPoint> ladder;
+  for (size_t d : {1u, 2u}) {
+    FastMapModel prefix = fm.Prefix(d);
+    EmbeddedDatabase pdb = EmbedDatabase(prefix, oracle, db_ids);
+    ladder.push_back(EvaluateLadderPoint(prefix, scorer, pdb, oracle,
+                                         db_ids, query_ids, gt, d));
+  }
+  for (size_t k : {1u, 3u, 5u}) {
+    size_t c90 = OptimalCost(ladder, k, 0.90, db_ids.size());
+    size_t c99 = OptimalCost(ladder, k, 0.99, db_ids.size());
+    EXPECT_LE(c90, c99) << "k=" << k;
+  }
+}
+
+TEST(OptimalCostTest, LargerKNeverCheaper) {
+  LadderPoint point;
+  point.param = 1;
+  point.dims = 2;
+  point.query_cost = 3;
+  point.required_p = {{2, 5, 9}, {1, 4, 8}};
+  for (size_t k = 2; k <= 3; ++k) {
+    EXPECT_GE(OptimalCost({point}, k, 1.0, 100),
+              OptimalCost({point}, k - 1, 1.0, 100));
+  }
+}
+
+}  // namespace
+}  // namespace qse

@@ -1,0 +1,134 @@
+#include "src/matching/hungarian.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace qse {
+namespace {
+
+Matrix MakeMatrix(size_t r, size_t c, std::vector<double> values) {
+  Matrix m(r, c);
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t j = 0; j < c; ++j) m(i, j) = values[i * c + j];
+  }
+  return m;
+}
+
+TEST(HungarianTest, TrivialSingleCell) {
+  Matrix cost = MakeMatrix(1, 1, {3.5});
+  AssignmentResult r = SolveAssignment(cost);
+  EXPECT_EQ(r.row_to_col, (std::vector<size_t>{0}));
+  EXPECT_DOUBLE_EQ(r.total_cost, 3.5);
+}
+
+TEST(HungarianTest, IdentityIsOptimalOnDiagonalZeroMatrix) {
+  Matrix cost = MakeMatrix(3, 3, {0, 1, 1, 1, 0, 1, 1, 1, 0});
+  AssignmentResult r = SolveAssignment(cost);
+  EXPECT_DOUBLE_EQ(r.total_cost, 0.0);
+  EXPECT_EQ(r.row_to_col, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(HungarianTest, ClassicTextbookExample) {
+  // Known optimum 140 + 40 + 45 = ... use a standard 3x3 with optimum 69:
+  //   [ 108 125 150 ]
+  //   [ 150 135 175 ]
+  //   [ 122 148 250 ]
+  // Optimal: (0,2)+(1,1)+(2,0) = 150+135+122 = 407.
+  Matrix cost =
+      MakeMatrix(3, 3, {108, 125, 150, 150, 135, 175, 122, 148, 250});
+  AssignmentResult r = SolveAssignment(cost);
+  EXPECT_DOUBLE_EQ(r.total_cost, 407.0);
+}
+
+TEST(HungarianTest, RectangularMatchesEveryRow) {
+  Matrix cost = MakeMatrix(2, 4, {9, 1, 9, 9,
+                                  9, 9, 9, 2});
+  AssignmentResult r = SolveAssignment(cost);
+  EXPECT_EQ(r.row_to_col[0], 1u);
+  EXPECT_EQ(r.row_to_col[1], 3u);
+  EXPECT_DOUBLE_EQ(r.total_cost, 3.0);
+}
+
+TEST(HungarianTest, AssignmentIsPermutation) {
+  Rng rng(21);
+  Matrix cost(6, 6);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) cost(i, j) = rng.Uniform(0, 10);
+  }
+  AssignmentResult r = SolveAssignment(cost);
+  std::set<size_t> cols(r.row_to_col.begin(), r.row_to_col.end());
+  EXPECT_EQ(cols.size(), 6u);
+}
+
+class HungarianOptimality : public testing::TestWithParam<size_t> {};
+
+TEST_P(HungarianOptimality, BeatsExhaustiveSearchExactly) {
+  const size_t n = GetParam();
+  Rng rng(100 + n);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix cost(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) cost(i, j) = rng.Uniform(0, 100);
+    }
+    AssignmentResult r = SolveAssignment(cost);
+    // Exhaustive check over all n! permutations.
+    std::vector<size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    double best = 1e300;
+    do {
+      double total = 0.0;
+      for (size_t i = 0; i < n; ++i) total += cost(i, perm[i]);
+      best = std::min(best, total);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_NEAR(r.total_cost, best, 1e-9) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HungarianOptimality,
+                         testing::Values(2u, 3u, 4u, 5u, 6u));
+
+TEST(HungarianTest, NeverWorseThanRandomPermutations) {
+  Rng rng(55);
+  const size_t n = 20;
+  Matrix cost(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) cost(i, j) = rng.Uniform(0, 1);
+  }
+  AssignmentResult r = SolveAssignment(cost);
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<size_t> p = perm;
+    Rng shuffler(trial);
+    shuffler.Shuffle(&p);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) total += cost(i, p[i]);
+    EXPECT_LE(r.total_cost, total + 1e-9);
+  }
+}
+
+TEST(HungarianTest, NegativeCostsSupported) {
+  Matrix cost = MakeMatrix(2, 2, {-5, 1, 1, -5});
+  AssignmentResult r = SolveAssignment(cost);
+  EXPECT_DOUBLE_EQ(r.total_cost, -10.0);
+}
+
+TEST(HungarianTest, TotalCostConsistentWithAssignment) {
+  Rng rng(77);
+  Matrix cost(8, 10);
+  for (size_t i = 0; i < 8; ++i) {
+    for (size_t j = 0; j < 10; ++j) cost(i, j) = rng.Uniform(0, 9);
+  }
+  AssignmentResult r = SolveAssignment(cost);
+  double recomputed = 0.0;
+  for (size_t i = 0; i < 8; ++i) recomputed += cost(i, r.row_to_col[i]);
+  EXPECT_DOUBLE_EQ(r.total_cost, recomputed);
+}
+
+}  // namespace
+}  // namespace qse

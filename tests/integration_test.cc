@@ -1,0 +1,179 @@
+// End-to-end tests covering the paper's pipeline on the Fig. 1 toy space:
+// train all method variants on 2D points, run filter-and-refine retrieval,
+// and check the qualitative claims (query-sensitive + selective sampling
+// helps; embeddings beat random filtering; accuracy/cost protocol wiring).
+#include <gtest/gtest.h>
+
+#include "src/core/trainer.h"
+#include "src/embedding/fastmap.h"
+#include "src/retrieval/embedder_adapters.h"
+#include "src/retrieval/evaluation.h"
+#include "src/retrieval/exact_knn.h"
+#include "src/retrieval/filter_refine.h"
+#include "tests/test_util.h"
+
+namespace qse {
+namespace {
+
+struct Workbench {
+  ObjectOracle<Vector> oracle;
+  std::vector<size_t> db_ids;
+  std::vector<size_t> query_ids;
+  GroundTruth gt;
+};
+
+Workbench MakeWorkbench(size_t n_db, size_t n_query, size_t kmax,
+                        uint64_t seed) {
+  auto oracle = test::MakePlaneOracle(n_db + n_query, seed);
+  std::vector<size_t> db_ids = test::Iota(n_db);
+  std::vector<size_t> query_ids = test::Iota(n_query, n_db);
+  GroundTruth gt = ComputeGroundTruth(oracle, db_ids, query_ids, kmax);
+  return {std::move(oracle), std::move(db_ids), std::move(query_ids),
+          std::move(gt)};
+}
+
+QuerySensitiveEmbedding TrainVariant(const Workbench& w,
+                                     TripleSampling sampling, bool qs,
+                                     size_t rounds = 20) {
+  BoostMapConfig config;
+  config.sampling = sampling;
+  config.num_triples = 800;
+  config.k1 = 3;
+  config.boost.rounds = rounds;
+  config.boost.embeddings_per_round = 16;
+  config.boost.query_sensitive = qs;
+  // Use the first 40 db objects as both C and Xtr.
+  std::vector<size_t> sample(w.db_ids.begin(), w.db_ids.begin() + 40);
+  auto artifacts = TrainBoostMap(w.oracle, sample, sample, config);
+  EXPECT_TRUE(artifacts.ok()) << artifacts.status();
+  return std::move(artifacts->model);
+}
+
+/// Fraction of queries whose full k-NN set appears in the filter's top p.
+double FilterRecall(const Workbench& w, const Embedder& embedder,
+                    const FilterScorer& scorer, size_t k, size_t p) {
+  EmbeddedDatabase db = EmbedDatabase(embedder, w.oracle, w.db_ids);
+  LadderPoint point = EvaluateLadderPoint(embedder, scorer, db, w.oracle,
+                                          w.db_ids, w.query_ids, w.gt, 0);
+  size_t ok = 0;
+  for (const auto& req : point.required_p) {
+    if (req[k - 1] <= p) ++ok;
+  }
+  return static_cast<double>(ok) /
+         static_cast<double>(point.required_p.size());
+}
+
+TEST(IntegrationTest, TrainedEmbeddingBeatsChanceOnTripleClassification) {
+  Workbench w = MakeWorkbench(80, 10, 5, 1);
+  QuerySensitiveEmbedding model =
+      TrainVariant(w, TripleSampling::kRandom, true);
+  // Classify fresh random triples of db objects.
+  Rng rng(2);
+  size_t correct = 0, total = 0;
+  std::vector<Vector> embedded(w.db_ids.size());
+  for (size_t i = 0; i < w.db_ids.size(); ++i) {
+    size_t id = w.db_ids[i];
+    embedded[i] = model.Embed(
+        [&](size_t o) { return o == id ? 0.0 : w.oracle.Distance(id, o); });
+  }
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t q = rng.Index(80), a = rng.Index(80), b = rng.Index(80);
+    if (q == a || q == b || a == b) continue;
+    double da = w.oracle.Distance(q, a), db_ = w.oracle.Distance(q, b);
+    if (da == db_) continue;
+    double margin = model.TripleMargin(embedded[q], embedded[a], embedded[b]);
+    bool predicted_a = margin > 0;
+    bool truth_a = da < db_;
+    if (predicted_a == truth_a) ++correct;
+    ++total;
+  }
+  double accuracy = static_cast<double>(correct) / static_cast<double>(total);
+  EXPECT_GT(accuracy, 0.85);  // Far better than the 50% random baseline.
+}
+
+TEST(IntegrationTest, SeQsFilterRecallAtLeastAsGoodAsFastMapAtSmallP) {
+  Workbench w = MakeWorkbench(100, 20, 3, 3);
+  QuerySensitiveEmbedding se_qs =
+      TrainVariant(w, TripleSampling::kSelective, true, 30);
+  QseEmbedderAdapter qs_adapter(&se_qs);
+  QuerySensitiveScorer qs_scorer(&se_qs);
+  double qs_recall = FilterRecall(w, qs_adapter, qs_scorer, 3, 10);
+
+  FastMapOptions fm_options;
+  fm_options.dims = 2;
+  FastMapModel fm = BuildFastMap(w.oracle, w.db_ids, fm_options);
+  L2Scorer l2;
+  double fm_recall = FilterRecall(w, fm, l2, 3, 10);
+
+  // On easy 2D data both should be strong; Se-QS must not lose.
+  EXPECT_GE(qs_recall + 0.05, fm_recall);
+  EXPECT_GT(qs_recall, 0.8);
+}
+
+TEST(IntegrationTest, EndToEndRetrievalFindsTrueNeighborsCheaply) {
+  Workbench w = MakeWorkbench(120, 15, 1, 4);
+  QuerySensitiveEmbedding model =
+      TrainVariant(w, TripleSampling::kSelective, true, 25);
+  QseEmbedderAdapter adapter(&model);
+  QuerySensitiveScorer scorer(&model);
+  EmbeddedDatabase db = EmbedDatabase(adapter, w.oracle, w.db_ids);
+  FilterRefineRetriever retriever(&adapter, &scorer, &db, w.db_ids);
+
+  size_t hits = 0;
+  size_t total_cost = 0;
+  const size_t p = 20;
+  for (size_t qi = 0; qi < w.query_ids.size(); ++qi) {
+    size_t query_id = w.query_ids[qi];
+    auto dx = [&](size_t id) { return w.oracle.Distance(query_id, id); };
+    RetrievalResult result = retriever.Retrieve(dx, 1, p);
+    total_cost += result.exact_distances;
+    if (result.neighbors[0].index == w.gt.knn[qi][0]) ++hits;
+  }
+  EXPECT_GE(hits, 13u);  // >= ~87% of queries exact at p = 20 of 120.
+  // Far fewer distances than brute force (15 queries x 120 objects).
+  EXPECT_LT(total_cost, 15 * 120 / 2);
+}
+
+TEST(IntegrationTest, OptimalCostProtocolRunsAcrossPrefixLadder) {
+  Workbench w = MakeWorkbench(90, 12, 5, 5);
+  QuerySensitiveEmbedding model =
+      TrainVariant(w, TripleSampling::kSelective, true, 24);
+  QuerySensitiveScorer scorer(&model);
+  std::vector<LadderPoint> ladder;
+  for (size_t j : {4u, 8u, 16u, 24u}) {
+    QuerySensitiveEmbedding prefix = model.Prefix(j);
+    QseEmbedderAdapter adapter(&prefix);
+    QuerySensitiveScorer prefix_scorer(&prefix);
+    EmbeddedDatabase db = EmbedDatabase(adapter, w.oracle, w.db_ids);
+    ladder.push_back(EvaluateLadderPoint(adapter, prefix_scorer, db,
+                                         w.oracle, w.db_ids, w.query_ids,
+                                         w.gt, j));
+  }
+  for (size_t k : {1u, 5u}) {
+    size_t cost = OptimalCost(ladder, k, 0.9, w.db_ids.size());
+    EXPECT_LE(cost, w.db_ids.size());
+    EXPECT_GE(cost, 1u);
+  }
+}
+
+TEST(IntegrationTest, ModelRoundTripPreservesRetrieval) {
+  Workbench w = MakeWorkbench(60, 5, 1, 6);
+  QuerySensitiveEmbedding model =
+      TrainVariant(w, TripleSampling::kSelective, true, 12);
+  std::string path = testing::TempDir() + "/qse_integration_model.bin";
+  ASSERT_TRUE(model.Save(path).ok());
+  auto loaded = QuerySensitiveEmbedding::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  for (size_t qi = 0; qi < w.query_ids.size(); ++qi) {
+    size_t query_id = w.query_ids[qi];
+    auto dx = [&](size_t id) { return w.oracle.Distance(query_id, id); };
+    Vector a = model.Embed(dx);
+    Vector b = loaded->Embed(dx);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qse

@@ -1,0 +1,127 @@
+#include "src/retrieval/lb_index.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/timeseries_generator.h"
+#include "src/util/top_k.h"
+
+namespace qse {
+namespace {
+
+std::vector<Series> FixedLengthWorkload(size_t n, uint64_t seed) {
+  TimeSeriesGeneratorParams params;
+  params.num_seeds = 8;
+  params.dims = 1;
+  params.base_length = 48;
+  params.fixed_length = true;
+  TimeSeriesGenerator gen(params, seed);
+  return gen.Generate(n);
+}
+
+/// Brute-force exact cDTW scan for verification.
+std::vector<ScoredIndex> BruteForce(const std::vector<Series>& db,
+                                    const Series& query, size_t k,
+                                    double band) {
+  long window = static_cast<long>(
+      std::ceil(band * static_cast<double>(query.length())));
+  std::vector<double> scores(db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    scores[i] = ConstrainedDtwWindow(query, db[i], window);
+  }
+  return SmallestK(scores, k);
+}
+
+TEST(LbDtwIndexTest, ReturnsExactNearestNeighbors) {
+  auto db = FixedLengthWorkload(60, 1);
+  auto queries = FixedLengthWorkload(8, 2);
+  LbDtwIndex index(db, 0.1);
+  for (const Series& q : queries) {
+    auto result = index.Search(q, 3);
+    auto truth = BruteForce(db, q, 3, 0.1);
+    ASSERT_EQ(result.neighbors.size(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(result.neighbors[i].index, truth[i].index);
+      EXPECT_DOUBLE_EQ(result.neighbors[i].score, truth[i].score);
+    }
+  }
+}
+
+TEST(LbDtwIndexTest, PrunesASubstantialFraction) {
+  // The whole point of [32]-style lower bounding: far fewer exact DTW
+  // evaluations than a sequential scan (the paper quotes ~5x for [32]).
+  auto db = FixedLengthWorkload(200, 3);
+  auto queries = FixedLengthWorkload(10, 4);
+  LbDtwIndex index(db, 0.1);
+  size_t total = 0;
+  for (const Series& q : queries) {
+    total += index.Search(q, 1).exact_evaluations;
+  }
+  double avg = static_cast<double>(total) / 10.0;
+  EXPECT_LT(avg, 150.0);  // Meaningful pruning.
+  EXPECT_GE(avg, 1.0);
+}
+
+TEST(LbDtwIndexTest, SelfQueryFindsItself) {
+  auto db = FixedLengthWorkload(40, 5);
+  LbDtwIndex index(db, 0.1);
+  auto result = index.Search(db[7], 1);
+  ASSERT_EQ(result.neighbors.size(), 1u);
+  EXPECT_EQ(result.neighbors[0].index, 7u);
+  EXPECT_DOUBLE_EQ(result.neighbors[0].score, 0.0);
+}
+
+TEST(LbDtwIndexTest, KClampedToDatabaseSize) {
+  auto db = FixedLengthWorkload(5, 6);
+  LbDtwIndex index(db, 0.1);
+  auto result = index.Search(db[0], 50);
+  EXPECT_EQ(result.neighbors.size(), 5u);
+}
+
+TEST(LbDtwIndexTest, ExactEvaluationsNeverExceedDatabase) {
+  auto db = FixedLengthWorkload(50, 7);
+  auto queries = FixedLengthWorkload(5, 8);
+  LbDtwIndex index(db, 0.1);
+  for (const Series& q : queries) {
+    auto result = index.Search(q, 5);
+    EXPECT_LE(result.exact_evaluations, db.size());
+    EXPECT_GE(result.exact_evaluations, 5u);
+  }
+}
+
+TEST(LbDtwIndexTest, WiderBandStillExact) {
+  auto db = FixedLengthWorkload(60, 9);
+  auto queries = FixedLengthWorkload(4, 10);
+  for (double band : {0.05, 0.2}) {
+    LbDtwIndex index(db, band);
+    for (const Series& q : queries) {
+      auto result = index.Search(q, 2);
+      auto truth = BruteForce(db, q, 2, band);
+      for (size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(result.neighbors[i].index, truth[i].index)
+            << "band " << band;
+      }
+    }
+  }
+}
+
+TEST(LbDtwIndexTest, MultiDimensionalExactness) {
+  TimeSeriesGeneratorParams params;
+  params.num_seeds = 6;
+  params.dims = 3;
+  params.base_length = 32;
+  params.fixed_length = true;
+  TimeSeriesGenerator gen(params, 11);
+  auto db = gen.Generate(40);
+  auto queries = gen.Generate(4);
+  LbDtwIndex index(db, 0.1);
+  for (const Series& q : queries) {
+    auto result = index.Search(q, 2);
+    auto truth = BruteForce(db, q, 2, 0.1);
+    for (size_t i = 0; i < 2; ++i) {
+      EXPECT_EQ(result.neighbors[i].index, truth[i].index);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qse

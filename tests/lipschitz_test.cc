@@ -1,0 +1,127 @@
+#include "src/embedding/lipschitz.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace qse {
+namespace {
+
+TEST(LipschitzTest, BuildShapes) {
+  LipschitzOptions options;
+  options.dims = 6;
+  LipschitzModel model = BuildLipschitz(test::Iota(32), options);
+  EXPECT_EQ(model.dims(), 6u);
+  for (const auto& set : model.sets()) {
+    EXPECT_GE(set.size(), 1u);
+    EXPECT_LE(set.size(), 32u);
+  }
+}
+
+TEST(LipschitzTest, BourgainSizesGrowGeometrically) {
+  LipschitzOptions options;
+  options.dims = 6;
+  options.bourgain_sizes = true;
+  LipschitzModel model = BuildLipschitz(test::Iota(32), options);
+  // Schedule cycles 1, 2, 4, 8, 16, 32 for n = 32.
+  EXPECT_EQ(model.sets()[0].size(), 1u);
+  EXPECT_EQ(model.sets()[1].size(), 2u);
+  EXPECT_EQ(model.sets()[2].size(), 4u);
+  EXPECT_EQ(model.sets()[5].size(), 32u);
+}
+
+TEST(LipschitzTest, FixedSizeSets) {
+  LipschitzOptions options;
+  options.dims = 4;
+  options.bourgain_sizes = false;
+  options.fixed_set_size = 3;
+  LipschitzModel model = BuildLipschitz(test::Iota(20), options);
+  for (const auto& set : model.sets()) EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(LipschitzTest, SingletonSetsReduceToReferenceEmbedding) {
+  auto oracle = test::MakePlaneOracle(20, 1);
+  LipschitzOptions options;
+  options.dims = 5;
+  options.bourgain_sizes = false;
+  options.fixed_set_size = 1;
+  LipschitzModel model = BuildLipschitz(test::Iota(20), options);
+  Vector e = model.Embed([&](size_t o) { return oracle.Distance(0, o); });
+  for (size_t i = 0; i < model.dims(); ++i) {
+    EXPECT_DOUBLE_EQ(e[i], oracle.Distance(0, model.sets()[i][0]));
+  }
+}
+
+TEST(LipschitzTest, CoordinateIsMinOverSet) {
+  auto oracle = test::MakePlaneOracle(24, 2);
+  LipschitzOptions options;
+  options.dims = 4;
+  options.bourgain_sizes = false;
+  options.fixed_set_size = 5;
+  LipschitzModel model = BuildLipschitz(test::Iota(24), options);
+  Vector e = model.Embed([&](size_t o) { return oracle.Distance(3, o); });
+  for (size_t i = 0; i < model.dims(); ++i) {
+    double expected = 1e300;
+    for (uint32_t id : model.sets()[i]) {
+      expected = std::min(expected, oracle.Distance(3, id));
+    }
+    EXPECT_DOUBLE_EQ(e[i], expected);
+  }
+}
+
+TEST(LipschitzTest, ContractionPropertyInMetricSpace) {
+  // In a metric space, |F_i(x) - F_i(y)| <= D(x, y) for each Lipschitz
+  // coordinate (the defining 1-Lipschitz property).
+  auto oracle = test::MakePlaneOracle(30, 3);
+  LipschitzOptions options;
+  options.dims = 8;
+  LipschitzModel model = BuildLipschitz(test::Iota(30), options);
+  for (size_t x = 0; x < 10; ++x) {
+    for (size_t y = 0; y < 10; ++y) {
+      if (x == y) continue;
+      Vector ex = model.Embed(
+          [&](size_t o) { return o == x ? 0.0 : oracle.Distance(x, o); });
+      Vector ey = model.Embed(
+          [&](size_t o) { return o == y ? 0.0 : oracle.Distance(y, o); });
+      for (size_t i = 0; i < model.dims(); ++i) {
+        EXPECT_LE(std::fabs(ex[i] - ey[i]),
+                  oracle.Distance(x, y) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(LipschitzTest, EmbeddingCostIsUnionSize) {
+  LipschitzOptions options;
+  options.dims = 5;
+  LipschitzModel model = BuildLipschitz(test::Iota(16), options);
+  auto oracle = test::MakePlaneOracle(16, 4);
+  size_t count = 0;
+  model.Embed([&](size_t o) { return oracle.Distance(0, o); }, &count);
+  EXPECT_EQ(count, model.EmbeddingCost());
+}
+
+TEST(LipschitzTest, PrefixTruncates) {
+  LipschitzOptions options;
+  options.dims = 6;
+  LipschitzModel model = BuildLipschitz(test::Iota(16), options);
+  LipschitzModel p = model.Prefix(2);
+  EXPECT_EQ(p.dims(), 2u);
+  EXPECT_EQ(p.sets()[0], model.sets()[0]);
+  EXPECT_EQ(p.sets()[1], model.sets()[1]);
+}
+
+TEST(LipschitzTest, DeterministicBySeed) {
+  LipschitzOptions options;
+  options.dims = 4;
+  options.seed = 42;
+  LipschitzModel a = BuildLipschitz(test::Iota(20), options);
+  LipschitzModel b = BuildLipschitz(test::Iota(20), options);
+  EXPECT_EQ(a.sets(), b.sets());
+}
+
+}  // namespace
+}  // namespace qse

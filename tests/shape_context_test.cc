@@ -1,0 +1,227 @@
+#include "src/matching/shape_context.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/data/digit_generator.h"
+#include "src/matching/shape_context_distance.h"
+#include "src/util/random.h"
+
+namespace qse {
+namespace {
+
+PointSet RandomShape(Rng* rng, size_t n) {
+  PointSet ps;
+  for (size_t i = 0; i < n; ++i) {
+    ps.points.push_back({rng->Uniform(0, 1), rng->Uniform(0, 1)});
+  }
+  return ps;
+}
+
+TEST(ShapeContextTest, DescriptorDimensions) {
+  Rng rng(1);
+  PointSet ps = RandomShape(&rng, 12);
+  ShapeContextParams params;
+  auto desc = ComputeShapeContexts(ps, params);
+  ASSERT_EQ(desc.size(), 12u);
+  for (const Vector& h : desc) {
+    EXPECT_EQ(h.size(), params.descriptor_size());
+  }
+}
+
+TEST(ShapeContextTest, HistogramsAreNormalized) {
+  Rng rng(2);
+  PointSet ps = RandomShape(&rng, 20);
+  auto desc = ComputeShapeContexts(ps, {});
+  for (const Vector& h : desc) {
+    double sum = 0.0;
+    for (double v : h) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(ShapeContextTest, TranslationInvariant) {
+  Rng rng(3);
+  PointSet ps = RandomShape(&rng, 15);
+  PointSet shifted = ps;
+  for (Point2& p : shifted.points) {
+    p.x += 17.0;
+    p.y -= 4.0;
+  }
+  auto d1 = ComputeShapeContexts(ps, {});
+  auto d2 = ComputeShapeContexts(shifted, {});
+  for (size_t i = 0; i < d1.size(); ++i) {
+    for (size_t k = 0; k < d1[i].size(); ++k) {
+      EXPECT_NEAR(d1[i][k], d2[i][k], 1e-9);
+    }
+  }
+}
+
+TEST(ShapeContextTest, ScaleInvariant) {
+  Rng rng(4);
+  PointSet ps = RandomShape(&rng, 15);
+  PointSet scaled = ps;
+  for (Point2& p : scaled.points) {
+    p.x *= 42.0;
+    p.y *= 42.0;
+  }
+  auto d1 = ComputeShapeContexts(ps, {});
+  auto d2 = ComputeShapeContexts(scaled, {});
+  for (size_t i = 0; i < d1.size(); ++i) {
+    for (size_t k = 0; k < d1[i].size(); ++k) {
+      EXPECT_NEAR(d1[i][k], d2[i][k], 1e-9);
+    }
+  }
+}
+
+TEST(ShapeContextTest, ChiSquareBasics) {
+  Vector a = {0.5, 0.5, 0.0};
+  Vector b = {0.0, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(ChiSquareCost(a, a), 0.0);
+  EXPECT_GT(ChiSquareCost(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquareCost(a, b), ChiSquareCost(b, a));
+  // Bounded by 1 for normalized histograms.
+  Vector c = {1.0, 0.0, 0.0}, d = {0.0, 0.0, 1.0};
+  EXPECT_LE(ChiSquareCost(c, d), 1.0 + 1e-12);
+}
+
+TEST(ShapeContextTest, CostMatrixShape) {
+  Rng rng(5);
+  auto da = ComputeShapeContexts(RandomShape(&rng, 6), {});
+  auto db = ComputeShapeContexts(RandomShape(&rng, 9), {});
+  Matrix m = ShapeContextCostMatrix(da, db);
+  EXPECT_EQ(m.rows(), 6u);
+  EXPECT_EQ(m.cols(), 9u);
+}
+
+TEST(ShapeContextDistanceTest, SelfDistanceIsZero) {
+  Rng rng(6);
+  PointSet ps = RandomShape(&rng, 16);
+  EXPECT_NEAR(ShapeContextDistance(ps, ps), 0.0, 1e-9);
+}
+
+TEST(ShapeContextDistanceTest, ApproximatelySymmetric) {
+  // The matching term is direction-independent for equal sizes, but the
+  // least-squares alignment residual is fit in one direction, so the
+  // distance is only approximately symmetric (like the paper's SC
+  // distance, whose alignment terms are also directional).
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    PointSet a = RandomShape(&rng, 16);
+    PointSet b = RandomShape(&rng, 16);
+    double ab = ShapeContextDistance(a, b);
+    double ba = ShapeContextDistance(b, a);
+    EXPECT_NEAR(ab, ba, 0.05 * (ab + ba));
+  }
+}
+
+TEST(ShapeContextDistanceTest, GrowsWithPerturbation) {
+  DigitGeneratorParams params;
+  DigitGenerator gen(params, 42);
+  PointSet base = DigitGenerator::Template(3, 24);
+  Rng rng(8);
+  double prev = 0.0;
+  for (double noise : {0.01, 0.05, 0.15}) {
+    PointSet perturbed = base;
+    Rng local(99);
+    for (Point2& p : perturbed.points) {
+      p.x += local.Gaussian(0, noise);
+      p.y += local.Gaussian(0, noise);
+    }
+    double d = ShapeContextDistance(base, perturbed);
+    EXPECT_GE(d, prev - 0.02) << "noise " << noise;
+    prev = d;
+  }
+  EXPECT_GT(prev, 0.05);
+}
+
+TEST(ShapeContextDistanceTest, DifferentDigitsFartherThanSameDigit) {
+  // Core sanity for the MNIST substitute: intra-class SC distance should
+  // usually be below inter-class distance.
+  DigitGeneratorParams params;
+  DigitGenerator gen(params, 17);
+  double intra = 0.0, inter = 0.0;
+  int n = 8;
+  for (int i = 0; i < n; ++i) {
+    PointSet a = gen.SampleDigit(2).shape;
+    PointSet b = gen.SampleDigit(2).shape;
+    PointSet c = gen.SampleDigit(7).shape;
+    intra += ShapeContextDistance(a, b);
+    inter += ShapeContextDistance(a, c);
+  }
+  EXPECT_LT(intra, inter);
+}
+
+TEST(ShapeContextDistanceTest, DetailedTermsAddUp) {
+  Rng rng(9);
+  PointSet a = RandomShape(&rng, 12);
+  PointSet b = RandomShape(&rng, 12);
+  ShapeContextDistanceParams params;
+  params.alignment_weight = 2.0;
+  ShapeContextDistanceResult r = ShapeContextDistanceDetailed(a, b, params);
+  EXPECT_NEAR(r.total, r.matching_cost + 2.0 * r.alignment_cost, 1e-12);
+  EXPECT_GE(r.matching_cost, 0.0);
+  EXPECT_GE(r.alignment_cost, 0.0);
+}
+
+TEST(ShapeContextDistanceTest, UnequalSizesMatchSmallerIntoLarger) {
+  Rng rng(10);
+  PointSet small = RandomShape(&rng, 8);
+  PointSet large = RandomShape(&rng, 20);
+  double d = ShapeContextDistance(small, large);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_GT(d, 0.0);
+}
+
+TEST(ShapeContextDistanceTest, RotationInvariantUnderAlignmentTerm) {
+  // A rigid rotation should cost little: descriptors rotate (they are not
+  // rotation-invariant) but the alignment residual stays ~0.
+  PointSet base = DigitGenerator::Template(0, 24);
+  PointSet rotated = base;
+  double theta = 10.0 * M_PI / 180.0;
+  for (Point2& p : rotated.points) {
+    double x = p.x - 0.5, y = p.y - 0.5;
+    p = {std::cos(theta) * x - std::sin(theta) * y + 0.5,
+         std::sin(theta) * x + std::cos(theta) * y + 0.5};
+  }
+  ShapeContextDistanceResult r = ShapeContextDistanceDetailed(base, rotated);
+  // Residual stays small relative to the unit shape scale; it is nonzero
+  // only because a few descriptor matches flip under rotation.
+  EXPECT_LT(r.alignment_cost, 0.15);
+}
+
+TEST(ShapeContextDistanceTest, NonMetricTriangleViolationOccurs) {
+  // The paper's premise is that SC distance is non-metric.  Violations
+  // are rare among well-separated shapes, so scan variable-size random
+  // point clouds (where descriptor context shifts are largest) over a
+  // deterministic sequence of seeds until one is found.
+  bool violated = false;
+  for (uint64_t seed = 1; seed <= 10 && !violated; ++seed) {
+    Rng rng(seed);
+    std::vector<PointSet> shapes;
+    for (int i = 0; i < 20; ++i) {
+      size_t n = 6 + rng.Index(9);
+      shapes.push_back(RandomShape(&rng, n));
+    }
+    const size_t m = shapes.size();
+    Matrix d(m, m);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < m; ++j) {
+        d(i, j) = i == j ? 0.0 : ShapeContextDistance(shapes[i], shapes[j]);
+      }
+    }
+    for (size_t x = 0; x < m && !violated; ++x) {
+      for (size_t y = 0; y < m && !violated; ++y) {
+        for (size_t z = 0; z < m && !violated; ++z) {
+          if (x == y || y == z || x == z) continue;
+          if (d(x, z) > d(x, y) + d(y, z) + 1e-9) violated = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(violated);
+}
+
+}  // namespace
+}  // namespace qse

@@ -1,0 +1,36 @@
+#ifndef QSE_TESTS_TEST_UTIL_H_
+#define QSE_TESTS_TEST_UTIL_H_
+
+#include <numeric>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/distance/lp.h"
+#include "src/util/random.h"
+
+namespace qse {
+namespace test {
+
+/// Uniform random points in the unit square under L2 — the toy space of
+/// the paper's Fig. 1, used across the core test suites.
+inline ObjectOracle<Vector> MakePlaneOracle(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vector> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  return ObjectOracle<Vector>(std::move(pts), L2Distance);
+}
+
+/// [0, n) as ids.
+inline std::vector<size_t> Iota(size_t n, size_t start = 0) {
+  std::vector<size_t> ids(n);
+  std::iota(ids.begin(), ids.end(), start);
+  return ids;
+}
+
+}  // namespace test
+}  // namespace qse
+
+#endif  // QSE_TESTS_TEST_UTIL_H_

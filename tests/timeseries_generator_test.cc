@@ -1,0 +1,160 @@
+#include "src/data/timeseries_generator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/distance/dtw.h"
+
+namespace qse {
+namespace {
+
+TEST(TimeSeriesGeneratorTest, SeedCountAndShape) {
+  TimeSeriesGeneratorParams params;
+  params.num_seeds = 10;
+  params.dims = 3;
+  params.base_length = 64;
+  TimeSeriesGenerator gen(params, 1);
+  EXPECT_EQ(gen.num_seeds(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(gen.seed(i).dims(), 3u);
+    EXPECT_EQ(gen.seed(i).length(), 64u);
+  }
+}
+
+TEST(TimeSeriesGeneratorTest, DeterministicBySeed) {
+  TimeSeriesGeneratorParams params;
+  TimeSeriesGenerator g1(params, 99), g2(params, 99);
+  Series a = g1.MakeVariant(3);
+  Series b = g2.MakeVariant(3);
+  ASSERT_EQ(a.length(), b.length());
+  for (size_t t = 0; t < a.length(); ++t) {
+    for (size_t d = 0; d < a.dims(); ++d) {
+      EXPECT_DOUBLE_EQ(a.at(t, d), b.at(t, d));
+    }
+  }
+}
+
+TEST(TimeSeriesGeneratorTest, VariantsAreMeanNormalized) {
+  TimeSeriesGenerator gen({}, 5);
+  for (size_t i = 0; i < 6; ++i) {
+    Series v = gen.MakeVariant(i);
+    for (size_t d = 0; d < v.dims(); ++d) {
+      double mean = 0.0;
+      for (size_t t = 0; t < v.length(); ++t) mean += v.at(t, d);
+      mean /= static_cast<double>(v.length());
+      EXPECT_NEAR(mean, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(TimeSeriesGeneratorTest, VariableLengthsWhenRequested) {
+  TimeSeriesGeneratorParams params;
+  params.base_length = 80;
+  params.length_jitter = 0.25;
+  params.fixed_length = false;
+  TimeSeriesGenerator gen(params, 21);
+  bool saw_short = false, saw_long = false;
+  for (size_t i = 0; i < 40; ++i) {
+    size_t len = gen.MakeVariant(i).length();
+    EXPECT_GE(len, 60u - 1);
+    EXPECT_LE(len, 100u + 1);
+    if (len < 80) saw_short = true;
+    if (len > 80) saw_long = true;
+  }
+  EXPECT_TRUE(saw_short);
+  EXPECT_TRUE(saw_long);
+}
+
+TEST(TimeSeriesGeneratorTest, FixedLengthWhenRequested) {
+  TimeSeriesGeneratorParams params;
+  params.base_length = 48;
+  params.fixed_length = true;
+  TimeSeriesGenerator gen(params, 22);
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(gen.MakeVariant(i).length(), 48u);
+  }
+}
+
+TEST(TimeSeriesGeneratorTest, SameSeedVariantsCloserThanCrossSeed) {
+  // The workload's similarity structure: variants of the same seed should
+  // on average be closer under cDTW than variants of different seeds —
+  // that structure is what nearest-neighbor retrieval exploits.
+  TimeSeriesGeneratorParams params;
+  params.num_seeds = 8;
+  params.base_length = 64;
+  TimeSeriesGenerator gen(params, 31);
+  double intra = 0.0, inter = 0.0;
+  int n = 12;
+  for (int i = 0; i < n; ++i) {
+    size_t fam = static_cast<size_t>(i) % 8;
+    Series a = gen.MakeVariant(fam);
+    Series b = gen.MakeVariant(fam);
+    Series c = gen.MakeVariant(fam + 1);
+    intra += ConstrainedDtw(a, b, 0.1);
+    inter += ConstrainedDtw(a, c, 0.1);
+  }
+  EXPECT_LT(intra, inter);
+}
+
+TEST(TimeSeriesGeneratorTest, GenerateRoundRobinsSeedFamilies) {
+  TimeSeriesGeneratorParams params;
+  params.num_seeds = 4;
+  TimeSeriesGenerator gen(params, 41);
+  auto batch = gen.Generate(8);
+  EXPECT_EQ(batch.size(), 8u);
+  for (const Series& s : batch) {
+    EXPECT_EQ(s.dims(), params.dims);
+    EXPECT_GT(s.length(), 0u);
+  }
+}
+
+TEST(TimeSeriesGeneratorTest, WarpStaysWithinSeedRangeRegression) {
+  // Regression: the warp normalization once mutated warp[0] in place and
+  // kept reading warp.front() afterwards, pushing interpolation positions
+  // past the end of the seed buffer (silent OOB reads in release builds).
+  // Generating many variants at high warp strength now must stay within
+  // bounds (Series::at checks are always on) and produce values bounded
+  // by the seed's value range (up to noise) — garbage heap reads would
+  // blow past it.
+  TimeSeriesGeneratorParams params;
+  params.num_seeds = 6;
+  params.base_length = 64;
+  params.warp_strength = 1.0;  // Extreme warping.
+  params.amplitude_noise = 0.0;
+  TimeSeriesGenerator gen(params, 61);
+  for (size_t i = 0; i < 60; ++i) {
+    size_t fam = i % 6;
+    Series v = gen.MakeVariant(fam);
+    const Series& seed = gen.seed(fam);
+    double lo = 1e300, hi = -1e300;
+    for (double x : seed.values()) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    // Mean subtraction shifts values; allow the full seed span as slack.
+    double span = hi - lo + 1e-9;
+    for (double x : v.values()) {
+      EXPECT_GE(x, lo - span);
+      EXPECT_LE(x, hi + span);
+    }
+  }
+}
+
+TEST(TimeSeriesGeneratorTest, WarpIsMonotoneShapePreserving) {
+  // A variant should still resemble its seed under cDTW much more than an
+  // unrelated seed does.
+  TimeSeriesGeneratorParams params;
+  params.num_seeds = 6;
+  params.amplitude_noise = 0.02;
+  TimeSeriesGenerator gen(params, 51);
+  for (size_t fam = 0; fam < 4; ++fam) {
+    Series v = gen.MakeVariant(fam);
+    double to_own = ConstrainedDtw(v, gen.seed(fam), 0.15);
+    double to_other = ConstrainedDtw(v, gen.seed(fam + 1), 0.15);
+    EXPECT_LT(to_own, to_other) << "family " << fam;
+  }
+}
+
+}  // namespace
+}  // namespace qse

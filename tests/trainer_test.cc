@@ -1,0 +1,114 @@
+#include "src/core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace qse {
+namespace {
+
+BoostMapConfig SmallConfig() {
+  BoostMapConfig config;
+  config.num_triples = 400;
+  config.k1 = 3;
+  config.boost.rounds = 12;
+  config.boost.embeddings_per_round = 10;
+  return config;
+}
+
+TEST(TrainerTest, TrainsOnPlaneData) {
+  auto oracle = test::MakePlaneOracle(60, 1);
+  auto result = TrainBoostMap(oracle, test::Iota(20), test::Iota(40, 20),
+                              SmallConfig());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->model.dims(), 0u);
+  EXPECT_FALSE(result->history.empty());
+  EXPECT_LT(result->final_training_error, 0.35);
+  EXPECT_GT(result->preprocessing_distances, 0u);
+}
+
+TEST(TrainerTest, RejectsEmptyCandidates) {
+  auto oracle = test::MakePlaneOracle(20, 2);
+  auto result = TrainBoostMap(oracle, {}, test::Iota(10), SmallConfig());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TrainerTest, RejectsTinyTrainingSet) {
+  auto oracle = test::MakePlaneOracle(20, 3);
+  auto result =
+      TrainBoostMap(oracle, test::Iota(5), {5, 6, 7}, SmallConfig());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TrainerTest, RejectsOutOfRangeIds) {
+  auto oracle = test::MakePlaneOracle(20, 4);
+  auto bad_cand = TrainBoostMap(oracle, {0, 1, 99}, test::Iota(10, 3),
+                                SmallConfig());
+  EXPECT_EQ(bad_cand.status().code(), StatusCode::kOutOfRange);
+  auto bad_train = TrainBoostMap(oracle, test::Iota(3), {4, 5, 6, 99},
+                                 SmallConfig());
+  EXPECT_EQ(bad_train.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TrainerTest, RejectsBadK1) {
+  auto oracle = test::MakePlaneOracle(20, 5);
+  BoostMapConfig config = SmallConfig();
+  config.sampling = TripleSampling::kSelective;
+  config.k1 = 50;  // Larger than |Xtr| - 2.
+  auto result =
+      TrainBoostMap(oracle, test::Iota(5), test::Iota(10, 5), config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TrainerTest, RejectsZeroRounds) {
+  auto oracle = test::MakePlaneOracle(20, 6);
+  BoostMapConfig config = SmallConfig();
+  config.boost.rounds = 0;
+  auto result =
+      TrainBoostMap(oracle, test::Iota(5), test::Iota(10, 5), config);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(TrainerTest, RandomSamplingIgnoresK1) {
+  auto oracle = test::MakePlaneOracle(30, 7);
+  BoostMapConfig config = SmallConfig();
+  config.sampling = TripleSampling::kRandom;
+  config.k1 = 10000;  // Must be ignored for Ra sampling.
+  auto result =
+      TrainBoostMap(oracle, test::Iota(10), test::Iota(20, 10), config);
+  EXPECT_TRUE(result.ok()) << result.status();
+}
+
+TEST(TrainerTest, AllFourPaperVariantsTrain) {
+  auto oracle = test::MakePlaneOracle(60, 8);
+  for (TripleSampling sampling :
+       {TripleSampling::kRandom, TripleSampling::kSelective}) {
+    for (bool qs : {false, true}) {
+      BoostMapConfig config = SmallConfig();
+      config.sampling = sampling;
+      config.boost.query_sensitive = qs;
+      auto result = TrainBoostMap(oracle, test::Iota(20),
+                                  test::Iota(40, 20), config);
+      ASSERT_TRUE(result.ok()) << result.status();
+      EXPECT_EQ(result->model.query_sensitive(), qs);
+      EXPECT_GT(result->model.dims(), 0u);
+    }
+  }
+}
+
+TEST(TrainerTest, PreprocessingCostIsQuadraticScale) {
+  // |C| x |C| / 2 + |C| x |Xtr| + |Xtr| x |Xtr| / 2 (diagonals free and
+  // shared objects free).
+  auto oracle = test::MakePlaneOracle(30, 9);
+  auto result = TrainBoostMap(oracle, test::Iota(10), test::Iota(20, 10),
+                              SmallConfig());
+  ASSERT_TRUE(result.ok());
+  size_t expected = 10 * 9 / 2 + 10 * 20 + 20 * 19 / 2;
+  EXPECT_EQ(result->preprocessing_distances, expected);
+}
+
+}  // namespace
+}  // namespace qse

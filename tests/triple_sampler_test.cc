@@ -1,0 +1,120 @@
+#include "src/core/triple_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/training_context.h"
+#include "tests/test_util.h"
+
+namespace qse {
+namespace {
+
+Matrix TrainMatrix(size_t n, uint64_t seed) {
+  auto oracle = test::MakePlaneOracle(n, seed);
+  TrainingContext ctx =
+      TrainingContext::Build(oracle, {0}, test::Iota(n));
+  return ctx.train_train_matrix();
+}
+
+TEST(NeighborOrderingTest, SortedByDistance) {
+  Matrix dist = TrainMatrix(15, 1);
+  auto order = NeighborOrdering(dist);
+  ASSERT_EQ(order.size(), 15u);
+  for (size_t i = 0; i < 15; ++i) {
+    ASSERT_EQ(order[i].size(), 14u);
+    for (size_t r = 1; r < order[i].size(); ++r) {
+      EXPECT_LE(dist(i, order[i][r - 1]), dist(i, order[i][r]));
+    }
+    // Self never appears.
+    for (uint32_t j : order[i]) EXPECT_NE(j, i);
+  }
+}
+
+TEST(RandomTriplesTest, CountAndDistinctness) {
+  Matrix dist = TrainMatrix(20, 2);
+  Rng rng(3);
+  auto triples = SampleRandomTriples(dist, 200, &rng);
+  ASSERT_EQ(triples.size(), 200u);
+  for (const Triple& t : triples) {
+    EXPECT_NE(t.q, t.a);
+    EXPECT_NE(t.q, t.b);
+    EXPECT_NE(t.a, t.b);
+    EXPECT_LT(t.q, 20u);
+  }
+}
+
+TEST(RandomTriplesTest, LabelsAreConsistent) {
+  Matrix dist = TrainMatrix(20, 4);
+  Rng rng(5);
+  auto triples = SampleRandomTriples(dist, 300, &rng);
+  for (const Triple& t : triples) {
+    EXPECT_EQ(t.y, 1);
+    EXPECT_LT(dist(t.q, t.a), dist(t.q, t.b));
+  }
+}
+
+TEST(RandomTriplesTest, DeterministicGivenRng) {
+  Matrix dist = TrainMatrix(20, 6);
+  Rng r1(7), r2(7);
+  auto t1 = SampleRandomTriples(dist, 50, &r1);
+  auto t2 = SampleRandomTriples(dist, 50, &r2);
+  EXPECT_EQ(t1.size(), t2.size());
+  for (size_t i = 0; i < t1.size(); ++i) EXPECT_EQ(t1[i], t2[i]);
+}
+
+TEST(SelectiveTriplesTest, RespectsK1Structure) {
+  // Sec. 6: a must be among q's k1 nearest neighbors in Xtr, b outside.
+  Matrix dist = TrainMatrix(30, 8);
+  auto order = NeighborOrdering(dist);
+  Rng rng(9);
+  const size_t k1 = 4;
+  auto triples = SampleSelectiveTriples(dist, 400, k1, &rng);
+  ASSERT_EQ(triples.size(), 400u);
+  for (const Triple& t : triples) {
+    // Rank of a (1-based) among q's neighbors must be <= k1.
+    size_t rank_a = 0, rank_b = 0;
+    for (size_t r = 0; r < order[t.q].size(); ++r) {
+      if (order[t.q][r] == t.a) rank_a = r + 1;
+      if (order[t.q][r] == t.b) rank_b = r + 1;
+    }
+    EXPECT_GE(rank_a, 1u);
+    EXPECT_LE(rank_a, k1);
+    EXPECT_GT(rank_b, k1);
+  }
+}
+
+TEST(SelectiveTriplesTest, LabelsAlwaysPositive) {
+  Matrix dist = TrainMatrix(25, 10);
+  Rng rng(11);
+  auto triples = SampleSelectiveTriples(dist, 200, 5, &rng);
+  for (const Triple& t : triples) {
+    EXPECT_EQ(t.y, 1);
+    EXPECT_LT(dist(t.q, t.a), dist(t.q, t.b));
+  }
+}
+
+TEST(SelectiveTriplesTest, NearPairsOverrepresentedVsRandom) {
+  // The selective sampler should produce a's that are much nearer to q
+  // than random sampling does — that is its entire purpose.
+  Matrix dist = TrainMatrix(40, 12);
+  Rng rng1(13), rng2(13);
+  auto selective = SampleSelectiveTriples(dist, 500, 3, &rng1);
+  auto random = SampleRandomTriples(dist, 500, &rng2);
+  double sel_mean = 0.0, ran_mean = 0.0;
+  for (const Triple& t : selective) sel_mean += dist(t.q, t.a);
+  for (const Triple& t : random) ran_mean += dist(t.q, t.a);
+  EXPECT_LT(sel_mean, 0.7 * ran_mean);
+}
+
+TEST(SelectiveTriplesTest, K1BoundaryValues) {
+  Matrix dist = TrainMatrix(10, 14);
+  Rng rng(15);
+  // Smallest legal k1.
+  auto t1 = SampleSelectiveTriples(dist, 50, 1, &rng);
+  EXPECT_EQ(t1.size(), 50u);
+  // Largest legal k1 = |Xtr| - 2 = 8.
+  auto t2 = SampleSelectiveTriples(dist, 50, 8, &rng);
+  EXPECT_EQ(t2.size(), 50u);
+}
+
+}  // namespace
+}  // namespace qse
