@@ -2,22 +2,48 @@
 //
 // Backs the paper's Sec. 8 observation: "with embeddings of up to 1,000
 // dimensions, the filter step always takes negligible time; retrieval
-// time is dominated by the few exact distance computations".  The
-// benchmarks scan an embedded database of n d-dimensional vectors with
-// the query-sensitive weighted L1, plus the top-p selection.
+// time is dominated by the few exact distance computations" — and checks
+// that the engine's layout and batching decisions actually buy time:
+//
+//   * AoS vs SoA: the old rows-of-vectors layout (one heap allocation per
+//     row) against the flat row-major EmbeddedDatabase scan, same kernel,
+//     at up to n = 100k, d = 256.
+//   * full scan + SmallestK vs the fused early-abandon ScoreTopP pass.
+//   * one-query-at-a-time Retrieve vs thread-parallel RetrieveBatch.
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
 
 #include "src/distance/weighted_l1.h"
 #include "src/retrieval/filter_refine.h"
+#include "src/util/logging.h"
 #include "src/util/random.h"
 #include "src/util/top_k.h"
 
 namespace qse {
 namespace {
 
-EmbeddedDatabase MakeDb(size_t n, size_t d, uint64_t seed) {
+/// The pre-refactor AoS layout, kept here as the benchmark baseline.
+struct AosDatabase {
+  std::vector<Vector> rows;
+};
+
+/// The pre-refactor scan kernel (single running sum), kept verbatim so
+/// the AoS benchmark measures the old code path, not the old layout with
+/// the new four-lane kernel.
+double SeedWeightedL1(const Vector& a, const Vector& b, const Vector& w) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += w[i] * std::fabs(a[i] - b[i]);
+  }
+  return sum;
+}
+
+AosDatabase MakeAosDb(size_t n, size_t d, uint64_t seed) {
   Rng rng(seed);
-  EmbeddedDatabase db;
+  AosDatabase db;
   db.rows.resize(n);
   for (auto& row : db.rows) {
     row.resize(d);
@@ -26,35 +52,80 @@ EmbeddedDatabase MakeDb(size_t n, size_t d, uint64_t seed) {
   return db;
 }
 
-void BM_FilterScanWeightedL1(benchmark::State& state) {
+EmbeddedDatabase MakeSoaDb(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  EmbeddedDatabase db(d);
+  db.Resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double* row = db.mutable_row(i);
+    for (size_t j = 0; j < d; ++j) row[j] = rng.Uniform(0, 1);
+  }
+  return db;
+}
+
+void FillQueryAndWeights(size_t d, Vector* q, Vector* w) {
+  Rng rng(2);
+  q->resize(d);
+  w->resize(d);
+  for (size_t i = 0; i < d; ++i) {
+    (*q)[i] = rng.Uniform(0, 1);
+    (*w)[i] = rng.Uniform(0, 1);
+  }
+}
+
+// --- Layout comparison: identical weighted-L1 kernel, AoS vs SoA. -------
+
+void BM_FilterScanWeightedL1_AoS(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
   size_t d = static_cast<size_t>(state.range(1));
-  EmbeddedDatabase db = MakeDb(n, d, 1);
-  Rng rng(2);
-  Vector q(d), w(d);
-  for (size_t i = 0; i < d; ++i) {
-    q[i] = rng.Uniform(0, 1);
-    w[i] = rng.Uniform(0, 1);
-  }
+  AosDatabase db = MakeAosDb(n, d, 1);
+  Vector q, w;
+  FillQueryAndWeights(d, &q, &w);
   std::vector<double> scores(n);
   for (auto _ : state) {
     for (size_t i = 0; i < n; ++i) {
-      scores[i] = WeightedL1Distance(q, db.rows[i], w);
+      scores[i] = SeedWeightedL1(q, db.rows[i], w);
     }
     benchmark::DoNotOptimize(scores.data());
   }
-  // vectors scanned per second; compare against exact-DX rates from
-  // micro_distances to see the filter/refine cost gap.
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n));
 }
-BENCHMARK(BM_FilterScanWeightedL1)
+BENCHMARK(BM_FilterScanWeightedL1_AoS)
     ->Args({1000, 10})
     ->Args({1000, 100})
     ->Args({1000, 1000})
     ->Args({10000, 100})
     ->Args({100000, 100})
+    ->Args({100000, 256})
     ->Unit(benchmark::kMicrosecond);
+
+void BM_FilterScanWeightedL1_SoA(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t d = static_cast<size_t>(state.range(1));
+  EmbeddedDatabase db = MakeSoaDb(n, d, 1);
+  Vector q, w;
+  FillQueryAndWeights(d, &q, &w);
+  std::vector<double> scores(n);
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) {
+      scores[i] = WeightedL1DistanceSpan(q.data(), db.row(i), w.data(), d);
+    }
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FilterScanWeightedL1_SoA)
+    ->Args({1000, 10})
+    ->Args({1000, 100})
+    ->Args({1000, 1000})
+    ->Args({10000, 100})
+    ->Args({100000, 100})
+    ->Args({100000, 256})
+    ->Unit(benchmark::kMicrosecond);
+
+// --- Selection: full scan + SmallestK vs fused early-abandon TopP. ------
 
 void BM_TopPSelection(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
@@ -70,6 +141,126 @@ BENCHMARK(BM_TopPSelection)
     ->Args({10000, 100})
     ->Args({100000, 500})
     ->Unit(benchmark::kMicrosecond);
+
+void BM_ScoreTopP_FullScan(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t d = static_cast<size_t>(state.range(1));
+  size_t p = static_cast<size_t>(state.range(2));
+  EmbeddedDatabase db = MakeSoaDb(n, d, 1);
+  Vector q, w;
+  FillQueryAndWeights(d, &q, &w);
+  L2Scorer scorer;
+  std::vector<double> scores;
+  for (auto _ : state) {
+    scorer.Score(q, db, &scores);
+    benchmark::DoNotOptimize(SmallestK(scores, p));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ScoreTopP_FullScan)
+    ->Args({100000, 100, 500})
+    ->Args({100000, 256, 500})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ScoreTopP_EarlyAbandon(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t d = static_cast<size_t>(state.range(1));
+  size_t p = static_cast<size_t>(state.range(2));
+  EmbeddedDatabase db = MakeSoaDb(n, d, 1);
+  Vector q, w;
+  FillQueryAndWeights(d, &q, &w);
+  L2Scorer scorer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scorer.ScoreTopP(q, db, p));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ScoreTopP_EarlyAbandon)
+    ->Args({100000, 100, 500})
+    ->Args({100000, 256, 500})
+    ->Unit(benchmark::kMicrosecond);
+
+// --- Single-query loop vs batched, thread-parallel retrieval. -----------
+
+/// Embedder stub with zero exact-distance cost: the benchmark isolates
+/// the engine's filter/refine machinery from any real embedding.
+class FixedEmbedder : public Embedder {
+ public:
+  explicit FixedEmbedder(Vector v) : v_(std::move(v)) {}
+  size_t dims() const override { return v_.size(); }
+  size_t EmbeddingCost() const override { return 0; }
+  Vector Embed(const DxToDatabaseFn&, size_t* num_exact) const override {
+    if (num_exact != nullptr) *num_exact = 0;
+    return v_;
+  }
+
+ private:
+  Vector v_;
+};
+
+struct EngineFixture {
+  EmbeddedDatabase db;
+  std::vector<size_t> db_ids;
+  FixedEmbedder embedder;
+  L2Scorer scorer;
+  std::unique_ptr<RetrievalEngine> engine;
+  std::vector<DxToDatabaseFn> queries;
+
+  EngineFixture(size_t n, size_t d, size_t num_queries)
+      : db(MakeSoaDb(n, d, 1)), embedder([&] {
+          Vector q, w;
+          FillQueryAndWeights(d, &q, &w);
+          return q;
+        }()) {
+    db_ids.resize(n);
+    for (size_t i = 0; i < n; ++i) db_ids[i] = i;
+    engine =
+        std::make_unique<RetrievalEngine>(&embedder, &scorer, &db, db_ids);
+    for (size_t i = 0; i < num_queries; ++i) {
+      queries.push_back([](size_t) { return 0.0; });
+    }
+  }
+};
+
+void BM_RetrieveSingleLoop(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t d = static_cast<size_t>(state.range(1));
+  size_t q = static_cast<size_t>(state.range(2));
+  EngineFixture f(n, d, q);
+  for (auto _ : state) {
+    for (const auto& dx : f.queries) {
+      auto r = f.engine->Retrieve(dx, 10, 100);
+      QSE_CHECK(r.ok());
+      benchmark::DoNotOptimize(r.value());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(q));
+}
+BENCHMARK(BM_RetrieveSingleLoop)
+    ->Args({100000, 64, 32})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RetrieveBatchParallel(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t d = static_cast<size_t>(state.range(1));
+  size_t q = static_cast<size_t>(state.range(2));
+  EngineFixture f(n, d, q);
+  for (auto _ : state) {
+    auto r = f.engine->RetrieveBatch(f.queries, 10, 100);
+    QSE_CHECK(r.ok());
+    benchmark::DoNotOptimize(r.value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(q));
+}
+BENCHMARK(BM_RetrieveBatchParallel)
+    ->Args({100000, 64, 32})
+    ->Unit(benchmark::kMillisecond);
+
+// --- A_i(q) evaluation cost (unchanged from the seed). ------------------
 
 void BM_QueryWeightsEvaluation(benchmark::State& state) {
   // A_i(q) evaluation cost for a model with many terms per coordinate.

@@ -55,11 +55,13 @@ int main(int argc, char** argv) {
   std::vector<Series> db(all.begin(),
                          all.begin() + static_cast<long>(wscale.db_size));
   LbDtwIndex index(db, 0.1);
+  std::vector<Series> queries(all.begin() + static_cast<long>(wscale.db_size),
+                              all.end());
+  std::vector<LbDtwIndex::Result> results = index.SearchBatch(queries, 1);
   std::vector<double> evals;
   size_t correct = 0;
-  for (size_t qi = 0; qi < wscale.num_queries; ++qi) {
-    const Series& query = all[wscale.db_size + qi];
-    LbDtwIndex::Result r = index.Search(query, 1);
+  for (size_t qi = 0; qi < results.size(); ++qi) {
+    const LbDtwIndex::Result& r = results[qi];
     evals.push_back(static_cast<double>(r.exact_evaluations));
     if (!r.neighbors.empty() && r.neighbors[0].index == gt.knn[qi][0]) {
       ++correct;

@@ -70,7 +70,13 @@ int main() {
   // --- Show one query and its retrieved neighbors as ASCII art.
   size_t demo_query = kDbSize;  // First query object.
   auto demo_dx = [&](size_t id) { return oracle.Distance(demo_query, id); };
-  RetrievalResult demo = retriever.Retrieve(demo_dx, 3, 40);
+  auto demo_or = retriever.Retrieve(demo_dx, 3, 40);
+  if (!demo_or.ok()) {
+    std::fprintf(stderr, "retrieval failed: %s\n",
+                 demo_or.status().ToString().c_str());
+    return 1;
+  }
+  RetrievalResult demo = std::move(demo_or).value();
   std::printf("query digit (true label %d):\n", labels[demo_query]);
   for (const auto& row : RenderAscii(oracle.object(demo_query), 24, 12)) {
     std::printf("  %s\n", row.c_str());
@@ -90,12 +96,27 @@ int main() {
   }
 
   // --- 1-NN classification over all queries via filter-and-refine.
-  size_t correct = 0, total_cost = 0;
+  // Classify all queries in one thread-parallel batch.
+  std::vector<DxToDatabaseFn> queries;
   for (size_t q = kDbSize; q < kDbSize + kNumQueries; ++q) {
-    auto dx = [&](size_t id) { return oracle.Distance(q, id); };
-    RetrievalResult r = retriever.Retrieve(dx, 1, 40);
+    queries.push_back([&oracle, q](size_t id) {
+      return oracle.Distance(q, id);
+    });
+  }
+  auto batch_or = retriever.RetrieveBatch(queries, 1, 40);
+  if (!batch_or.ok()) {
+    std::fprintf(stderr, "retrieval failed: %s\n",
+                 batch_or.status().ToString().c_str());
+    return 1;
+  }
+  size_t correct = 0, total_cost = 0;
+  std::vector<RetrievalResult> results = std::move(batch_or).value();
+  for (size_t qi = 0; qi < results.size(); ++qi) {
+    const RetrievalResult& r = results[qi];
     total_cost += r.exact_distances;
-    if (labels[db_ids[r.neighbors[0].index]] == labels[q]) ++correct;
+    if (labels[db_ids[r.neighbors[0].index]] == labels[kDbSize + qi]) {
+      ++correct;
+    }
   }
   std::printf("\n1-NN classification: %zu/%zu correct (%.1f%%), avg %zu "
               "exact distances per query (brute force: %zu)\n",

@@ -5,9 +5,10 @@
 // adding an object only costs its embedding (<= 2d exact distances), and
 // that drift can be detected by re-measuring the embedding's triple
 // classification error on freshly sampled triples — retraining when it
-// degrades.  This example demonstrates both: it grows the database
-// online, then shifts the data distribution and shows the error monitor
-// firing.
+// degrades.  This example demonstrates the RetrievalEngine's incremental
+// Insert/Remove: it grows the database online, shifts the data
+// distribution to trip the error monitor, retrains, and finally shows
+// that dropping the shifted objects (Remove) also restores the monitor.
 //
 // Build: cmake --build build && ./build/examples/dynamic_dataset
 #include <cstdio>
@@ -18,6 +19,7 @@
 #include "src/distance/lp.h"
 #include "src/retrieval/embedder_adapters.h"
 #include "src/retrieval/filter_refine.h"
+#include "src/util/logging.h"
 #include "src/util/random.h"
 #include "src/util/top_k.h"
 
@@ -28,26 +30,32 @@ namespace {
 /// a is one of q's 5 nearest neighbors, b has rank in (5, 50] — the
 /// fine-grained discrimination that k-NN retrieval depends on.  Random
 /// q-a-b triples would be dominated by easy far-apart comparisons and
-/// mask the drift.
+/// mask the drift.  Objects are drawn from the engine's *current* rows,
+/// so the monitor follows inserts and removes automatically.
 double TripleError(const qse::QuerySensitiveEmbedding& model,
                    const qse::ObjectOracle<qse::Vector>& oracle,
-                   const std::vector<qse::Vector>& embedded,
-                   size_t db_size, qse::Rng* rng, int trials = 400) {
+                   const qse::RetrievalEngine& engine, qse::Rng* rng,
+                   int trials = 400) {
+  size_t n = engine.size();
   size_t wrong = 0, total = 0;
   std::vector<qse::ScoredIndex> ranked;
   for (int t = 0; t < trials; ++t) {
-    size_t q = rng->Index(db_size);
-    std::vector<double> dist(db_size);
-    for (size_t i = 0; i < db_size; ++i) {
-      dist[i] = i == q ? 1e300 : oracle.Distance(q, i);
+    size_t qrow = rng->Index(n);
+    size_t q = engine.db_id_of(qrow);
+    std::vector<double> dist(n);
+    for (size_t row = 0; row < n; ++row) {
+      dist[row] =
+          row == qrow ? 1e300 : oracle.Distance(q, engine.db_id_of(row));
     }
     ranked = qse::SmallestK(dist, 50);
-    size_t a = ranked[rng->Index(5)].index;
-    size_t b = ranked[5 + rng->Index(45)].index;
-    double da = oracle.Distance(q, a), db = oracle.Distance(q, b);
+    size_t arow = ranked[rng->Index(5)].index;
+    size_t brow = ranked[5 + rng->Index(45)].index;
+    double da = oracle.Distance(q, engine.db_id_of(arow));
+    double db = oracle.Distance(q, engine.db_id_of(brow));
     if (da == db) continue;
-    double margin = model.TripleMargin(embedded[q], embedded[a],
-                                       embedded[b]);
+    double margin = model.TripleMargin(engine.db().RowVector(qrow),
+                                       engine.db().RowVector(arow),
+                                       engine.db().RowVector(brow));
     bool correct = (margin > 0) == (da < db);
     if (!correct) ++wrong;
     ++total;
@@ -97,37 +105,38 @@ int main() {
     return 1;
   }
   const QuerySensitiveEmbedding& model = artifacts->model;
+  QseEmbedderAdapter embedder(&model);
 
-  // Embed the initial database.
-  std::vector<Vector> embedded(oracle.size());
-  size_t add_cost = 0;
-  auto embed_object = [&](size_t id) {
-    size_t cost = 0;
-    embedded[id] = model.Embed(
-        [&](size_t o) { return o == id ? 0.0 : oracle.Distance(id, o); },
-        &cost);
-    return cost;
+  // Embed the initial database (parallel across cores) and stand up the
+  // engine; every later addition goes through engine.Insert.
+  EmbeddedDatabase embedded = EmbedDatabase(embedder, oracle, db_ids);
+  QuerySensitiveScorer scorer(&model);
+  RetrievalEngine engine(&embedder, &scorer, &embedded, db_ids);
+
+  auto insert = [&](size_t id) {
+    Status s = engine.Insert(id, [&](size_t o) {
+      return o == id ? 0.0 : oracle.Distance(id, o);
+    });
+    QSE_CHECK_MSG(s.ok(), s.ToString());
   };
-  for (size_t id = 0; id < live; ++id) embed_object(id);
 
   Rng monitor_rng(99);
   std::printf("initial error on random triples: %.3f\n",
-              TripleError(model, oracle, embedded, live, &monitor_rng));
+              TripleError(model, oracle, engine, &monitor_rng));
 
-  // --- Phase 1: add 300 same-distribution objects online.
-  for (size_t id = live; id < live + 300; ++id) add_cost += embed_object(id);
+  // --- Phase 1: add 300 same-distribution objects online.  Each insert
+  // costs one embedding: at most 2d exact distances (model.EmbeddingCost).
+  for (size_t id = live; id < live + 300; ++id) insert(id);
   live += 300;
-  double err_same =
-      TripleError(model, oracle, embedded, live, &monitor_rng);
-  std::printf("after adding 300 in-distribution objects (avg %zu exact "
+  double err_same = TripleError(model, oracle, engine, &monitor_rng);
+  std::printf("after adding 300 in-distribution objects (%zu exact "
               "distances each): error %.3f\n",
-              add_cost / 300, err_same);
+              model.EmbeddingCost(), err_same);
 
   // --- Phase 2: add 600 distribution-shifted objects.
-  for (size_t id = live; id < live + 600; ++id) embed_object(id);
+  for (size_t id = live; id < live + 600; ++id) insert(id);
   live += 600;
-  double err_shift =
-      TripleError(model, oracle, embedded, live, &monitor_rng);
+  double err_shift = TripleError(model, oracle, engine, &monitor_rng);
   std::printf("after adding 600 distribution-SHIFTED objects: error %.3f\n",
               err_shift);
 
@@ -143,16 +152,28 @@ int main() {
     for (size_t p : picks) new_sample.push_back(all_ids[p]);
     auto retrained = TrainBoostMap(oracle, new_sample, new_sample, config);
     if (retrained.ok()) {
-      for (size_t id = 0; id < live; ++id) {
-        size_t cost = 0;
-        embedded[id] = retrained->model.Embed(
-            [&](size_t o) { return o == id ? 0.0 : oracle.Distance(id, o); },
-            &cost);
-      }
+      QseEmbedderAdapter re_embedder(&retrained->model);
+      EmbeddedDatabase re_embedded =
+          EmbedDatabase(re_embedder, oracle, all_ids);
+      QuerySensitiveScorer re_scorer(&retrained->model);
+      RetrievalEngine re_engine(&re_embedder, &re_scorer, &re_embedded,
+                                all_ids);
       std::printf("retrained model error: %.3f\n",
-                  TripleError(retrained->model, oracle, embedded, live,
+                  TripleError(retrained->model, oracle, re_engine,
                               &monitor_rng));
     }
+
+    // When the shifted objects are transient (a bad ingest batch, an
+    // expired tenant), dropping them is cheaper than retraining: Remove
+    // is O(d) per object and the old model is valid again.
+    for (size_t id = 900; id < 1500; ++id) {
+      Status s = engine.Remove(id);
+      QSE_CHECK_MSG(s.ok(), s.ToString());
+    }
+    std::printf("after removing the 600 shifted objects instead: error "
+                "%.3f (engine back to %zu objects)\n",
+                TripleError(model, oracle, engine, &monitor_rng),
+                engine.size());
   } else {
     std::printf("no significant drift detected\n");
   }

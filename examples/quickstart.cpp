@@ -3,9 +3,9 @@
 //
 //   1. Wrap your objects + distance measure in an ObjectOracle.
 //   2. TrainBoostMap -> QuerySensitiveEmbedding (the paper's F_out/D_out).
-//   3. EmbedDatabase once offline.
-//   4. FilterRefineRetriever answers queries with a handful of exact
-//      distance computations instead of a full scan.
+//   3. EmbedDatabase once offline (parallel across cores).
+//   4. RetrievalEngine answers query batches with a handful of exact
+//      distance computations per query instead of a full scan.
 //
 // Build: cmake --build build && ./build/examples/quickstart
 #include <cstdio>
@@ -63,18 +63,31 @@ int main() {
   QseEmbedderAdapter embedder(&model);
   EmbeddedDatabase embedded = EmbedDatabase(embedder, oracle, db_ids);
 
-  // --- 4. Online: filter-and-refine retrieval for unseen queries.
+  // --- 4. Online: batched filter-and-refine retrieval for unseen
+  // queries.  RetrieveBatch fans the queries out across all cores; each
+  // query still costs only an embedding plus p exact distances.
   QuerySensitiveScorer scorer(&model);
-  FilterRefineRetriever retriever(&embedder, &scorer, &embedded, db_ids);
+  RetrievalEngine engine(&embedder, &scorer, &embedded, db_ids);
 
   const size_t k = 3, p = 60;
-  size_t correct = 0, total_cost = 0;
+  std::vector<DxToDatabaseFn> queries;
   for (size_t query_id = 1900; query_id < 2000; ++query_id) {
-    auto dx = [&](size_t id) { return oracle.Distance(query_id, id); };
-    RetrievalResult result = retriever.Retrieve(dx, k, p);
+    queries.push_back([&oracle, query_id](size_t id) {
+      return oracle.Distance(query_id, id);
+    });
+  }
+  auto batch = engine.RetrieveBatch(queries, k, p);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "retrieval failed: %s\n",
+                 batch.status().ToString().c_str());
+    return 1;
+  }
+  size_t correct = 0, total_cost = 0;
+  for (size_t qi = 0; qi < batch->size(); ++qi) {
+    const RetrievalResult& result = (*batch)[qi];
     total_cost += result.exact_distances;
     // Compare against brute force.
-    auto exact = ExactKnn(oracle, query_id, db_ids, k);
+    auto exact = ExactKnn(oracle, 1900 + qi, db_ids, k);
     bool all_found = true;
     for (size_t i = 0; i < k; ++i) {
       if (result.neighbors[i].index != exact[i].index) all_found = false;

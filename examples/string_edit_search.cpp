@@ -102,7 +102,13 @@ int main() {
   const size_t p = 40;
   for (size_t q = kDbSize; q < kDbSize + kNumQueries; ++q) {
     auto dx = [&](size_t id) { return oracle.Distance(q, id); };
-    RetrievalResult r = retriever.Retrieve(dx, 1, p);
+    auto r_or = retriever.Retrieve(dx, 1, p);
+    if (!r_or.ok()) {
+      std::fprintf(stderr, "retrieval failed: %s\n",
+                   r_or.status().ToString().c_str());
+      return 1;
+    }
+    RetrievalResult r = std::move(r_or).value();
     total_cost += r.exact_distances;
     auto exact = ExactKnn(oracle, q, db_ids, 1);
     if (r.neighbors[0].index == exact[0].index) ++hit;

@@ -66,7 +66,13 @@ int main() {
     auto dx = [&](size_t id) { return oracle.Distance(q, id); };
     auto exact = ExactKnn(oracle, q, db_ids, 1);
 
-    RetrievalResult r = retriever.Retrieve(dx, 1, p);
+    auto r_or = retriever.Retrieve(dx, 1, p);
+    if (!r_or.ok()) {
+      std::fprintf(stderr, "retrieval failed: %s\n",
+                   r_or.status().ToString().c_str());
+      return 1;
+    }
+    RetrievalResult r = std::move(r_or).value();
     qse_cost += r.exact_distances;
     if (r.neighbors[0].index == exact[0].index) ++qse_correct;
 

@@ -12,13 +12,19 @@ constexpr uint32_t kCacheMagic = 0x51534543;  // "QSEC"
 
 double CachingOracle::Distance(size_t i, size_t j) const {
   uint64_t key = Key(i, j);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++hits_;
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
   }
-  ++misses_;
+  // Evaluate outside the lock so concurrent misses don't serialize on one
+  // expensive DX; two threads racing on the same pair just recompute it.
   double d = inner_->Distance(i, j);
+  std::lock_guard<std::mutex> lock(mu_);
   cache_.emplace(key, d);
   return d;
 }
@@ -26,6 +32,7 @@ double CachingOracle::Distance(size_t i, size_t j) const {
 Status CachingOracle::Save(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open for writing: " + path);
+  std::lock_guard<std::mutex> lock(mu_);
   BinaryWriter w(&out);
   w.WriteU32(kCacheMagic);
   w.WriteString(fingerprint_);
@@ -62,6 +69,7 @@ Status CachingOracle::Load(const std::string& path) {
   }
   uint64_t pairs = 0;
   QSE_RETURN_IF_ERROR(r.ReadU64(&pairs));
+  std::lock_guard<std::mutex> lock(mu_);
   cache_.reserve(cache_.size() + pairs);
   for (uint64_t k = 0; k < pairs; ++k) {
     uint64_t key = 0;

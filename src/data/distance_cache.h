@@ -2,6 +2,7 @@
 #define QSE_DATA_DISTANCE_CACHE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -23,6 +24,11 @@ namespace qse {
 /// Load refuses to deserialize entries produced under a different
 /// fingerprint, which protects benches from silently reusing distances of
 /// a differently-parameterized dataset.
+///
+/// Distance() is thread-safe (a mutex guards the memo table) so the
+/// parallel EmbedDatabase/evaluation paths can share one cache; for
+/// expensive DX the lock is noise next to the distance itself.  The inner
+/// oracle must itself be safe for concurrent const calls.
 class CachingOracle : public DistanceOracle {
  public:
   CachingOracle(const DistanceOracle* inner, std::string fingerprint)
@@ -35,9 +41,18 @@ class CachingOracle : public DistanceOracle {
   double Distance(size_t i, size_t j) const override;
 
   /// Number of memoized pairs.
-  size_t cached_pairs() const { return cache_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  size_t cached_pairs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
 
   /// Persists all memoized pairs to `path`.
   Status Save(const std::string& path) const;
@@ -55,6 +70,7 @@ class CachingOracle : public DistanceOracle {
 
   const DistanceOracle* inner_;
   std::string fingerprint_;
+  mutable std::mutex mu_;
   mutable std::unordered_map<uint64_t, double> cache_;
   mutable uint64_t hits_ = 0;
   mutable uint64_t misses_ = 0;

@@ -5,21 +5,55 @@
 
 namespace qse {
 
+// The span kernels accumulate in four independent lanes (i % 4) and
+// combine as (l0 + l1) + (l2 + l3).  A single running sum serializes on
+// the ~4-cycle FP add latency — at d = 256 that is ~1024 stall cycles per
+// row, slower than the memory stream itself; four lanes keep the adders
+// busy and let the compiler use SIMD.  The early-abandon scan
+// (filter_scorer.cc) replicates exactly this lane discipline so its kept
+// scores are bit-identical to these kernels'.
+
+double L1DistanceSpan(const double* a, const double* b, size_t n) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += std::fabs(a[i] - b[i]);
+    l1 += std::fabs(a[i + 1] - b[i + 1]);
+    l2 += std::fabs(a[i + 2] - b[i + 2]);
+    l3 += std::fabs(a[i + 3] - b[i + 3]);
+  }
+  for (; i < n; ++i) l0 += std::fabs(a[i] - b[i]);
+  return (l0 + l1) + (l2 + l3);
+}
+
+double SquaredL2DistanceSpan(const double* a, const double* b, size_t n) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    double d0 = a[i] - b[i];
+    double d1 = a[i + 1] - b[i + 1];
+    double d2 = a[i + 2] - b[i + 2];
+    double d3 = a[i + 3] - b[i + 3];
+    l0 += d0 * d0;
+    l1 += d1 * d1;
+    l2 += d2 * d2;
+    l3 += d3 * d3;
+  }
+  for (; i < n; ++i) {
+    double d = a[i] - b[i];
+    l0 += d * d;
+  }
+  return (l0 + l1) + (l2 + l3);
+}
+
 double L1Distance(const Vector& a, const Vector& b) {
   assert(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
-  return sum;
+  return L1DistanceSpan(a.data(), b.data(), a.size());
 }
 
 double SquaredL2Distance(const Vector& a, const Vector& b) {
   assert(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return sum;
+  return SquaredL2DistanceSpan(a.data(), b.data(), a.size());
 }
 
 double L2Distance(const Vector& a, const Vector& b) {

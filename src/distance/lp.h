@@ -16,6 +16,15 @@ double L2Distance(const Vector& a, const Vector& b);
 /// Squared Euclidean distance (avoids the sqrt; used in hot loops).
 double SquaredL2Distance(const Vector& a, const Vector& b);
 
+/// Span variants over raw contiguous buffers of n doubles — the kernels
+/// the SoA filter scan is built on (src/retrieval/filter_scorer.cc).
+/// Four-lane accumulation (see lp.cc); the Vector functions above
+/// delegate here, so both spellings agree bit for bit.  Distinct names
+/// (not overloads) so the Vector versions keep working as
+/// DistanceFn<Vector> values.
+double L1DistanceSpan(const double* a, const double* b, size_t n);
+double SquaredL2DistanceSpan(const double* a, const double* b, size_t n);
+
 /// L-infinity (Chebyshev) distance.
 double LInfDistance(const Vector& a, const Vector& b);
 

@@ -5,14 +5,26 @@
 
 namespace qse {
 
+// Four-lane accumulation, mirrored exactly by the early-abandon scan in
+// filter_scorer.cc — see the lane-discipline note in lp.cc.
+double WeightedL1DistanceSpan(const double* a, const double* b,
+                              const double* w, size_t n) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += w[i] * std::fabs(a[i] - b[i]);
+    l1 += w[i + 1] * std::fabs(a[i + 1] - b[i + 1]);
+    l2 += w[i + 2] * std::fabs(a[i + 2] - b[i + 2]);
+    l3 += w[i + 3] * std::fabs(a[i + 3] - b[i + 3]);
+  }
+  for (; i < n; ++i) l0 += w[i] * std::fabs(a[i] - b[i]);
+  return (l0 + l1) + (l2 + l3);
+}
+
 double WeightedL1Distance(const Vector& a, const Vector& b, const Vector& w) {
   assert(a.size() == b.size());
   assert(a.size() == w.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    sum += w[i] * std::fabs(a[i] - b[i]);
-  }
-  return sum;
+  return WeightedL1DistanceSpan(a.data(), b.data(), w.data(), a.size());
 }
 
 }  // namespace qse

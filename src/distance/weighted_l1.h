@@ -14,6 +14,12 @@ namespace qse {
 /// chooses w (see QuerySensitiveEmbedding::QueryWeights).
 double WeightedL1Distance(const Vector& a, const Vector& b, const Vector& w);
 
+/// Span variant over raw contiguous buffers of n doubles; the Vector
+/// function delegates here (four-lane accumulation, see weighted_l1.cc),
+/// so both spellings agree bit for bit.
+double WeightedL1DistanceSpan(const double* a, const double* b,
+                              const double* w, size_t n);
+
 }  // namespace qse
 
 #endif  // QSE_DISTANCE_WEIGHTED_L1_H_

@@ -1,0 +1,93 @@
+#include "src/retrieval/embedded_database.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#ifdef __linux__
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+#include "src/util/logging.h"
+
+namespace qse {
+
+namespace {
+/// Buffers below this size are not worth a madvise syscall.
+constexpr size_t kHugePageAdviseBytes = 8u << 20;
+}  // namespace
+
+void EmbeddedDatabase::MaybeAdviseHugePages() {
+#ifdef __linux__
+  if (data_.data() == advised_) return;
+  if (data_.capacity() * sizeof(double) < kHugePageAdviseBytes) return;
+  // madvise wants page-aligned addresses; round the buffer inward.  Ask
+  // the OS for the page size — arm64 kernels commonly run 16K/64K pages
+  // and a hardcoded 4096 would make every madvise fail with EINVAL.
+  static const uintptr_t kPage =
+      static_cast<uintptr_t>(sysconf(_SC_PAGESIZE));
+  uintptr_t begin = reinterpret_cast<uintptr_t>(data_.data());
+  uintptr_t end = begin + data_.capacity() * sizeof(double);
+  uintptr_t aligned_begin = (begin + kPage - 1) & ~(kPage - 1);
+  uintptr_t aligned_end = end & ~(kPage - 1);
+  if (aligned_end > aligned_begin) {
+    // Best effort: kernels without THP simply refuse.
+    (void)madvise(reinterpret_cast<void*>(aligned_begin),
+                  aligned_end - aligned_begin, MADV_HUGEPAGE);
+  }
+  advised_ = data_.data();
+#endif
+}
+
+Vector EmbeddedDatabase::RowVector(size_t i) const {
+  QSE_CHECK(i < size_);
+  const double* r = row(i);
+  return Vector(r, r + dims_);
+}
+
+void EmbeddedDatabase::Resize(size_t rows) {
+  // Advise between allocation and first touch: MADV_HUGEPAGE only
+  // affects pages not yet faulted in, and resize's value-initialization
+  // touches everything.
+  if (rows * dims_ > data_.capacity()) {
+    data_.reserve(rows * dims_);
+    MaybeAdviseHugePages();
+  }
+  data_.resize(rows * dims_, 0.0);
+  size_ = rows;
+}
+
+size_t EmbeddedDatabase::Append(const Vector& row) {
+  QSE_CHECK_MSG(row.size() == dims_,
+                "row has " << row.size() << " dims, database has " << dims_);
+  data_.insert(data_.end(), row.begin(), row.end());
+  MaybeAdviseHugePages();  // Re-advise only after a reallocation.
+  return size_++;
+}
+
+void EmbeddedDatabase::SetRow(size_t i, const Vector& row) {
+  QSE_CHECK(i < size_);
+  QSE_CHECK_MSG(row.size() == dims_,
+                "row has " << row.size() << " dims, database has " << dims_);
+  std::copy(row.begin(), row.end(), mutable_row(i));
+}
+
+size_t EmbeddedDatabase::SwapRemove(size_t i) {
+  QSE_CHECK(i < size_);
+  size_t last = size_ - 1;
+  if (i != last) {
+    std::copy(row(last), row(last) + dims_, mutable_row(i));
+  }
+  data_.resize(last * dims_);
+  size_ = last;
+  return last;
+}
+
+EmbeddedDatabase EmbeddedDatabase::FromRows(const std::vector<Vector>& rows) {
+  EmbeddedDatabase db(rows.empty() ? 0 : rows[0].size());
+  db.Reserve(rows.size());
+  for (const Vector& r : rows) db.Append(r);
+  return db;
+}
+
+}  // namespace qse

@@ -1,0 +1,92 @@
+#ifndef QSE_RETRIEVAL_EMBEDDED_DATABASE_H_
+#define QSE_RETRIEVAL_EMBEDDED_DATABASE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/distance/distance.h"
+
+namespace qse {
+
+/// The embedded database: one d-dimensional vector per database object, in
+/// db-position order.  Computed once offline (the paper's "offline
+/// preprocessing step, in which we compute and store vector F(x) for every
+/// database object").
+///
+/// Storage is a single contiguous row-major buffer rather than a
+/// vector-of-vectors: the filter step is a linear scan over all rows, and
+/// at production scale (n ~ 10^5..10^7, d ~ 10^2..10^3) the scan must
+/// stream through memory without chasing one heap pointer per row.  Rows
+/// are exposed as raw `const double*` views into the buffer.
+///
+/// Supports incremental Append/SwapRemove so dynamic datasets (paper
+/// Sec. 7.1: adding an object online costs only its embedding) can grow
+/// and shrink without re-embedding everything.  Mutation is not
+/// thread-safe against concurrent scans.
+class EmbeddedDatabase {
+ public:
+  EmbeddedDatabase() = default;
+  explicit EmbeddedDatabase(size_t dims) : dims_(dims) {}
+
+  /// Number of rows (database objects).
+  size_t size() const { return size_; }
+  /// Dimensionality d of every row.
+  size_t dims() const { return dims_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Borrowed view of row i: `dims()` contiguous doubles.  Invalidated by
+  /// any mutation.
+  const double* row(size_t i) const { return data_.data() + i * dims_; }
+  double* mutable_row(size_t i) { return data_.data() + i * dims_; }
+
+  /// The whole flat buffer, row-major, size() * dims() doubles.
+  const std::vector<double>& data() const { return data_; }
+
+  /// Copy of row i as an owning Vector (convenience; prefer row() in hot
+  /// loops).
+  Vector RowVector(size_t i) const;
+
+  void Reserve(size_t rows) {
+    data_.reserve(rows * dims_);
+    MaybeAdviseHugePages();
+  }
+
+  /// Grows/shrinks to `rows` rows; new rows are zero-filled.  Used with
+  /// mutable_row() to fill the database in parallel.
+  void Resize(size_t rows);
+
+  /// Appends a row; `row.size()` must equal dims().  Returns the new row's
+  /// index.  O(d) amortized — the incremental insert of the dynamic
+  /// dataset scenario.
+  size_t Append(const Vector& row);
+
+  /// Overwrites row i.
+  void SetRow(size_t i, const Vector& row);
+
+  /// Removes row i in O(d) by moving the last row into slot i and
+  /// shrinking.  Returns the former index of the row that now occupies
+  /// slot i (== i when removing the last row, i.e. nothing moved).
+  /// Callers tracking row -> object-id mappings must apply the same swap.
+  size_t SwapRemove(size_t i);
+
+  /// Builds a flat database from rows-of-vectors (all rows must share one
+  /// dimensionality).  Bridge from AoS call sites and tests.
+  static EmbeddedDatabase FromRows(const std::vector<Vector>& rows);
+
+ private:
+  /// Asks the kernel to back the buffer with transparent huge pages once
+  /// it is large enough to care (Linux, THP=madvise systems; no-op
+  /// elsewhere).  A multi-hundred-MB scan through 4 KiB pages pays a TLB
+  /// walk every two rows at d = 256 — measured ~8% of the whole filter
+  /// step — so re-advise whenever the buffer moves or grows.
+  void MaybeAdviseHugePages();
+
+  size_t dims_ = 0;
+  size_t size_ = 0;
+  std::vector<double> data_;  // Row-major, size_ * dims_ doubles.
+  const double* advised_ = nullptr;  // data_.data() at last madvise.
+};
+
+}  // namespace qse
+
+#endif  // QSE_RETRIEVAL_EMBEDDED_DATABASE_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 #include "src/util/stats.h"
 #include "src/util/top_k.h"
 
@@ -17,8 +18,10 @@ GroundTruth ComputeGroundTruth(const DistanceOracle& oracle,
   GroundTruth gt;
   gt.kmax = kmax;
   gt.knn.resize(query_ids.size());
-  std::vector<double> scores(db_ids.size());
-  for (size_t qi = 0; qi < query_ids.size(); ++qi) {
+  // One independent scan per query; grain 2 because a query costs |db|
+  // exact distances.  The oracle must be safe for concurrent const use.
+  ParallelForGrain(0, query_ids.size(), 2, [&](size_t qi) {
+    std::vector<double> scores(db_ids.size());
     for (size_t i = 0; i < db_ids.size(); ++i) {
       scores[i] = oracle.Distance(query_ids[qi], db_ids[i]);
     }
@@ -27,7 +30,7 @@ GroundTruth ComputeGroundTruth(const DistanceOracle& oracle,
     for (size_t j = 0; j < top.size(); ++j) {
       gt.knn[qi][j] = static_cast<uint32_t>(top[j].index);
     }
-  }
+  });
   return gt;
 }
 
@@ -47,17 +50,21 @@ LadderPoint EvaluateLadderPoint(const Embedder& embedder,
   point.query_cost = embedder.EmbeddingCost();
   point.required_p.resize(query_ids.size());
 
-  std::vector<double> scores;
-  std::vector<size_t> rank_of(db_ids.size());
-  for (size_t qi = 0; qi < query_ids.size(); ++qi) {
+  // Queries are independent: embed, full filter scan, rank statistics.
+  // Grain 2 because each item costs an embedding (exact distances) plus
+  // an O(n d) scan.  Oracle, embedder and scorer must be safe for
+  // concurrent const use.
+  ParallelForGrain(0, query_ids.size(), 2, [&](size_t qi) {
     size_t query_id = query_ids[qi];
     Vector fq = embedder.Embed(
         [&](size_t db_id) { return oracle.Distance(query_id, db_id); },
         nullptr);
+    std::vector<double> scores;
     scorer.Score(fq, db, &scores);
 
     // rank_of[position] = 1-based rank in the filter ordering
     // (deterministic tie-break by position, matching SmallestK).
+    std::vector<size_t> rank_of(db_ids.size());
     std::vector<size_t> order = ArgsortAscending(scores);
     for (size_t r = 0; r < order.size(); ++r) rank_of[order[r]] = r + 1;
 
@@ -69,7 +76,7 @@ LadderPoint EvaluateLadderPoint(const Embedder& embedder,
       worst = std::max(worst, static_cast<uint32_t>(rank_of[truth[k]]));
       req[k] = worst;
     }
-  }
+  });
   return point;
 }
 

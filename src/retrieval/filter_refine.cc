@@ -1,91 +1,30 @@
 #include "src/retrieval/filter_refine.h"
 
-#include <cmath>
-
-#include "src/distance/lp.h"
-#include "src/util/logging.h"
+#include "src/util/parallel.h"
 
 namespace qse {
 
 EmbeddedDatabase EmbedDatabase(const Embedder& embedder,
                                const DistanceOracle& oracle,
-                               const std::vector<size_t>& db_ids) {
-  EmbeddedDatabase db;
-  db.rows.resize(db_ids.size());
-  for (size_t i = 0; i < db_ids.size(); ++i) {
-    size_t self = db_ids[i];
-    db.rows[i] = embedder.Embed(
-        [&](size_t other) {
-          return self == other ? 0.0 : oracle.Distance(self, other);
-        },
-        nullptr);
-  }
+                               const std::vector<size_t>& db_ids,
+                               size_t num_threads) {
+  EmbeddedDatabase db(embedder.dims());
+  db.Resize(db_ids.size());
+  // Grain 2: one item costs up to 2d exact DX evaluations — for real
+  // workloads (shape context, DTW) each is worth a thread on its own.
+  ParallelForGrain(
+      0, db_ids.size(), 2,
+      [&](size_t i) {
+        size_t self = db_ids[i];
+        Vector row = embedder.Embed(
+            [&](size_t other) {
+              return self == other ? 0.0 : oracle.Distance(self, other);
+            },
+            nullptr);
+        db.SetRow(i, row);
+      },
+      num_threads);
   return db;
-}
-
-void QuerySensitiveScorer::Score(const Vector& embedded_query,
-                                 const EmbeddedDatabase& db,
-                                 std::vector<double>* scores) const {
-  Vector weights = model_->QueryWeights(embedded_query);
-  scores->resize(db.size());
-  for (size_t i = 0; i < db.size(); ++i) {
-    (*scores)[i] = QuerySensitiveEmbedding::WeightedDistance(
-        weights, embedded_query, db.rows[i]);
-  }
-}
-
-void L2Scorer::Score(const Vector& embedded_query, const EmbeddedDatabase& db,
-                     std::vector<double>* scores) const {
-  scores->resize(db.size());
-  for (size_t i = 0; i < db.size(); ++i) {
-    (*scores)[i] = SquaredL2Distance(embedded_query, db.rows[i]);
-  }
-}
-
-void L1Scorer::Score(const Vector& embedded_query, const EmbeddedDatabase& db,
-                     std::vector<double>* scores) const {
-  scores->resize(db.size());
-  for (size_t i = 0; i < db.size(); ++i) {
-    (*scores)[i] = L1Distance(embedded_query, db.rows[i]);
-  }
-}
-
-FilterRefineRetriever::FilterRefineRetriever(const Embedder* embedder,
-                                             const FilterScorer* scorer,
-                                             const EmbeddedDatabase* db,
-                                             std::vector<size_t> db_ids)
-    : embedder_(embedder),
-      scorer_(scorer),
-      db_(db),
-      db_ids_(std::move(db_ids)) {
-  QSE_CHECK(db_->size() == db_ids_.size());
-}
-
-RetrievalResult FilterRefineRetriever::Retrieve(const DxToDatabaseFn& dx,
-                                                size_t k, size_t p) const {
-  RetrievalResult result;
-  // Embedding step.
-  size_t embed_cost = 0;
-  Vector fq = embedder_->Embed(dx, &embed_cost);
-  result.embedding_distances = embed_cost;
-
-  // Filter step: rank all database vectors, keep the top p.
-  std::vector<double> scores;
-  scorer_->Score(fq, *db_, &scores);
-  if (p == 0) p = 1;
-  std::vector<ScoredIndex> candidates = SmallestK(scores, p);
-
-  // Refine step: exact distances on the p candidates only.
-  std::vector<ScoredIndex> refined;
-  refined.reserve(candidates.size());
-  for (const ScoredIndex& c : candidates) {
-    refined.push_back({c.index, dx(db_ids_[c.index])});
-  }
-  std::sort(refined.begin(), refined.end());
-  if (refined.size() > k) refined.resize(k);
-  result.neighbors = std::move(refined);
-  result.exact_distances = embed_cost + candidates.size();
-  return result;
 }
 
 }  // namespace qse

@@ -1,106 +1,44 @@
 #ifndef QSE_RETRIEVAL_FILTER_REFINE_H_
 #define QSE_RETRIEVAL_FILTER_REFINE_H_
 
+// Umbrella header for the filter-and-refine retrieval stack.  The
+// subsystem lives in three pieces:
+//
+//   embedded_database.h  - flat SoA storage of the embedded vectors
+//   filter_scorer.h      - the filter step's scan kernels
+//   retrieval_engine.h   - the batched filter-and-refine pipeline
+//
+// plus EmbedDatabase() below, the offline preprocessing step that fills
+// the database.
+
 #include <memory>
 #include <vector>
 
 #include "src/core/qs_embedding.h"
 #include "src/data/dataset.h"
 #include "src/embedding/embedder.h"
+#include "src/retrieval/embedded_database.h"
+#include "src/retrieval/filter_scorer.h"
+#include "src/retrieval/retrieval_engine.h"
 #include "src/util/top_k.h"
 
 namespace qse {
 
-/// The embedded database: one vector per database object, in db-position
-/// order.  Computed once offline (the paper's "offline preprocessing step,
-/// in which we compute and store vector F(x) for every database object").
-struct EmbeddedDatabase {
-  std::vector<Vector> rows;
-
-  size_t size() const { return rows.size(); }
-};
-
-/// Embeds every database object with `embedder`.  The exact distances this
-/// consumes are offline preprocessing, not part of the per-query cost.
+/// Embeds every database object with `embedder`, in parallel across
+/// `num_threads` workers (hardware concurrency when 0).  The exact
+/// distances this consumes are offline preprocessing, not part of the
+/// per-query cost.  `embedder` and `oracle` must be safe for concurrent
+/// const use (CachingOracle is; plain ObjectOracle with a pure distance
+/// function is too).
 EmbeddedDatabase EmbedDatabase(const Embedder& embedder,
                                const DistanceOracle& oracle,
-                               const std::vector<size_t>& db_ids);
+                               const std::vector<size_t>& db_ids,
+                               size_t num_threads = 0);
 
-/// Scores an embedded query against every database row; the filter step's
-/// ranking function.  Implementations: the query-sensitive D_out for
-/// BoostMap models, plain L2 for FastMap, plain L1 for Lipschitz.
-class FilterScorer {
- public:
-  virtual ~FilterScorer() = default;
-
-  /// Fills scores->at(i) with the filter distance of row i; lower = more
-  /// similar.  `scores` is resized by the callee.
-  virtual void Score(const Vector& embedded_query,
-                     const EmbeddedDatabase& db,
-                     std::vector<double>* scores) const = 0;
-};
-
-/// Weighted-L1 scorer with query-sensitive weights A_i(q) from a model
-/// (Eq. 11).  Also serves query-insensitive models (constant weights).
-class QuerySensitiveScorer : public FilterScorer {
- public:
-  explicit QuerySensitiveScorer(const QuerySensitiveEmbedding* model)
-      : model_(model) {}
-  void Score(const Vector& embedded_query, const EmbeddedDatabase& db,
-             std::vector<double>* scores) const override;
-
- private:
-  const QuerySensitiveEmbedding* model_;
-};
-
-/// Unweighted L2 scorer (FastMap's native metric).
-class L2Scorer : public FilterScorer {
- public:
-  void Score(const Vector& embedded_query, const EmbeddedDatabase& db,
-             std::vector<double>* scores) const override;
-};
-
-/// Unweighted L1 scorer (Lipschitz embeddings).
-class L1Scorer : public FilterScorer {
- public:
-  void Score(const Vector& embedded_query, const EmbeddedDatabase& db,
-             std::vector<double>* scores) const override;
-};
-
-/// Result of one filter-and-refine retrieval.
-struct RetrievalResult {
-  /// Top-k neighbors by exact distance among the refined candidates;
-  /// indices are db positions.
-  std::vector<ScoredIndex> neighbors;
-  /// Exact DX evaluations spent: embedding step + refine step.  This is
-  /// the paper's per-query cost measure.
-  size_t exact_distances = 0;
-  /// Of which, spent embedding the query.
-  size_t embedding_distances = 0;
-};
-
-/// The three-step retrieval pipeline of Sec. 8: embed the query, keep the
-/// p most similar vectors (filter), re-rank those p by exact distance
-/// (refine).
-class FilterRefineRetriever {
- public:
-  /// Does not own its arguments; `db_ids[i]` is the database id of row i
-  /// of `db`.
-  FilterRefineRetriever(const Embedder* embedder, const FilterScorer* scorer,
-                        const EmbeddedDatabase* db,
-                        std::vector<size_t> db_ids);
-
-  /// Retrieves the k best matches among the top-p filter candidates.
-  /// `dx` resolves exact distances from the query to database ids.
-  RetrievalResult Retrieve(const DxToDatabaseFn& dx, size_t k,
-                           size_t p) const;
-
- private:
-  const Embedder* embedder_;
-  const FilterScorer* scorer_;
-  const EmbeddedDatabase* db_;
-  std::vector<size_t> db_ids_;
-};
+/// Former name of the retrieval pipeline; the engine supersedes it with
+/// batched retrieval and incremental updates.  Kept as an alias so older
+/// call sites and downstream forks keep compiling.
+using FilterRefineRetriever = RetrievalEngine;
 
 }  // namespace qse
 

@@ -1,0 +1,184 @@
+#include "src/retrieval/filter_scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/distance/lp.h"
+#include "src/distance/weighted_l1.h"
+#include "src/util/logging.h"
+
+namespace qse {
+namespace {
+
+/// Dimensions per early-abandon check.  Large enough that the branch is
+/// amortized over a cache line's worth of work, small enough that hopeless
+/// rows are dropped after a fraction of a high-dimensional scan.  Must be
+/// a multiple of 4 to preserve the lane discipline of the span kernels.
+constexpr size_t kAbandonBlock = 64;
+
+/// One streaming pass over the flat buffer keeping the p smallest rows.
+/// `row_score(x, d, threshold)` scores one row with the scorer's kernel
+/// and may stop early — returning any value strictly greater than
+/// `threshold` — once its running partial sum provably exceeds it.
+/// Partial sums are monotone non-decreasing (non-negative terms), so an
+/// abandoned row's true score also exceeds the threshold and Offer()
+/// rejects it; completed rows must return scores bit-identical to
+/// Score()'s (same lane discipline as the span kernels, see lp.cc), and
+/// BoundedTopK breaks ties by row index exactly like SmallestK.
+template <typename RowScoreFn>
+std::vector<ScoredIndex> TopPScan(const EmbeddedDatabase& db, size_t p,
+                                  const RowScoreFn& row_score) {
+  const size_t n = db.size();
+  const size_t d = db.dims();
+  BoundedTopK top(std::min(p, n));
+  for (size_t i = 0; i < n; ++i) {
+    top.Offer({i, row_score(db.row(i), d, top.threshold())});
+  }
+  return top.TakeSortedAscending();
+}
+
+/// Shared row kernel for the early-abandon scans: blocked 4-lane
+/// accumulation of `term(x, i)` (the scorer's non-negative per-dimension
+/// term) with an abandon check every kAbandonBlock dimensions.  One
+/// definition keeps all three scorers on the exact lane discipline of the
+/// span kernels (lp.cc / weighted_l1.cc) — the bit-identity contract with
+/// Score() lives here, not in three hand-kept copies.  All accumulators
+/// are locals, so after inlining the codegen matches the hand-rolled
+/// version.
+template <typename TermFn>
+double RowScoreEarlyAbandon(const double* x, size_t d, double threshold,
+                            const TermFn& term) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  size_t i = 0;
+  while (i + kAbandonBlock <= d) {
+    size_t hi = i + kAbandonBlock;
+    for (; i < hi; i += 4) {
+      l0 += term(x, i);
+      l1 += term(x, i + 1);
+      l2 += term(x, i + 2);
+      l3 += term(x, i + 3);
+    }
+    double partial = (l0 + l1) + (l2 + l3);
+    if (partial > threshold) return partial;
+  }
+  for (; i + 4 <= d; i += 4) {
+    l0 += term(x, i);
+    l1 += term(x, i + 1);
+    l2 += term(x, i + 2);
+    l3 += term(x, i + 3);
+  }
+  for (; i < d; ++i) l0 += term(x, i);
+  return (l0 + l1) + (l2 + l3);
+}
+
+}  // namespace
+
+std::vector<ScoredIndex> FilterScorer::ScoreTopP(const Vector& embedded_query,
+                                                 const EmbeddedDatabase& db,
+                                                 size_t p) const {
+  std::vector<double> scores;
+  Score(embedded_query, db, &scores);
+  return SmallestK(scores, p);
+}
+
+void QuerySensitiveScorer::ScoreWithWeights(const Vector& weights,
+                                            const Vector& embedded_query,
+                                            const EmbeddedDatabase& db,
+                                            std::vector<double>* scores) {
+  const size_t d = db.dims();
+  QSE_CHECK(embedded_query.size() == d);
+  scores->resize(db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    (*scores)[i] = WeightedL1DistanceSpan(embedded_query.data(), db.row(i),
+                                          weights.data(), d);
+  }
+}
+
+void QuerySensitiveScorer::Score(const Vector& embedded_query,
+                                 const EmbeddedDatabase& db,
+                                 std::vector<double>* scores) const {
+  ScoreWithWeights(model_->QueryWeights(embedded_query), embedded_query, db,
+                   scores);
+}
+
+std::vector<ScoredIndex> QuerySensitiveScorer::ScoreTopP(
+    const Vector& embedded_query, const EmbeddedDatabase& db,
+    size_t p) const {
+  Vector weights = model_->QueryWeights(embedded_query);
+  const size_t d = db.dims();
+  QSE_CHECK(embedded_query.size() == d);
+  // A_i(q) sums AdaBoost alphas, which MinimizeZ may in principle drive
+  // negative; early abandon is only exact for non-negative terms, so
+  // verify once per query and fall back to the unpruned scan otherwise.
+  bool nonnegative = true;
+  for (double w : weights) {
+    if (w < 0.0) {
+      nonnegative = false;
+      break;
+    }
+  }
+  if (!nonnegative) {
+    // Unpruned fallback, reusing the weights computed above instead of
+    // paying a second A_i(q) evaluation inside Score().
+    std::vector<double> scores;
+    ScoreWithWeights(weights, embedded_query, db, &scores);
+    return SmallestK(scores, p);
+  }
+  const double* q = embedded_query.data();
+  const double* w = weights.data();
+  return TopPScan(db, p, [q, w](const double* x, size_t d, double threshold) {
+    return RowScoreEarlyAbandon(
+        x, d, threshold, [q, w](const double* row, size_t i) {
+          return w[i] * std::fabs(q[i] - row[i]);
+        });
+  });
+}
+
+void L2Scorer::Score(const Vector& embedded_query, const EmbeddedDatabase& db,
+                     std::vector<double>* scores) const {
+  const size_t d = db.dims();
+  QSE_CHECK(embedded_query.size() == d);
+  scores->resize(db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    (*scores)[i] = SquaredL2DistanceSpan(embedded_query.data(), db.row(i), d);
+  }
+}
+
+std::vector<ScoredIndex> L2Scorer::ScoreTopP(const Vector& embedded_query,
+                                             const EmbeddedDatabase& db,
+                                             size_t p) const {
+  QSE_CHECK(embedded_query.size() == db.dims());
+  const double* q = embedded_query.data();
+  return TopPScan(db, p, [q](const double* x, size_t d, double threshold) {
+    return RowScoreEarlyAbandon(x, d, threshold,
+                                [q](const double* row, size_t i) {
+                                  double diff = q[i] - row[i];
+                                  return diff * diff;
+                                });
+  });
+}
+
+void L1Scorer::Score(const Vector& embedded_query, const EmbeddedDatabase& db,
+                     std::vector<double>* scores) const {
+  const size_t d = db.dims();
+  QSE_CHECK(embedded_query.size() == d);
+  scores->resize(db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    (*scores)[i] = L1DistanceSpan(embedded_query.data(), db.row(i), d);
+  }
+}
+
+std::vector<ScoredIndex> L1Scorer::ScoreTopP(const Vector& embedded_query,
+                                             const EmbeddedDatabase& db,
+                                             size_t p) const {
+  QSE_CHECK(embedded_query.size() == db.dims());
+  const double* q = embedded_query.data();
+  return TopPScan(db, p, [q](const double* x, size_t d, double threshold) {
+    return RowScoreEarlyAbandon(x, d, threshold,
+                                [q](const double* row, size_t i) {
+                                  return std::fabs(q[i] - row[i]);
+                                });
+  });
+}
+
+}  // namespace qse

@@ -1,0 +1,87 @@
+#ifndef QSE_RETRIEVAL_FILTER_SCORER_H_
+#define QSE_RETRIEVAL_FILTER_SCORER_H_
+
+#include <vector>
+
+#include "src/core/qs_embedding.h"
+#include "src/retrieval/embedded_database.h"
+#include "src/util/top_k.h"
+
+namespace qse {
+
+/// Scores an embedded query against every database row; the filter step's
+/// ranking function.  Implementations: the query-sensitive D_out for
+/// BoostMap models, plain L2 for FastMap, plain L1 for Lipschitz.
+class FilterScorer {
+ public:
+  virtual ~FilterScorer() = default;
+
+  /// Fills scores->at(i) with the filter distance of row i; lower = more
+  /// similar.  `scores` is resized by the callee.  Used where the full
+  /// ranking is needed (the evaluation protocol's required-p statistics).
+  virtual void Score(const Vector& embedded_query,
+                     const EmbeddedDatabase& db,
+                     std::vector<double>* scores) const = 0;
+
+  /// The p best rows, ascending by (score, row) — exactly
+  /// SmallestK(Score(...), p), but computed as one blocked streaming pass
+  /// over the flat buffer with early-abandon pruning: a row is dropped as
+  /// soon as its partial sum exceeds the running p-th-best threshold.
+  /// Valid for kernels with non-negative per-dimension terms (all three
+  /// here; the query-sensitive scorer verifies its weights and falls back
+  /// to a full scan if any are negative).
+  ///
+  /// The base implementation is the unpruned fallback (full Score +
+  /// SmallestK); subclasses override with the fused kernel.
+  virtual std::vector<ScoredIndex> ScoreTopP(const Vector& embedded_query,
+                                             const EmbeddedDatabase& db,
+                                             size_t p) const;
+};
+
+/// Weighted-L1 scorer with query-sensitive weights A_i(q) from a model
+/// (Eq. 11).  Also serves query-insensitive models (constant weights).
+class QuerySensitiveScorer : public FilterScorer {
+ public:
+  explicit QuerySensitiveScorer(const QuerySensitiveEmbedding* model)
+      : model_(model) {}
+  void Score(const Vector& embedded_query, const EmbeddedDatabase& db,
+             std::vector<double>* scores) const override;
+  std::vector<ScoredIndex> ScoreTopP(const Vector& embedded_query,
+                                     const EmbeddedDatabase& db,
+                                     size_t p) const override;
+
+ private:
+  /// The scan with A_i(q) already evaluated; both public entry points
+  /// funnel here so the weights are computed exactly once per query.
+  static void ScoreWithWeights(const Vector& weights,
+                               const Vector& embedded_query,
+                               const EmbeddedDatabase& db,
+                               std::vector<double>* scores);
+
+  const QuerySensitiveEmbedding* model_;
+};
+
+/// Unweighted L2 scorer (FastMap's native metric); scores are squared
+/// Euclidean distances (monotone in L2, sqrt-free).
+class L2Scorer : public FilterScorer {
+ public:
+  void Score(const Vector& embedded_query, const EmbeddedDatabase& db,
+             std::vector<double>* scores) const override;
+  std::vector<ScoredIndex> ScoreTopP(const Vector& embedded_query,
+                                     const EmbeddedDatabase& db,
+                                     size_t p) const override;
+};
+
+/// Unweighted L1 scorer (Lipschitz embeddings).
+class L1Scorer : public FilterScorer {
+ public:
+  void Score(const Vector& embedded_query, const EmbeddedDatabase& db,
+             std::vector<double>* scores) const override;
+  std::vector<ScoredIndex> ScoreTopP(const Vector& embedded_query,
+                                     const EmbeddedDatabase& db,
+                                     size_t p) const override;
+};
+
+}  // namespace qse
+
+#endif  // QSE_RETRIEVAL_FILTER_SCORER_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 
 namespace qse {
 
@@ -21,6 +22,24 @@ LbDtwIndex::LbDtwIndex(std::vector<Series> database, double band_fraction)
 }
 
 LbDtwIndex::Result LbDtwIndex::Search(const Series& query, size_t k) const {
+  return SearchImpl(query, k, /*lb_threads=*/0);
+}
+
+std::vector<LbDtwIndex::Result> LbDtwIndex::SearchBatch(
+    const std::vector<Series>& queries, size_t k, size_t num_threads) const {
+  std::vector<Result> results(queries.size());
+  // Parallelize across queries (grain 2: each item runs LB scans plus
+  // exact cDTW evaluations); keep each query's inner LB scan serial so
+  // the two levels don't multiply thread counts.
+  ParallelForGrain(
+      0, queries.size(), 2,
+      [&](size_t i) { results[i] = SearchImpl(queries[i], k, 1); },
+      num_threads);
+  return results;
+}
+
+LbDtwIndex::Result LbDtwIndex::SearchImpl(const Series& query, size_t k,
+                                          size_t lb_threads) const {
   QSE_CHECK(query.length() == database_[0].length());
   QSE_CHECK(query.dims() == database_[0].dims());
   QSE_CHECK(k >= 1);
@@ -28,9 +47,10 @@ LbDtwIndex::Result LbDtwIndex::Search(const Series& query, size_t k) const {
 
   DtwEnvelope envelope = BuildEnvelope(query, window_);
   std::vector<ScoredIndex> by_lb(database_.size());
-  for (size_t i = 0; i < database_.size(); ++i) {
-    by_lb[i] = {i, LbKeogh(envelope, database_[i])};
-  }
+  ParallelFor(
+      0, database_.size(),
+      [&](size_t i) { by_lb[i] = {i, LbKeogh(envelope, database_[i])}; },
+      lb_threads);
   std::sort(by_lb.begin(), by_lb.end());
 
   Result result;

@@ -38,10 +38,21 @@ class LbDtwIndex {
 
   Result Search(const Series& query, size_t k) const;
 
+  /// Batched, thread-parallel variant: results[i] is bit-identical to
+  /// Search(queries[i], k).  Queries are independent; the LB scan inside
+  /// each Search is itself parallelized only for single-query calls, so
+  /// batching parallelizes at the query level instead (one core per
+  /// query, no nested thread explosion).  `num_threads` = 0 means
+  /// hardware concurrency.
+  std::vector<Result> SearchBatch(const std::vector<Series>& queries,
+                                  size_t k, size_t num_threads = 0) const;
+
   size_t size() const { return database_.size(); }
   double band_fraction() const { return band_fraction_; }
 
  private:
+  Result SearchImpl(const Series& query, size_t k, size_t lb_threads) const;
+
   std::vector<Series> database_;
   double band_fraction_;
   long window_;

@@ -1,0 +1,126 @@
+#include "src/retrieval/retrieval_engine.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/parallel.h"
+
+namespace qse {
+
+RetrievalEngine::RetrievalEngine(const Embedder* embedder,
+                                 const FilterScorer* scorer,
+                                 EmbeddedDatabase* db,
+                                 std::vector<size_t> db_ids)
+    : embedder_(embedder),
+      scorer_(scorer),
+      db_(db),
+      db_ids_(std::move(db_ids)) {
+  QSE_CHECK(db_->size() == db_ids_.size());
+  row_of_.reserve(db_ids_.size());
+  for (size_t row = 0; row < db_ids_.size(); ++row) {
+    bool inserted = row_of_.emplace(db_ids_[row], row).second;
+    QSE_CHECK_MSG(inserted, "duplicate database id " << db_ids_[row]);
+  }
+}
+
+StatusOr<RetrievalResult> RetrievalEngine::Retrieve(const DxToDatabaseFn& dx,
+                                                    size_t k,
+                                                    size_t p) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (p == 0) {
+    return Status::InvalidArgument(
+        "p must be >= 1: a filter step that keeps no candidates cannot "
+        "retrieve anything");
+  }
+  if (db_->empty()) {
+    return Status::FailedPrecondition("embedded database is empty");
+  }
+  p = std::min(p, db_->size());
+
+  RetrievalResult result;
+  // Embedding step.
+  size_t embed_cost = 0;
+  Vector fq = embedder_->Embed(dx, &embed_cost);
+  result.embedding_distances = embed_cost;
+
+  // Filter step: one streaming early-abandon scan keeping the top p.
+  std::vector<ScoredIndex> candidates = scorer_->ScoreTopP(fq, *db_, p);
+
+  // Refine step: exact distances on the p candidates only.
+  std::vector<ScoredIndex> refined;
+  refined.reserve(candidates.size());
+  for (const ScoredIndex& c : candidates) {
+    refined.push_back({c.index, dx(db_ids_[c.index])});
+  }
+  std::sort(refined.begin(), refined.end());
+  if (refined.size() > k) refined.resize(k);
+  result.neighbors = std::move(refined);
+  result.exact_distances = embed_cost + candidates.size();
+  return result;
+}
+
+StatusOr<std::vector<RetrievalResult>> RetrievalEngine::RetrieveBatch(
+    const std::vector<DxToDatabaseFn>& queries, size_t k, size_t p,
+    size_t num_threads) const {
+  // Validate once up front so a bad parameter fails the whole batch
+  // instead of every entry failing identically in parallel.
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (p == 0) return Status::InvalidArgument("p must be >= 1");
+  if (db_->empty()) {
+    return Status::FailedPrecondition("embedded database is empty");
+  }
+
+  std::vector<RetrievalResult> results(queries.size());
+  // Grain 2: one item is a whole filter-and-refine retrieval, expensive
+  // enough to parallelize even a handful of queries.
+  ParallelForGrain(
+      0, queries.size(), 2,
+      [&](size_t i) {
+        StatusOr<RetrievalResult> r = Retrieve(queries[i], k, p);
+        // Parameters were validated above; a failure here would be a
+        // programming error, not caller input.
+        QSE_CHECK_MSG(r.ok(), r.status().ToString());
+        results[i] = std::move(r).value();
+      },
+      num_threads);
+  return results;
+}
+
+Status RetrievalEngine::Insert(size_t db_id, const DxToDatabaseFn& dx) {
+  if (row_of_.count(db_id) != 0) {
+    return Status::InvalidArgument("database id already present: " +
+                                   std::to_string(db_id));
+  }
+  Vector embedded = embedder_->Embed(dx, nullptr);
+  if (embedded.size() != db_->dims()) {
+    return Status::Internal("embedder produced " +
+                            std::to_string(embedded.size()) +
+                            " dims, database holds " +
+                            std::to_string(db_->dims()));
+  }
+  size_t row = db_->Append(embedded);
+  db_ids_.push_back(db_id);
+  row_of_.emplace(db_id, row);
+  return Status::OK();
+}
+
+Status RetrievalEngine::Remove(size_t db_id) {
+  auto it = row_of_.find(db_id);
+  if (it == row_of_.end()) {
+    return Status::NotFound("database id not present: " +
+                            std::to_string(db_id));
+  }
+  size_t row = it->second;
+  row_of_.erase(it);
+  size_t moved_from = db_->SwapRemove(row);
+  if (moved_from != row) {
+    // The former last row now lives at `row`; update both mappings.
+    size_t moved_id = db_ids_[moved_from];
+    db_ids_[row] = moved_id;
+    row_of_[moved_id] = row;
+  }
+  db_ids_.pop_back();
+  return Status::OK();
+}
+
+}  // namespace qse

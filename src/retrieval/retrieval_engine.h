@@ -1,0 +1,93 @@
+#ifndef QSE_RETRIEVAL_RETRIEVAL_ENGINE_H_
+#define QSE_RETRIEVAL_RETRIEVAL_ENGINE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/embedding/embedder.h"
+#include "src/retrieval/embedded_database.h"
+#include "src/retrieval/filter_scorer.h"
+#include "src/util/statusor.h"
+#include "src/util/top_k.h"
+
+namespace qse {
+
+/// Result of one filter-and-refine retrieval.
+struct RetrievalResult {
+  /// Top-k neighbors by exact distance among the refined candidates;
+  /// indices are db positions (rows of the embedded database).
+  std::vector<ScoredIndex> neighbors;
+  /// Exact DX evaluations spent: embedding step + refine step.  This is
+  /// the paper's per-query cost measure.
+  size_t exact_distances = 0;
+  /// Of which, spent embedding the query.
+  size_t embedding_distances = 0;
+};
+
+/// The retrieval engine: the three-step filter-and-refine pipeline of
+/// Sec. 8 (embed the query, keep the p most similar vectors, re-rank
+/// those p by exact distance), served batched and thread-parallel on top
+/// of the flat SoA embedded database.
+///
+/// Also owns the row <-> database-id bookkeeping needed for dynamic
+/// datasets (Sec. 7.1): Insert embeds and appends a new object in O(d)
+/// exact distances, Remove drops one in O(d) memory traffic.
+///
+/// Thread-safety: Retrieve/RetrieveBatch are const and safe to call
+/// concurrently as long as the embedder, scorer and `dx` callbacks are;
+/// Insert/Remove must not run concurrently with anything else.
+class RetrievalEngine {
+ public:
+  /// Does not own its arguments; `db_ids[i]` is the database id of row i
+  /// of `db`.  The engine mutates `db` only through Insert/Remove.
+  RetrievalEngine(const Embedder* embedder, const FilterScorer* scorer,
+                  EmbeddedDatabase* db, std::vector<size_t> db_ids);
+
+  /// Retrieves the k best matches among the top-p filter candidates.
+  /// `dx` resolves exact distances from the query to database ids.
+  ///
+  /// Returns InvalidArgument when k == 0 or p == 0 (a filter that keeps
+  /// nothing is a caller bug, not a degenerate retrieval), and
+  /// FailedPrecondition on an empty database.  p is clamped to the
+  /// database size (p = n degenerates to brute force, as in the paper).
+  StatusOr<RetrievalResult> Retrieve(const DxToDatabaseFn& dx, size_t k,
+                                     size_t p) const;
+
+  /// Retrieves a batch of queries in parallel via qse::ParallelFor.
+  /// results[i] corresponds to queries[i] and is bit-identical to
+  /// Retrieve(queries[i], k, p) — each query runs the exact same
+  /// single-query code path, whatever the thread count.
+  /// `num_threads` = 0 means hardware concurrency.
+  StatusOr<std::vector<RetrievalResult>> RetrieveBatch(
+      const std::vector<DxToDatabaseFn>& queries, size_t k, size_t p,
+      size_t num_threads = 0) const;
+
+  /// Embeds a new object (<= 2d exact distances via `dx`) and appends it
+  /// to the database under `db_id`.  Fails with InvalidArgument when the
+  /// id is already present.
+  Status Insert(size_t db_id, const DxToDatabaseFn& dx);
+
+  /// Removes the object with id `db_id` (swap-with-last, O(d)).  Row
+  /// positions of the swapped row change; neighbors are always reported
+  /// against the current layout.  Fails with NotFound for unknown ids.
+  Status Remove(size_t db_id);
+
+  /// Number of database objects currently live.
+  size_t size() const { return db_->size(); }
+
+  /// Database id of row `row`.
+  size_t db_id_of(size_t row) const { return db_ids_[row]; }
+  const std::vector<size_t>& db_ids() const { return db_ids_; }
+  const EmbeddedDatabase& db() const { return *db_; }
+
+ private:
+  const Embedder* embedder_;
+  const FilterScorer* scorer_;
+  EmbeddedDatabase* db_;
+  std::vector<size_t> db_ids_;                 // row -> database id
+  std::unordered_map<size_t, size_t> row_of_;  // database id -> row
+};
+
+}  // namespace qse
+
+#endif  // QSE_RETRIEVAL_RETRIEVAL_ENGINE_H_

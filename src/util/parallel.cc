@@ -14,12 +14,17 @@ size_t DefaultParallelism() {
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)>& body,
                  size_t num_threads) {
+  // Below this size thread startup dominates for cheap bodies.
+  ParallelForGrain(begin, end, 256, body, num_threads);
+}
+
+void ParallelForGrain(size_t begin, size_t end, size_t grain,
+                      const std::function<void(size_t)>& body,
+                      size_t num_threads) {
   if (begin >= end) return;
   if (num_threads == 0) num_threads = DefaultParallelism();
   size_t n = end - begin;
-  // Below this size thread startup dominates; run serially.
-  constexpr size_t kSerialCutoff = 256;
-  if (num_threads <= 1 || n < kSerialCutoff) {
+  if (num_threads <= 1 || n < grain) {
     for (size_t i = begin; i < end; ++i) body(i);
     return;
   }

@@ -17,6 +17,16 @@ void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)>& body,
                  size_t num_threads = 0);
 
+/// ParallelFor with an explicit serial cutoff: ranges shorter than
+/// `grain` items run serially, anything else is split across threads.
+/// ParallelFor uses a cutoff of 256, tuned for cheap per-item bodies;
+/// pass grain = 2 for expensive bodies (a whole retrieval per item, a
+/// query embedding, an exact DTW) where even a handful of items is worth
+/// the thread startup.
+void ParallelForGrain(size_t begin, size_t end, size_t grain,
+                      const std::function<void(size_t)>& body,
+                      size_t num_threads = 0);
+
 /// Number of worker threads ParallelFor would use for `num_threads == 0`.
 size_t DefaultParallelism();
 

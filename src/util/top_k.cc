@@ -1,6 +1,7 @@
 #include "src/util/top_k.h"
 
 #include <cassert>
+#include <limits>
 
 namespace qse {
 
@@ -25,6 +26,31 @@ std::vector<size_t> ArgsortAscending(const std::vector<double>& scores) {
   std::vector<size_t> idx(all.size());
   for (size_t i = 0; i < all.size(); ++i) idx[i] = all[i].index;
   return idx;
+}
+
+double BoundedTopK::threshold() const {
+  if (k_ == 0) return -std::numeric_limits<double>::infinity();
+  if (!full()) return std::numeric_limits<double>::infinity();
+  return heap_.front().score;
+}
+
+bool BoundedTopK::Offer(ScoredIndex cand) {
+  if (k_ == 0) return false;
+  if (!full()) {
+    heap_.push_back(cand);
+    std::push_heap(heap_.begin(), heap_.end());
+    return true;
+  }
+  if (!(cand < heap_.front())) return false;
+  std::pop_heap(heap_.begin(), heap_.end());
+  heap_.back() = cand;
+  std::push_heap(heap_.begin(), heap_.end());
+  return true;
+}
+
+std::vector<ScoredIndex> BoundedTopK::TakeSortedAscending() {
+  std::sort_heap(heap_.begin(), heap_.end());
+  return std::move(heap_);
 }
 
 size_t RankOf(const std::vector<double>& scores, size_t target_index) {

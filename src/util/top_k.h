@@ -38,6 +38,37 @@ std::vector<size_t> ArgsortAscending(const std::vector<double>& scores);
 /// the filter-step rank of a true nearest neighbor.
 size_t RankOf(const std::vector<double>& scores, size_t target_index);
 
+/// Streaming bounded selection of the k smallest ScoredIndex entries, with
+/// the same (score, index) total order — and therefore the same results —
+/// as SmallestK.  Backs the filter step's early-abandon scan: threshold()
+/// exposes the current k-th best score so a scorer can abandon a row as
+/// soon as its partial sum provably exceeds it.
+class BoundedTopK {
+ public:
+  explicit BoundedTopK(size_t k) : k_(k) { heap_.reserve(k); }
+
+  /// True once k entries are held (the threshold is then meaningful).
+  bool full() const { return heap_.size() >= k_; }
+
+  /// Score of the current k-th smallest entry; +infinity while not full
+  /// (nothing can be abandoned yet), -infinity when k == 0.
+  double threshold() const;
+
+  /// Inserts `cand` if it is among the k smallest seen so far; returns
+  /// whether it was kept.
+  bool Offer(ScoredIndex cand);
+
+  /// Extracts the kept entries sorted ascending by (score, index),
+  /// leaving the container empty.
+  std::vector<ScoredIndex> TakeSortedAscending();
+
+  size_t size() const { return heap_.size(); }
+
+ private:
+  size_t k_;
+  std::vector<ScoredIndex> heap_;  // Max-heap: heap_[0] is the k-th best.
+};
+
 }  // namespace qse
 
 #endif  // QSE_UTIL_TOP_K_H_

@@ -1,0 +1,81 @@
+#include "src/retrieval/embedded_database.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace qse {
+namespace {
+
+TEST(EmbeddedDatabaseTest, StartsEmpty) {
+  EmbeddedDatabase db(4);
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_EQ(db.dims(), 4u);
+  EXPECT_TRUE(db.empty());
+}
+
+TEST(EmbeddedDatabaseTest, AppendStoresRowsContiguously) {
+  EmbeddedDatabase db(3);
+  EXPECT_EQ(db.Append({1, 2, 3}), 0u);
+  EXPECT_EQ(db.Append({4, 5, 6}), 1u);
+  EXPECT_EQ(db.size(), 2u);
+  // One flat buffer, row-major.
+  EXPECT_EQ(db.data(), (std::vector<double>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(db.row(1)[0], 4.0);
+  EXPECT_EQ(db.row(1) - db.row(0), 3);  // Adjacent rows, no gaps.
+}
+
+TEST(EmbeddedDatabaseTest, FromRowsRoundTripsThroughRowVector) {
+  std::vector<Vector> rows = {{0.5, -1}, {2, 3}, {4, 5}};
+  EmbeddedDatabase db = EmbeddedDatabase::FromRows(rows);
+  ASSERT_EQ(db.size(), 3u);
+  ASSERT_EQ(db.dims(), 2u);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(db.RowVector(i), rows[i]);
+  }
+}
+
+TEST(EmbeddedDatabaseTest, SetRowOverwritesInPlace) {
+  EmbeddedDatabase db = EmbeddedDatabase::FromRows({{1, 1}, {2, 2}});
+  db.SetRow(0, {9, 8});
+  EXPECT_EQ(db.RowVector(0), (Vector{9, 8}));
+  EXPECT_EQ(db.RowVector(1), (Vector{2, 2}));
+}
+
+TEST(EmbeddedDatabaseTest, SwapRemoveMiddleMovesLastRow) {
+  EmbeddedDatabase db =
+      EmbeddedDatabase::FromRows({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  size_t moved_from = db.SwapRemove(1);
+  EXPECT_EQ(moved_from, 3u);  // Former last row now lives at slot 1.
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_EQ(db.RowVector(1), (Vector{3, 3}));
+  EXPECT_EQ(db.RowVector(2), (Vector{2, 2}));
+}
+
+TEST(EmbeddedDatabaseTest, SwapRemoveLastMovesNothing) {
+  EmbeddedDatabase db = EmbeddedDatabase::FromRows({{0, 0}, {1, 1}});
+  size_t moved_from = db.SwapRemove(1);
+  EXPECT_EQ(moved_from, 1u);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.RowVector(0), (Vector{0, 0}));
+}
+
+TEST(EmbeddedDatabaseTest, ResizeZeroFillsNewRows) {
+  EmbeddedDatabase db(2);
+  db.Resize(3);
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_EQ(db.RowVector(2), (Vector{0, 0}));
+  db.mutable_row(1)[0] = 7;
+  EXPECT_EQ(db.RowVector(1), (Vector{7, 0}));
+}
+
+TEST(EmbeddedDatabaseTest, AppendAfterResizeKeepsData) {
+  EmbeddedDatabase db(2);
+  db.Resize(1);
+  db.SetRow(0, {1, 2});
+  EXPECT_EQ(db.Append({3, 4}), 1u);
+  EXPECT_EQ(db.data(), (std::vector<double>{1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace qse

@@ -72,11 +72,24 @@ TEST(EmbedDatabaseTest, RowsMatchDirectEmbedding) {
     Vector direct = p.model.Embed([&](size_t o) {
       return o == p.db_ids[i] ? 0.0 : p.oracle.Distance(p.db_ids[i], o);
     });
-    ASSERT_EQ(p.db.rows[i].size(), direct.size());
+    Vector row = p.db.RowVector(i);
+    ASSERT_EQ(row.size(), direct.size());
     for (size_t d = 0; d < direct.size(); ++d) {
-      EXPECT_DOUBLE_EQ(p.db.rows[i][d], direct[d]);
+      EXPECT_DOUBLE_EQ(row[d], direct[d]);
     }
   }
+}
+
+TEST(EmbedDatabaseTest, ParallelEmbeddingMatchesSerial) {
+  Pipeline p = MakePipeline(10);
+  QseEmbedderAdapter adapter(&p.model);
+  EmbeddedDatabase serial =
+      EmbedDatabase(adapter, p.oracle, p.db_ids, /*num_threads=*/1);
+  EmbeddedDatabase parallel =
+      EmbedDatabase(adapter, p.oracle, p.db_ids, /*num_threads=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_EQ(serial.dims(), parallel.dims());
+  EXPECT_EQ(serial.data(), parallel.data());
 }
 
 TEST(FilterRefineTest, FullCandidateSetIsExact) {
@@ -88,12 +101,13 @@ TEST(FilterRefineTest, FullCandidateSetIsExact) {
   FilterRefineRetriever retriever(&adapter, &scorer, &p.db, p.db_ids);
   for (size_t query_id = 70; query_id < 75; ++query_id) {
     auto dx = [&](size_t id) { return p.oracle.Distance(query_id, id); };
-    RetrievalResult result = retriever.Retrieve(dx, 5, p.db_ids.size());
+    auto result = retriever.Retrieve(dx, 5, p.db_ids.size());
+    ASSERT_TRUE(result.ok()) << result.status();
     auto exact = ExactKnn(p.oracle, query_id, p.db_ids, 5);
-    ASSERT_EQ(result.neighbors.size(), 5u);
+    ASSERT_EQ(result->neighbors.size(), 5u);
     for (size_t i = 0; i < 5; ++i) {
-      EXPECT_EQ(result.neighbors[i].index, exact[i].index);
-      EXPECT_DOUBLE_EQ(result.neighbors[i].score, exact[i].score);
+      EXPECT_EQ(result->neighbors[i].index, exact[i].index);
+      EXPECT_DOUBLE_EQ(result->neighbors[i].score, exact[i].score);
     }
   }
 }
@@ -104,10 +118,11 @@ TEST(FilterRefineTest, CostAccounting) {
   QuerySensitiveScorer scorer(&p.model);
   FilterRefineRetriever retriever(&adapter, &scorer, &p.db, p.db_ids);
   auto dx = [&](size_t id) { return p.oracle.Distance(70, id); };
-  RetrievalResult result = retriever.Retrieve(dx, 3, 17);
-  EXPECT_EQ(result.embedding_distances, p.model.EmbeddingCost());
-  EXPECT_EQ(result.exact_distances, result.embedding_distances + 17);
-  EXPECT_EQ(result.neighbors.size(), 3u);
+  auto result = retriever.Retrieve(dx, 3, 17);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->embedding_distances, p.model.EmbeddingCost());
+  EXPECT_EQ(result->exact_distances, result->embedding_distances + 17);
+  EXPECT_EQ(result->neighbors.size(), 3u);
 }
 
 TEST(FilterRefineTest, LargerPImprovesOrKeepsAccuracy) {
@@ -121,12 +136,13 @@ TEST(FilterRefineTest, LargerPImprovesOrKeepsAccuracy) {
     auto exact = ExactKnn(p.oracle, query_id, p.db_ids, 1);
     auto small = retriever.Retrieve(dx, 1, 3);
     auto large = retriever.Retrieve(dx, 1, 30);
-    if (!small.neighbors.empty() &&
-        small.neighbors[0].index == exact[0].index) {
+    ASSERT_TRUE(small.ok() && large.ok());
+    if (!small->neighbors.empty() &&
+        small->neighbors[0].index == exact[0].index) {
       ++hits_small;
     }
-    if (!large.neighbors.empty() &&
-        large.neighbors[0].index == exact[0].index) {
+    if (!large->neighbors.empty() &&
+        large->neighbors[0].index == exact[0].index) {
       ++hits_large;
     }
   }
@@ -134,19 +150,34 @@ TEST(FilterRefineTest, LargerPImprovesOrKeepsAccuracy) {
   EXPECT_GE(hits_large, 13u);  // p = half the db on easy 2D data.
 }
 
-TEST(FilterRefineTest, PZeroClampedToOne) {
+TEST(FilterRefineTest, PZeroIsAnExplicitError) {
+  // A filter that keeps no candidates is a caller bug; it used to be
+  // silently coerced to p = 1, which hid mis-wired parameter plumbing.
   Pipeline p = MakePipeline(14);
   QseEmbedderAdapter adapter(&p.model);
   QuerySensitiveScorer scorer(&p.model);
   FilterRefineRetriever retriever(&adapter, &scorer, &p.db, p.db_ids);
   auto dx = [&](size_t id) { return p.oracle.Distance(70, id); };
-  RetrievalResult result = retriever.Retrieve(dx, 1, 0);
-  EXPECT_EQ(result.neighbors.size(), 1u);
+  auto result = retriever.Retrieve(dx, 1, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FilterRefineTest, POverDatabaseSizeIsClamped) {
+  Pipeline p = MakePipeline(14);
+  QseEmbedderAdapter adapter(&p.model);
+  QuerySensitiveScorer scorer(&p.model);
+  FilterRefineRetriever retriever(&adapter, &scorer, &p.db, p.db_ids);
+  auto dx = [&](size_t id) { return p.oracle.Distance(70, id); };
+  auto clamped = retriever.Retrieve(dx, 1, p.db_ids.size() * 10);
+  auto full = retriever.Retrieve(dx, 1, p.db_ids.size());
+  ASSERT_TRUE(clamped.ok() && full.ok());
+  EXPECT_EQ(clamped->exact_distances, full->exact_distances);
+  EXPECT_EQ(clamped->neighbors[0].index, full->neighbors[0].index);
 }
 
 TEST(ScorerTest, L2ScorerMatchesSquaredEuclidean) {
-  EmbeddedDatabase db;
-  db.rows = {{0, 0}, {1, 1}, {3, 4}};
+  EmbeddedDatabase db = EmbeddedDatabase::FromRows({{0, 0}, {1, 1}, {3, 4}});
   L2Scorer scorer;
   std::vector<double> scores;
   scorer.Score({0, 0}, db, &scores);
@@ -157,8 +188,7 @@ TEST(ScorerTest, L2ScorerMatchesSquaredEuclidean) {
 }
 
 TEST(ScorerTest, L1ScorerMatchesManhattan) {
-  EmbeddedDatabase db;
-  db.rows = {{0, 0}, {1, 1}, {3, 4}};
+  EmbeddedDatabase db = EmbeddedDatabase::FromRows({{0, 0}, {1, 1}, {3, 4}});
   L1Scorer scorer;
   std::vector<double> scores;
   scorer.Score({0, 0}, db, &scores);
@@ -169,12 +199,12 @@ TEST(ScorerTest, L1ScorerMatchesManhattan) {
 TEST(ScorerTest, QuerySensitiveScorerMatchesModelDistance) {
   Pipeline p = MakePipeline(15);
   QuerySensitiveScorer scorer(&p.model);
-  Vector fq = p.db.rows[0];
+  Vector fq = p.db.RowVector(0);
   std::vector<double> scores;
   scorer.Score(fq, p.db, &scores);
   for (size_t i = 0; i < p.db.size(); ++i) {
-    EXPECT_NEAR(scores[i], p.model.QuerySensitiveDistance(fq, p.db.rows[i]),
-                1e-12);
+    EXPECT_NEAR(scores[i],
+                p.model.QuerySensitiveDistance(fq, p.db.RowVector(i)), 1e-12);
   }
 }
 
@@ -192,7 +222,8 @@ TEST(FilterRefineTest, FastMapPipelineWorksToo) {
     auto dx = [&](size_t id) { return oracle.Distance(query_id, id); };
     auto exact = ExactKnn(oracle, query_id, db_ids, 1);
     auto result = retriever.Retrieve(dx, 1, 10);
-    if (result.neighbors[0].index == exact[0].index) ++hits;
+    ASSERT_TRUE(result.ok()) << result.status();
+    if (result->neighbors[0].index == exact[0].index) ++hits;
   }
   EXPECT_GE(hits, 8u);  // FastMap is near-exact on true 2D data.
 }

@@ -125,9 +125,10 @@ TEST(IntegrationTest, EndToEndRetrievalFindsTrueNeighborsCheaply) {
   for (size_t qi = 0; qi < w.query_ids.size(); ++qi) {
     size_t query_id = w.query_ids[qi];
     auto dx = [&](size_t id) { return w.oracle.Distance(query_id, id); };
-    RetrievalResult result = retriever.Retrieve(dx, 1, p);
-    total_cost += result.exact_distances;
-    if (result.neighbors[0].index == w.gt.knn[qi][0]) ++hits;
+    auto result = retriever.Retrieve(dx, 1, p);
+    ASSERT_TRUE(result.ok()) << result.status();
+    total_cost += result->exact_distances;
+    if (result->neighbors[0].index == w.gt.knn[qi][0]) ++hits;
   }
   EXPECT_GE(hits, 13u);  // >= ~87% of queries exact at p = 20 of 120.
   // Far fewer distances than brute force (15 queries x 120 objects).

@@ -46,6 +46,25 @@ TEST(LbDtwIndexTest, ReturnsExactNearestNeighbors) {
   }
 }
 
+TEST(LbDtwIndexTest, SearchBatchMatchesSingleSearch) {
+  auto db = FixedLengthWorkload(60, 5);
+  auto queries = FixedLengthWorkload(9, 6);
+  LbDtwIndex index(db, 0.1);
+  for (size_t threads : {1u, 2u, 4u}) {
+    auto batch = index.SearchBatch(queries, 3, threads);
+    ASSERT_EQ(batch.size(), queries.size());
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      auto single = index.Search(queries[qi], 3);
+      ASSERT_EQ(batch[qi].neighbors.size(), single.neighbors.size());
+      EXPECT_EQ(batch[qi].exact_evaluations, single.exact_evaluations);
+      for (size_t i = 0; i < single.neighbors.size(); ++i) {
+        EXPECT_EQ(batch[qi].neighbors[i].index, single.neighbors[i].index);
+        EXPECT_EQ(batch[qi].neighbors[i].score, single.neighbors[i].score);
+      }
+    }
+  }
+}
+
 TEST(LbDtwIndexTest, PrunesASubstantialFraction) {
   // The whole point of [32]-style lower bounding: far fewer exact DTW
   // evaluations than a sequential scan (the paper quotes ~5x for [32]).

@@ -109,10 +109,11 @@ TEST(NonMetricPipelineTest, RetrievalExactWhenPCoversDatabase) {
   FilterRefineRetriever retriever(&embedder, &scorer, &db, b.db_ids);
   for (size_t q : b.query_ids) {
     auto dx = [&](size_t id) { return b.oracle.Distance(q, id); };
-    RetrievalResult r = retriever.Retrieve(dx, 3, b.db_ids.size());
+    auto r = retriever.Retrieve(dx, 3, b.db_ids.size());
+    ASSERT_TRUE(r.ok()) << r.status();
     auto exact = ExactKnn(b.oracle, q, b.db_ids, 3);
     for (size_t i = 0; i < 3; ++i) {
-      EXPECT_EQ(r.neighbors[i].index, exact[i].index);
+      EXPECT_EQ(r->neighbors[i].index, exact[i].index);
     }
   }
 }
