@@ -10,6 +10,9 @@
 //     at up to n = 100k, d = 256.
 //   * full scan + SmallestK vs the fused early-abandon ScoreTopP pass.
 //   * one-query-at-a-time Retrieve vs thread-parallel RetrieveBatch.
+//   * the monolithic single-query scan vs the sharded scatter/gather
+//     engine (S shards x 1 query): does sharding speed up ONE query, not
+//     just a batch?
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -18,6 +21,7 @@
 
 #include "src/distance/weighted_l1.h"
 #include "src/retrieval/filter_refine.h"
+#include "src/serving/sharded_retrieval_engine.h"
 #include "src/util/logging.h"
 #include "src/util/random.h"
 #include "src/util/top_k.h"
@@ -259,6 +263,68 @@ void BM_RetrieveBatchParallel(benchmark::State& state) {
 BENCHMARK(BM_RetrieveBatchParallel)
     ->Args({100000, 64, 32})
     ->Unit(benchmark::kMillisecond);
+
+// --- Sharded scatter/gather: S shards x ONE query. ----------------------
+//
+// The monolithic filter step is a serial scan over all n rows; the
+// sharded engine splits the same scan across S per-shard engines and
+// merges the per-shard top-p lists.  Same k, p and data as the
+// monolithic baseline below, so time(monolithic) / time(sharded) is the
+// single-query speedup the serving layer buys.  The CI threshold check
+// (tools/check_bench_regressions.py) keys on these two benchmark names.
+
+constexpr size_t kShardedK = 10;
+constexpr size_t kShardedP = 500;
+
+void BM_RetrieveMonolithicSingleQuery(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t d = static_cast<size_t>(state.range(1));
+  EngineFixture f(n, d, 1);
+  for (auto _ : state) {
+    auto r = f.engine->Retrieve(f.queries[0], kShardedK, kShardedP);
+    QSE_CHECK(r.ok());
+    benchmark::DoNotOptimize(r.value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RetrieveMonolithicSingleQuery)
+    ->Args({100000, 256})
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+void BM_RetrieveShardedSingleQuery(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t d = static_cast<size_t>(state.range(1));
+  size_t num_shards = static_cast<size_t>(state.range(2));
+  // Built without EngineFixture: the monolithic engine (and its
+  // 100k-entry id map) would be pure setup waste here.
+  EmbeddedDatabase db = MakeSoaDb(n, d, 1);
+  std::vector<size_t> db_ids(n);
+  for (size_t i = 0; i < n; ++i) db_ids[i] = i;
+  Vector q, w;
+  FillQueryAndWeights(d, &q, &w);
+  FixedEmbedder embedder(q);
+  L2Scorer scorer;
+  ShardedEngineOptions options;
+  options.num_shards = num_shards;
+  ShardedRetrievalEngine sharded(&embedder, &scorer, db, db_ids, options);
+  DxToDatabaseFn dx = [](size_t) { return 0.0; };
+  for (auto _ : state) {
+    auto r = sharded.Retrieve(dx, kShardedK, kShardedP);
+    QSE_CHECK(r.ok());
+    benchmark::DoNotOptimize(r.value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RetrieveShardedSingleQuery)
+    ->Args({100000, 256, 1})
+    ->Args({100000, 256, 2})
+    ->Args({100000, 256, 4})
+    ->Args({100000, 256, 8})
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
 
 // --- A_i(q) evaluation cost (unchanged from the seed). ------------------
 

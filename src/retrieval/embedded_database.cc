@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 
 #ifdef __linux__
 #include <sys/mman.h>
@@ -39,6 +40,13 @@ void EmbeddedDatabase::MaybeAdviseHugePages() {
 #endif
 }
 
+void EmbeddedDatabase::Reserve(size_t rows) {
+  if (dims_ == 0) return;
+  if (rows * dims_ <= data_.capacity()) return;
+  data_.reserve(rows * dims_);
+  MaybeAdviseHugePages();
+}
+
 Vector EmbeddedDatabase::RowVector(size_t i) const {
   QSE_CHECK(i < size_);
   const double* r = row(i);
@@ -60,7 +68,23 @@ void EmbeddedDatabase::Resize(size_t rows) {
 size_t EmbeddedDatabase::Append(const Vector& row) {
   QSE_CHECK_MSG(row.size() == dims_,
                 "row has " << row.size() << " dims, database has " << dims_);
-  data_.insert(data_.end(), row.begin(), row.end());
+  return Append(row.data());
+}
+
+size_t EmbeddedDatabase::Append(const double* row) {
+  // The borrowed row may point into this database's own buffer (e.g.
+  // duplicating a row); growth would invalidate it mid-copy, so in that
+  // case reallocate first — preserving amortized doubling — and rebase
+  // the pointer onto the new buffer.
+  std::less<const double*> lt;
+  bool aliases_self = !data_.empty() && !lt(row, data_.data()) &&
+                      lt(row, data_.data() + data_.size());
+  if (aliases_self && data_.size() + dims_ > data_.capacity()) {
+    size_t offset = static_cast<size_t>(row - data_.data());
+    data_.reserve(std::max(data_.capacity() * 2, data_.size() + dims_));
+    row = data_.data() + offset;
+  }
+  data_.insert(data_.end(), row, row + dims_);
   MaybeAdviseHugePages();  // Re-advise only after a reallocation.
   return size_++;
 }

@@ -46,10 +46,11 @@ class EmbeddedDatabase {
   /// loops).
   Vector RowVector(size_t i) const;
 
-  void Reserve(size_t rows) {
-    data_.reserve(rows * dims_);
-    MaybeAdviseHugePages();
-  }
+  /// Pre-allocates capacity for `rows` rows.  No-op on a dimensionless
+  /// database (dims() == 0: rows * 0 doubles is nothing to reserve, and
+  /// advising the kernel about an empty buffer is pointless) and when the
+  /// current capacity already suffices.
+  void Reserve(size_t rows);
 
   /// Grows/shrinks to `rows` rows; new rows are zero-filled.  Used with
   /// mutable_row() to fill the database in parallel.
@@ -59,6 +60,11 @@ class EmbeddedDatabase {
   /// index.  O(d) amortized — the incremental insert of the dynamic
   /// dataset scenario.
   size_t Append(const Vector& row);
+
+  /// Appends a borrowed row of dims() contiguous doubles (e.g. a row()
+  /// view, even of this database) without materializing a temporary
+  /// Vector.
+  size_t Append(const double* row);
 
   /// Overwrites row i.
   void SetRow(size_t i, const Vector& row);

@@ -1,0 +1,72 @@
+#ifndef QSE_RETRIEVAL_RETRIEVAL_BACKEND_H_
+#define QSE_RETRIEVAL_RETRIEVAL_BACKEND_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/embedding/embedder.h"
+#include "src/util/statusor.h"
+#include "src/util/top_k.h"
+
+namespace qse {
+
+/// Result of one filter-and-refine retrieval.
+struct RetrievalResult {
+  /// Top-k neighbors by exact distance among the refined candidates.
+  /// `index` is backend-specific — db rows for RetrievalEngine, database
+  /// ids for ShardedRetrievalEngine — and always resolves to a database id
+  /// through the owning backend's db_id_of().
+  std::vector<ScoredIndex> neighbors;
+  /// Exact DX evaluations spent: embedding step + refine step.  This is
+  /// the paper's per-query cost measure.
+  size_t exact_distances = 0;
+  /// Of which, spent embedding the query.
+  size_t embedding_distances = 0;
+};
+
+/// The serving-facing face of a retrieval engine: the filter-and-refine
+/// query API plus incremental mutation, shared by the monolithic
+/// RetrievalEngine and the sharded scatter/gather engine so examples,
+/// evaluation drivers and the serving layer can swap one for the other
+/// behind a single interface.
+///
+/// Contract, identical across implementations:
+///  * Retrieve returns InvalidArgument for k == 0 or p == 0 and
+///    FailedPrecondition on an empty database; p is clamped to size().
+///  * RetrieveBatch(queries, ...)[i] is bit-identical to
+///    Retrieve(queries[i], ...), whatever the thread count.
+///  * Insert fails with InvalidArgument on a duplicate id, Remove with
+///    NotFound on an unknown one.
+///  * Retrieve/RetrieveBatch are const and safe to call concurrently;
+///    Insert/Remove must not run concurrently with anything else.
+class RetrievalBackend {
+ public:
+  virtual ~RetrievalBackend() = default;
+
+  /// Retrieves the k best matches among the top-p filter candidates.
+  /// `dx` resolves exact distances from the query to database ids.
+  virtual StatusOr<RetrievalResult> Retrieve(const DxToDatabaseFn& dx,
+                                             size_t k, size_t p) const = 0;
+
+  /// Retrieves a batch of queries in parallel; results[i] corresponds to
+  /// queries[i].  `num_threads` = 0 means hardware concurrency.
+  virtual StatusOr<std::vector<RetrievalResult>> RetrieveBatch(
+      const std::vector<DxToDatabaseFn>& queries, size_t k, size_t p,
+      size_t num_threads = 0) const = 0;
+
+  /// Embeds a new object via `dx` and adds it under `db_id`.
+  virtual Status Insert(size_t db_id, const DxToDatabaseFn& dx) = 0;
+
+  /// Removes the object with id `db_id`.
+  virtual Status Remove(size_t db_id) = 0;
+
+  /// Number of database objects currently live.
+  virtual size_t size() const = 0;
+
+  /// Database id behind a RetrievalResult neighbor index.
+  virtual size_t db_id_of(size_t neighbor_index) const = 0;
+};
+
+}  // namespace qse
+
+#endif  // QSE_RETRIEVAL_RETRIEVAL_BACKEND_H_

@@ -7,22 +7,11 @@
 #include "src/embedding/embedder.h"
 #include "src/retrieval/embedded_database.h"
 #include "src/retrieval/filter_scorer.h"
+#include "src/retrieval/retrieval_backend.h"
 #include "src/util/statusor.h"
 #include "src/util/top_k.h"
 
 namespace qse {
-
-/// Result of one filter-and-refine retrieval.
-struct RetrievalResult {
-  /// Top-k neighbors by exact distance among the refined candidates;
-  /// indices are db positions (rows of the embedded database).
-  std::vector<ScoredIndex> neighbors;
-  /// Exact DX evaluations spent: embedding step + refine step.  This is
-  /// the paper's per-query cost measure.
-  size_t exact_distances = 0;
-  /// Of which, spent embedding the query.
-  size_t embedding_distances = 0;
-};
 
 /// The retrieval engine: the three-step filter-and-refine pipeline of
 /// Sec. 8 (embed the query, keep the p most similar vectors, re-rank
@@ -36,14 +25,15 @@ struct RetrievalResult {
 /// Thread-safety: Retrieve/RetrieveBatch are const and safe to call
 /// concurrently as long as the embedder, scorer and `dx` callbacks are;
 /// Insert/Remove must not run concurrently with anything else.
-class RetrievalEngine {
+class RetrievalEngine : public RetrievalBackend {
  public:
   /// Does not own its arguments; `db_ids[i]` is the database id of row i
   /// of `db`.  The engine mutates `db` only through Insert/Remove.
   RetrievalEngine(const Embedder* embedder, const FilterScorer* scorer,
                   EmbeddedDatabase* db, std::vector<size_t> db_ids);
 
-  /// Retrieves the k best matches among the top-p filter candidates.
+  /// Retrieves the k best matches among the top-p filter candidates;
+  /// neighbor indices are db positions (rows of the embedded database).
   /// `dx` resolves exact distances from the query to database ids.
   ///
   /// Returns InvalidArgument when k == 0 or p == 0 (a filter that keeps
@@ -51,7 +41,7 @@ class RetrievalEngine {
   /// FailedPrecondition on an empty database.  p is clamped to the
   /// database size (p = n degenerates to brute force, as in the paper).
   StatusOr<RetrievalResult> Retrieve(const DxToDatabaseFn& dx, size_t k,
-                                     size_t p) const;
+                                     size_t p) const override;
 
   /// Retrieves a batch of queries in parallel via qse::ParallelFor.
   /// results[i] corresponds to queries[i] and is bit-identical to
@@ -60,23 +50,23 @@ class RetrievalEngine {
   /// `num_threads` = 0 means hardware concurrency.
   StatusOr<std::vector<RetrievalResult>> RetrieveBatch(
       const std::vector<DxToDatabaseFn>& queries, size_t k, size_t p,
-      size_t num_threads = 0) const;
+      size_t num_threads = 0) const override;
 
   /// Embeds a new object (<= 2d exact distances via `dx`) and appends it
   /// to the database under `db_id`.  Fails with InvalidArgument when the
   /// id is already present.
-  Status Insert(size_t db_id, const DxToDatabaseFn& dx);
+  Status Insert(size_t db_id, const DxToDatabaseFn& dx) override;
 
   /// Removes the object with id `db_id` (swap-with-last, O(d)).  Row
   /// positions of the swapped row change; neighbors are always reported
   /// against the current layout.  Fails with NotFound for unknown ids.
-  Status Remove(size_t db_id);
+  Status Remove(size_t db_id) override;
 
   /// Number of database objects currently live.
-  size_t size() const { return db_->size(); }
+  size_t size() const override { return db_->size(); }
 
   /// Database id of row `row`.
-  size_t db_id_of(size_t row) const { return db_ids_[row]; }
+  size_t db_id_of(size_t row) const override { return db_ids_[row]; }
   const std::vector<size_t>& db_ids() const { return db_ids_; }
   const EmbeddedDatabase& db() const { return *db_; }
 

@@ -1,0 +1,241 @@
+#include "src/serving/sharded_retrieval_engine.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/util/logging.h"
+#include "src/util/parallel.h"
+#include "src/util/top_k.h"
+
+namespace qse {
+namespace {
+
+/// splitmix64 finalizer: full avalanche, so the sequential ids most
+/// callers use spread evenly instead of striping shards modulo S.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+size_t ResolveNumShards(size_t requested) {
+  return requested == 0 ? DefaultParallelism() : requested;
+}
+
+}  // namespace
+
+ShardedRetrievalEngine::ShardedRetrievalEngine(const Embedder* embedder,
+                                               const FilterScorer* scorer,
+                                               ShardedEngineOptions options)
+    : embedder_(embedder), scorer_(scorer), options_(options) {
+  options_.num_shards = ResolveNumShards(options_.num_shards);
+  shards_.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    Shard shard;
+    shard.db = std::make_unique<EmbeddedDatabase>(embedder_->dims());
+    shard.engine = std::make_unique<RetrievalEngine>(
+        embedder_, scorer_, shard.db.get(), std::vector<size_t>{});
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedRetrievalEngine::ShardedRetrievalEngine(
+    const Embedder* embedder, const FilterScorer* scorer,
+    const EmbeddedDatabase& db, const std::vector<size_t>& db_ids,
+    ShardedEngineOptions options)
+    : embedder_(embedder), scorer_(scorer), options_(options) {
+  QSE_CHECK_MSG(db.size() == db_ids.size(),
+                "db has " << db.size() << " rows but " << db_ids.size()
+                          << " ids");
+  options_.num_shards = ResolveNumShards(options_.num_shards);
+  const size_t num_shards = options_.num_shards;
+  const size_t dims = db.empty() ? embedder_->dims() : db.dims();
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    Shard shard;
+    shard.db = std::make_unique<EmbeddedDatabase>(dims);
+    shard.db->Reserve(db.size() / num_shards + 1);
+    shards_.push_back(std::move(shard));
+  }
+  std::vector<std::vector<size_t>> ids_per_shard(num_shards);
+  shard_of_.reserve(db.size());
+  for (size_t row = 0; row < db.size(); ++row) {
+    size_t id = db_ids[row];
+    // kLeastLoaded reads the running shard sizes, so assigning while
+    // filling keeps the stream balanced exactly like online Inserts would.
+    size_t s = AssignShard(id);
+    bool inserted = shard_of_.emplace(id, s).second;
+    QSE_CHECK_MSG(inserted, "duplicate database id " << id);
+    shards_[s].db->Append(db.row(row));  // Borrowed view: no temporary.
+    ids_per_shard[s].push_back(id);
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_[s].engine = std::make_unique<RetrievalEngine>(
+        embedder_, scorer_, shards_[s].db.get(),
+        std::move(ids_per_shard[s]));
+  }
+}
+
+size_t ShardedRetrievalEngine::AssignShard(size_t db_id) const {
+  switch (options_.assignment) {
+    case ShardAssignment::kHashId:
+      return static_cast<size_t>(Mix64(db_id) % shards_.size());
+    case ShardAssignment::kLeastLoaded: {
+      size_t best = 0;
+      for (size_t s = 1; s < shards_.size(); ++s) {
+        if (shards_[s].db->size() < shards_[best].db->size()) best = s;
+      }
+      return best;
+    }
+  }
+  QSE_CHECK_MSG(false, "unknown shard assignment policy");
+  return 0;
+}
+
+StatusOr<RetrievalResult> ShardedRetrievalEngine::ScatterGather(
+    const DxToDatabaseFn& dx, size_t k, size_t p,
+    std::vector<ShardScanStats>* stats, size_t scatter_threads) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (p == 0) {
+    return Status::InvalidArgument(
+        "p must be >= 1: a filter step that keeps no candidates cannot "
+        "retrieve anything");
+  }
+  if (size() == 0) {
+    return Status::FailedPrecondition("embedded database is empty");
+  }
+  p = std::min(p, size());
+
+  RetrievalResult result;
+  // Embedding step: once per query, shared by every shard's scan.
+  size_t embed_cost = 0;
+  Vector fq = embedder_->Embed(dx, &embed_cost);
+  result.embedding_distances = embed_cost;
+
+  // Scatter: each shard's filter step keeps its local top p (the global
+  // top p could in the worst case live entirely in one shard).  Grain 2:
+  // one item is a whole shard scan; a single shard stays serial.
+  const size_t num_shards = shards_.size();
+  std::vector<std::vector<ScoredIndex>> per_shard(num_shards);
+  ParallelForGrain(
+      0, num_shards, 2,
+      [&](size_t s) {
+        const Shard& shard = shards_[s];
+        if (shard.db->empty()) return;
+        std::vector<ScoredIndex> local = scorer_->ScoreTopP(fq, *shard.db, p);
+        // Translate shard-local rows to database ids, then re-sort: the
+        // shard's (score, row) tie order need not survive the translation,
+        // and the k-way merge requires every list in (score, id) order.
+        for (ScoredIndex& c : local) c.index = shard.engine->db_id_of(c.index);
+        std::sort(local.begin(), local.end());
+        per_shard[s] = std::move(local);
+      },
+      scatter_threads);
+
+  // Gather: k-way heap merge down to the global top p.
+  std::vector<ScoredIndex> candidates = MergeSortedTopK(per_shard, p);
+
+  if (stats != nullptr) {
+    stats->assign(num_shards, ShardScanStats{});
+    for (size_t s = 0; s < num_shards; ++s) {
+      (*stats)[s].rows = shards_[s].db->size();
+    }
+    for (const ScoredIndex& c : candidates) {
+      ++(*stats)[shard_of_.at(c.index)].candidates;
+    }
+  }
+
+  // Single global refine: exact distances on the merged p only, exactly
+  // like the unsharded engine's refine step.
+  std::vector<ScoredIndex> refined;
+  refined.reserve(candidates.size());
+  for (const ScoredIndex& c : candidates) {
+    refined.push_back({c.index, dx(c.index)});
+  }
+  std::sort(refined.begin(), refined.end());
+  if (refined.size() > k) refined.resize(k);
+  result.neighbors = std::move(refined);
+  result.exact_distances = embed_cost + candidates.size();
+  return result;
+}
+
+StatusOr<RetrievalResult> ShardedRetrievalEngine::Retrieve(
+    const DxToDatabaseFn& dx, size_t k, size_t p) const {
+  return ScatterGather(dx, k, p, nullptr, options_.scatter_threads);
+}
+
+StatusOr<RetrievalResult> ShardedRetrievalEngine::RetrieveWithStats(
+    const DxToDatabaseFn& dx, size_t k, size_t p,
+    std::vector<ShardScanStats>* stats) const {
+  return ScatterGather(dx, k, p, stats, options_.scatter_threads);
+}
+
+StatusOr<std::vector<RetrievalResult>> ShardedRetrievalEngine::RetrieveBatch(
+    const std::vector<DxToDatabaseFn>& queries, size_t k, size_t p,
+    size_t num_threads) const {
+  // Validate once up front, matching RetrievalEngine::RetrieveBatch.
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (p == 0) return Status::InvalidArgument("p must be >= 1");
+  if (size() == 0) {
+    return Status::FailedPrecondition("embedded database is empty");
+  }
+
+  std::vector<RetrievalResult> results(queries.size());
+  // Parallelize across queries and scan each query's shards serially
+  // (scatter_threads = 1): one level of parallelism, no nested thread
+  // fan-out, and per-query results identical to Retrieve's.
+  ParallelForGrain(
+      0, queries.size(), 2,
+      [&](size_t i) {
+        StatusOr<RetrievalResult> r =
+            ScatterGather(queries[i], k, p, nullptr, /*scatter_threads=*/1);
+        QSE_CHECK_MSG(r.ok(), r.status().ToString());
+        results[i] = std::move(r).value();
+      },
+      num_threads);
+  return results;
+}
+
+Status ShardedRetrievalEngine::Insert(size_t db_id, const DxToDatabaseFn& dx) {
+  if (shard_of_.count(db_id) != 0) {
+    return Status::InvalidArgument("database id already present: " +
+                                   std::to_string(db_id));
+  }
+  size_t s = AssignShard(db_id);
+  Status status = shards_[s].engine->Insert(db_id, dx);
+  if (!status.ok()) return status;
+  shard_of_.emplace(db_id, s);
+  return Status::OK();
+}
+
+Status ShardedRetrievalEngine::Remove(size_t db_id) {
+  auto it = shard_of_.find(db_id);
+  if (it == shard_of_.end()) {
+    return Status::NotFound("database id not present: " +
+                            std::to_string(db_id));
+  }
+  Status status = shards_[it->second].engine->Remove(db_id);
+  if (!status.ok()) return status;
+  shard_of_.erase(it);
+  return Status::OK();
+}
+
+std::vector<size_t> ShardedRetrievalEngine::shard_sizes() const {
+  std::vector<size_t> sizes;
+  sizes.reserve(shards_.size());
+  for (const Shard& shard : shards_) sizes.push_back(shard.db->size());
+  return sizes;
+}
+
+StatusOr<size_t> ShardedRetrievalEngine::ShardOf(size_t db_id) const {
+  auto it = shard_of_.find(db_id);
+  if (it != shard_of_.end()) return it->second;
+  if (options_.assignment == ShardAssignment::kHashId) {
+    return AssignShard(db_id);  // Pure function of the id.
+  }
+  return Status::NotFound("database id not present: " +
+                          std::to_string(db_id));
+}
+
+}  // namespace qse

@@ -1,0 +1,156 @@
+#ifndef QSE_SERVING_SHARDED_RETRIEVAL_ENGINE_H_
+#define QSE_SERVING_SHARDED_RETRIEVAL_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/embedding/embedder.h"
+#include "src/retrieval/embedded_database.h"
+#include "src/retrieval/filter_scorer.h"
+#include "src/retrieval/retrieval_backend.h"
+#include "src/retrieval/retrieval_engine.h"
+#include "src/util/statusor.h"
+
+namespace qse {
+
+/// How Insert routes a database id to a shard.
+enum class ShardAssignment {
+  /// shard = mix64(db_id) % S.  Stateless and deterministic: two engines
+  /// built over the same ids always agree, so shard layouts are
+  /// reproducible across processes (and, later, across nodes).
+  kHashId,
+  /// The currently smallest shard (ties broken by lowest shard index).
+  /// Keeps shard sizes within one row of each other whatever the id
+  /// distribution, at the cost of a layout that depends on insert order.
+  kLeastLoaded,
+};
+
+struct ShardedEngineOptions {
+  /// Number of shards S.  0 means one shard per hardware core.
+  size_t num_shards = 0;
+  ShardAssignment assignment = ShardAssignment::kHashId;
+  /// Threads used to scatter ONE query's filter step across shards
+  /// (Retrieve).  0 means hardware concurrency.  RetrieveBatch ignores
+  /// this and parallelizes across queries instead, scanning each query's
+  /// shards serially — one level of parallelism, never nested.
+  size_t scatter_threads = 0;
+};
+
+/// Per-shard counters from one Retrieve call; the raw material for load
+/// balancing (a shard that keeps contributing most of the merged top-p is
+/// either oversized or holds a hot region of the embedded space).
+struct ShardScanStats {
+  /// Shard size (rows scanned by the filter step) at query time.
+  size_t rows = 0;
+  /// Entries this shard placed in the globally merged top-p.
+  size_t candidates = 0;
+};
+
+/// Scatter/gather retrieval over S per-shard engines — the serving layer's
+/// answer to the filter step's linear scan growing with n: each shard owns
+/// an EmbeddedDatabase + RetrievalEngine over a disjoint subset of the
+/// database, one query's filter scan fans out across shards in parallel,
+/// per-shard top-p candidate lists are gathered through a k-way heap merge
+/// (MergeSortedTopK), and a single global refine re-ranks the merged top p
+/// by exact distance.
+///
+/// Exactness: results are bit-identical to an unsharded RetrievalEngine at
+/// equal p over the same data — every row's filter score is computed by the
+/// same kernel regardless of which shard holds it, and the merge keeps the
+/// globally smallest p under the same (score, id) total order.  Without
+/// exact filter-score ties the guarantee is unconditional.  Under ties the
+/// top-p boundary is resolved by row position — globally in the unsharded
+/// engine, locally in each shard — so exact tie-for-tie parity additionally
+/// assumes rows ascend with ids both in the unsharded engine and within
+/// every shard.  That holds for partition construction and insert-only
+/// workloads with increasing ids; Remove's swap-with-last can scramble it,
+/// after which a tie at the p boundary may keep a different (equally
+/// correct) tied candidate.
+///
+/// Neighbor indices in results are database ids, not rows: shard-local row
+/// positions are meaningless to callers, so db_id_of() is the identity.
+///
+/// Thread-safety matches RetrievalEngine: Retrieve/RetrieveBatch are const
+/// and safe concurrently, Insert/Remove must be exclusive.
+class ShardedRetrievalEngine : public RetrievalBackend {
+ public:
+  /// An empty engine with S empty shards of dimensionality
+  /// embedder->dims(); fill it through Insert.
+  ShardedRetrievalEngine(const Embedder* embedder, const FilterScorer* scorer,
+                         ShardedEngineOptions options = {});
+
+  /// Partitions an already-embedded database across shards by the
+  /// assignment policy, copying rows — no re-embedding.  `db_ids[i]` is
+  /// the database id of row i of `db`; ids must be unique.  `db` is only
+  /// read during construction and not retained.
+  ShardedRetrievalEngine(const Embedder* embedder, const FilterScorer* scorer,
+                         const EmbeddedDatabase& db,
+                         const std::vector<size_t>& db_ids,
+                         ShardedEngineOptions options = {});
+
+  /// Scatter/gather retrieval; neighbor indices are database ids.  Same
+  /// validation contract as RetrievalEngine::Retrieve.
+  StatusOr<RetrievalResult> Retrieve(const DxToDatabaseFn& dx, size_t k,
+                                     size_t p) const override;
+
+  /// Retrieve plus per-shard scan stats: fills stats->at(s) for shard s.
+  StatusOr<RetrievalResult> RetrieveWithStats(
+      const DxToDatabaseFn& dx, size_t k, size_t p,
+      std::vector<ShardScanStats>* stats) const;
+
+  /// Thread-parallel over queries (each query's scatter runs serially);
+  /// results[i] is bit-identical to Retrieve(queries[i], k, p).
+  StatusOr<std::vector<RetrievalResult>> RetrieveBatch(
+      const std::vector<DxToDatabaseFn>& queries, size_t k, size_t p,
+      size_t num_threads = 0) const override;
+
+  /// Embeds the new object once and appends it to the shard chosen by the
+  /// assignment policy.  InvalidArgument on a duplicate id.
+  Status Insert(size_t db_id, const DxToDatabaseFn& dx) override;
+
+  /// Removes from whichever shard holds the id.  NotFound when absent.
+  Status Remove(size_t db_id) override;
+
+  /// Total objects across all shards.
+  size_t size() const override { return shard_of_.size(); }
+
+  /// Sharded results already carry database ids; identity.
+  size_t db_id_of(size_t neighbor_index) const override {
+    return neighbor_index;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  /// Current per-shard sizes (the static half of the load picture).
+  std::vector<size_t> shard_sizes() const;
+  /// Shard an id would route to under kHashId, or currently lives in.
+  StatusOr<size_t> ShardOf(size_t db_id) const;
+  const RetrievalEngine& shard(size_t s) const { return *shards_[s].engine; }
+
+ private:
+  struct Shard {
+    // unique_ptr keeps addresses stable under vector growth and engine
+    // moves: each engine holds a raw pointer to its shard's database.
+    std::unique_ptr<EmbeddedDatabase> db;
+    std::unique_ptr<RetrievalEngine> engine;
+  };
+
+  /// Shard that Insert would place `db_id` in right now.
+  size_t AssignShard(size_t db_id) const;
+
+  /// The scatter/gather pipeline behind both Retrieve entry points.
+  StatusOr<RetrievalResult> ScatterGather(const DxToDatabaseFn& dx, size_t k,
+                                          size_t p,
+                                          std::vector<ShardScanStats>* stats,
+                                          size_t scatter_threads) const;
+
+  const Embedder* embedder_;
+  const FilterScorer* scorer_;
+  ShardedEngineOptions options_;
+  std::vector<Shard> shards_;
+  std::unordered_map<size_t, size_t> shard_of_;  // database id -> shard
+};
+
+}  // namespace qse
+
+#endif  // QSE_SERVING_SHARDED_RETRIEVAL_ENGINE_H_

@@ -53,6 +53,44 @@ std::vector<ScoredIndex> BoundedTopK::TakeSortedAscending() {
   return std::move(heap_);
 }
 
+std::vector<ScoredIndex> MergeSortedTopK(
+    const std::vector<std::vector<ScoredIndex>>& lists, size_t k) {
+  // One cursor per non-empty list; a min-heap over the cursors' current
+  // heads yields the global ascending order one entry at a time.
+  struct Cursor {
+    const std::vector<ScoredIndex>* list;
+    size_t pos;
+    const ScoredIndex& head() const { return (*list)[pos]; }
+  };
+  // std::*_heap builds a max-heap under its comparator, so "greater head"
+  // compares as less to keep the smallest head on top.
+  auto min_heap_order = [](const Cursor& a, const Cursor& b) {
+    return b.head() < a.head();
+  };
+  std::vector<Cursor> heap;
+  heap.reserve(lists.size());
+  size_t total = 0;
+  for (const std::vector<ScoredIndex>& list : lists) {
+    total += list.size();
+    if (!list.empty()) heap.push_back({&list, 0});
+  }
+  std::make_heap(heap.begin(), heap.end(), min_heap_order);
+
+  std::vector<ScoredIndex> merged;
+  merged.reserve(std::min(k, total));
+  while (merged.size() < k && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), min_heap_order);
+    Cursor& top = heap.back();
+    merged.push_back(top.head());
+    if (++top.pos < top.list->size()) {
+      std::push_heap(heap.begin(), heap.end(), min_heap_order);
+    } else {
+      heap.pop_back();
+    }
+  }
+  return merged;
+}
+
 size_t RankOf(const std::vector<double>& scores, size_t target_index) {
   assert(target_index < scores.size());
   ScoredIndex target{target_index, scores[target_index]};

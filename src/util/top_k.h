@@ -38,6 +38,16 @@ std::vector<size_t> ArgsortAscending(const std::vector<double>& scores);
 /// the filter-step rank of a true nearest neighbor.
 size_t RankOf(const std::vector<double>& scores, size_t target_index);
 
+/// Merges several lists, each sorted ascending by (score, index), into the
+/// k smallest entries overall, sorted ascending.  The gather half of
+/// scatter/gather retrieval: per-shard top-p candidate lists funnel through
+/// this to form the global top-p.  A k-way heap merge, O(S + k log S) for S
+/// lists — it never touches the tails the merged prefix cannot reach.
+/// Entries must be unique across lists under the (score, index) order
+/// (shards hold disjoint ids); k is clamped to the total entry count.
+std::vector<ScoredIndex> MergeSortedTopK(
+    const std::vector<std::vector<ScoredIndex>>& lists, size_t k);
+
 /// Streaming bounded selection of the k smallest ScoredIndex entries, with
 /// the same (score, index) total order — and therefore the same results —
 /// as SmallestK.  Backs the filter step's early-abandon scan: threshold()

@@ -69,6 +69,48 @@ TEST(EmbeddedDatabaseTest, ResizeZeroFillsNewRows) {
   EXPECT_EQ(db.RowVector(1), (Vector{7, 0}));
 }
 
+TEST(EmbeddedDatabaseTest, AppendBorrowedRowMayAliasOwnBuffer) {
+  // Append(const double*) must survive a source pointing into this
+  // database's own buffer even when the append forces a reallocation.
+  EmbeddedDatabase db(2);
+  db.Append({1, 2});
+  for (int i = 0; i < 100; ++i) {
+    size_t row = db.Append(db.row(db.size() - 1));
+    EXPECT_EQ(row, static_cast<size_t>(i) + 1);
+  }
+  ASSERT_EQ(db.size(), 101u);
+  for (size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(db.RowVector(i), (Vector{1, 2})) << i;
+  }
+}
+
+TEST(EmbeddedDatabaseTest, ReserveOnDimensionlessDatabaseIsSafeNoOp) {
+  // Regression: Reserve on a dims() == 0 database used to reserve zero
+  // bytes and still walk the hugepage-advise path.  It must be a true
+  // no-op: no allocation, and the database stays fully usable.
+  EmbeddedDatabase db;
+  ASSERT_EQ(db.dims(), 0u);
+  db.Reserve(1u << 20);
+  EXPECT_EQ(db.data().capacity(), 0u);
+  EXPECT_TRUE(db.empty());
+  // FromRows({}) funnels through the same path (dims 0, Reserve(0)).
+  EmbeddedDatabase empty = EmbeddedDatabase::FromRows({});
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.dims(), 0u);
+}
+
+TEST(EmbeddedDatabaseTest, ReserveGrowsCapacityOnce) {
+  EmbeddedDatabase db(3);
+  db.Reserve(100);
+  size_t cap = db.data().capacity();
+  EXPECT_GE(cap, 300u);
+  // A smaller (or equal) reservation must not touch the buffer again.
+  db.Reserve(50);
+  EXPECT_EQ(db.data().capacity(), cap);
+  db.Append({1, 2, 3});
+  EXPECT_EQ(db.RowVector(0), (Vector{1, 2, 3}));
+}
+
 TEST(EmbeddedDatabaseTest, AppendAfterResizeKeepsData) {
   EmbeddedDatabase db(2);
   db.Resize(1);

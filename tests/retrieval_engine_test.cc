@@ -348,5 +348,99 @@ TEST(RetrievalEngineTest, RemoveKeepsMappingConsistent) {
             live_ids[exact[0].index]);
 }
 
+// --- Remove's swap-with-last bookkeeping edge cases ---------------------
+
+/// Asserts row <-> id maps are mutually consistent and every row still
+/// carries the embedding of its id.
+void ExpectConsistentMapping(const RetrievalEngine& engine,
+                             const EmbeddedDatabase& reference) {
+  for (size_t row = 0; row < engine.size(); ++row) {
+    size_t id = engine.db_id_of(row);
+    EXPECT_EQ(engine.db().RowVector(row), reference.RowVector(id))
+        << "row " << row << " id " << id;
+  }
+}
+
+TEST(RetrievalEngineTest, RemoveLastRowMovesNothing) {
+  Stack s = MakeStack(10, 1, 24);
+  FastMapOptions options;
+  options.dims = 2;
+  FastMapModel model = BuildFastMap(s.oracle, s.db_ids, options);
+  L2Scorer scorer;
+  EmbeddedDatabase db = EmbedDatabase(model, s.oracle, s.db_ids);
+  EmbeddedDatabase reference = db;
+  RetrievalEngine engine(&model, &scorer, &db, s.db_ids);
+
+  // Id 9 occupies the last row; SwapRemove's "moved" row is the removed
+  // row itself and no other mapping may change.
+  ASSERT_TRUE(engine.Remove(9).ok());
+  EXPECT_EQ(engine.size(), 9u);
+  for (size_t row = 0; row < engine.size(); ++row) {
+    EXPECT_EQ(engine.db_id_of(row), row);  // Untouched prefix.
+  }
+  ExpectConsistentMapping(engine, reference);
+}
+
+TEST(RetrievalEngineTest, RemoveUntilEmptyThenFailsCleanly) {
+  Stack s = MakeStack(6, 1, 25);
+  FastMapOptions options;
+  options.dims = 2;
+  FastMapModel model = BuildFastMap(s.oracle, s.db_ids, options);
+  L2Scorer scorer;
+  EmbeddedDatabase db = EmbedDatabase(model, s.oracle, s.db_ids);
+  EmbeddedDatabase reference = db;
+  RetrievalEngine engine(&model, &scorer, &db, s.db_ids);
+
+  // Drain in an order that exercises both branches repeatedly: middle
+  // (swap happens), then last (no swap), until nothing is left.
+  for (size_t id : {2u, 5u, 0u, 4u, 1u, 3u}) {
+    ASSERT_TRUE(engine.Remove(id).ok()) << id;
+    ExpectConsistentMapping(engine, reference);
+  }
+  EXPECT_EQ(engine.size(), 0u);
+  EXPECT_TRUE(engine.db_ids().empty());
+
+  auto r = engine.Retrieve(
+      [&](size_t id) { return s.oracle.Distance(6, id); }, 1, 1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  Status again = engine.Remove(2);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kNotFound);
+}
+
+TEST(RetrievalEngineTest, ReinsertingRemovedIdWorks) {
+  Stack s = MakeStack(12, 2, 26);
+  FastMapOptions options;
+  options.dims = 2;
+  FastMapModel model = BuildFastMap(s.oracle, s.db_ids, options);
+  L2Scorer scorer;
+  EmbeddedDatabase db = EmbedDatabase(model, s.oracle, s.db_ids);
+  EmbeddedDatabase reference = db;
+  RetrievalEngine engine(&model, &scorer, &db, s.db_ids);
+
+  // Remove an id whose row gets recycled by the swap, then re-insert it:
+  // it must land in a fresh row with its original embedding, and the id
+  // must be unique again (a second insert is rejected).
+  ASSERT_TRUE(engine.Remove(3).ok());
+  EXPECT_EQ(engine.size(), 11u);
+  auto dx = [&](size_t o) { return o == 3 ? 0.0 : s.oracle.Distance(3, o); };
+  ASSERT_TRUE(engine.Insert(3, dx).ok());
+  EXPECT_EQ(engine.size(), 12u);
+  ExpectConsistentMapping(engine, reference);
+  Status dup = engine.Insert(3, dx);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), StatusCode::kInvalidArgument);
+
+  // Remove/re-insert cycling through the *last* row too.
+  size_t last_id = engine.db_id_of(engine.size() - 1);
+  ASSERT_TRUE(engine.Remove(last_id).ok());
+  auto dx_last = [&](size_t o) {
+    return o == last_id ? 0.0 : s.oracle.Distance(last_id, o);
+  };
+  ASSERT_TRUE(engine.Insert(last_id, dx_last).ok());
+  ExpectConsistentMapping(engine, reference);
+}
+
 }  // namespace
 }  // namespace qse

@@ -1,0 +1,99 @@
+// Tests of the top-k selection utilities, centered on MergeSortedTopK —
+// the gather half of scatter/gather retrieval must keep exactly the same
+// entries, in the same (score, index) order, as selecting over the
+// concatenation of its inputs.
+#include "src/util/top_k.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace qse {
+namespace {
+
+std::vector<ScoredIndex> Sorted(std::vector<ScoredIndex> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+/// Reference: concatenate every list, sort, truncate to k.
+std::vector<ScoredIndex> MergeByConcat(
+    const std::vector<std::vector<ScoredIndex>>& lists, size_t k) {
+  std::vector<ScoredIndex> all;
+  for (const auto& list : lists) {
+    all.insert(all.end(), list.begin(), list.end());
+  }
+  std::sort(all.begin(), all.end());
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TEST(MergeSortedTopKTest, MergesTwoListsInOrder) {
+  std::vector<std::vector<ScoredIndex>> lists = {
+      {{0, 0.1}, {2, 0.5}, {4, 0.9}},
+      {{1, 0.2}, {3, 0.6}},
+  };
+  std::vector<ScoredIndex> merged = MergeSortedTopK(lists, 4);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0], (ScoredIndex{0, 0.1}));
+  EXPECT_EQ(merged[1], (ScoredIndex{1, 0.2}));
+  EXPECT_EQ(merged[2], (ScoredIndex{2, 0.5}));
+  EXPECT_EQ(merged[3], (ScoredIndex{3, 0.6}));
+}
+
+TEST(MergeSortedTopKTest, KClampedToTotalEntries) {
+  std::vector<std::vector<ScoredIndex>> lists = {{{0, 1.0}}, {{1, 2.0}}};
+  EXPECT_EQ(MergeSortedTopK(lists, 100).size(), 2u);
+  EXPECT_EQ(MergeSortedTopK(lists, 0).size(), 0u);
+}
+
+TEST(MergeSortedTopKTest, IgnoresEmptyLists) {
+  std::vector<std::vector<ScoredIndex>> lists = {
+      {}, {{7, 0.5}}, {}, {{3, 0.25}}, {}};
+  std::vector<ScoredIndex> merged = MergeSortedTopK(lists, 2);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].index, 3u);
+  EXPECT_EQ(merged[1].index, 7u);
+  EXPECT_TRUE(MergeSortedTopK({}, 5).empty());
+  EXPECT_TRUE(MergeSortedTopK({{}, {}}, 5).empty());
+}
+
+TEST(MergeSortedTopKTest, TiedScoresOrderedByIndexAcrossLists) {
+  // Equal scores everywhere: the merge must fall back to index order,
+  // exactly like SmallestK's (score, index) tie-breaking.
+  std::vector<std::vector<ScoredIndex>> lists = {
+      {{1, 1.0}, {4, 1.0}},
+      {{0, 1.0}, {2, 1.0}, {5, 1.0}},
+      {{3, 1.0}},
+  };
+  std::vector<ScoredIndex> merged = MergeSortedTopK(lists, 4);
+  ASSERT_EQ(merged.size(), 4u);
+  for (size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].index, i);
+  }
+}
+
+TEST(MergeSortedTopKTest, MatchesConcatenationReferenceRandomized) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t num_lists = 1 + rng.Index(8);
+    std::vector<std::vector<ScoredIndex>> lists(num_lists);
+    size_t next_index = 0;
+    for (auto& list : lists) {
+      size_t len = rng.Index(20);
+      for (size_t i = 0; i < len; ++i) {
+        // Coarse scores force frequent cross-list ties.
+        double score = static_cast<double>(rng.Index(5));
+        list.push_back({next_index++, score});
+      }
+      list = Sorted(std::move(list));
+    }
+    for (size_t k : {0u, 1u, 3u, 10u, 1000u}) {
+      EXPECT_EQ(MergeSortedTopK(lists, k), MergeByConcat(lists, k))
+          << "trial=" << trial << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qse
