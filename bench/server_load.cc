@@ -1,0 +1,393 @@
+// Load generator for the async serving front end: how does adaptive
+// micro-batching behave under traffic, against one-request-per-call
+// serving and against the caller-batched ceiling?
+//
+// Two generators over both backends (monolithic + sharded):
+//
+//  * Closed loop: C client threads, each submits one request and blocks
+//    on its future before the next (classic concurrency-limited load).
+//    Modes: "async_adaptive" (micro-batching server), "async_b1" (same
+//    server, max_batch = 1 — one-request-per-call serving), "direct"
+//    (clients call backend->Retrieve themselves, no server at all), and
+//    a "caller_batch" reference (one RetrieveBatch over everything — the
+//    pre-async serving mode, the throughput ceiling).
+//
+//  * Open loop: requests arrive on a Poisson process at an offered QPS
+//    regardless of completions (the arrival pattern a public endpoint
+//    actually sees), swept over fractions of the measured closed-loop
+//    capacity.  Reports achieved QPS, shed/expired counts, and sojourn
+//    percentiles.
+//
+// Output: a human table plus a google-benchmark-shaped JSON artifact
+// (bench_results/server_load.json by default, --out to override) with
+// p50/p95/p99 tail latency per configuration;
+// tools/check_bench_regressions.py gates on the adaptive-vs-b1 mean and
+// p99 ratios.
+//
+// Run: ./build/bench/server_load [--n=20000] [--clients=8]
+//        [--requests=2000] [--open_seconds=1.0] [--out=path.json]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/data/dataset.h"
+#include "src/distance/lp.h"
+#include "src/embedding/fastmap.h"
+#include "src/retrieval/filter_refine.h"
+#include "src/retrieval/retrieval_engine.h"
+#include "src/server/async_retrieval_server.h"
+#include "src/serving/sharded_retrieval_engine.h"
+#include "src/util/logging.h"
+#include "src/util/parallel.h"
+#include "src/util/random.h"
+#include "src/util/stats.h"
+#include "src/util/timer.h"
+
+namespace qse {
+namespace {
+
+using bench::BenchJsonEntry;
+using bench::ComputeLatencyPercentiles;
+using bench::LatencyPercentiles;
+
+struct LoadStack {
+  ObjectOracle<Vector> oracle;
+  std::vector<size_t> db_ids;
+  FastMapModel model;
+  L2Scorer scorer;
+  EmbeddedDatabase db;
+  std::unique_ptr<RetrievalEngine> mono;
+  std::unique_ptr<ShardedRetrievalEngine> sharded;
+  std::vector<DxToDatabaseFn> queries;
+
+  LoadStack(size_t n, size_t num_queries, size_t dims, uint64_t seed)
+      : oracle(MakeOracle(n + num_queries, seed)),
+        db_ids(Iota(n)),
+        model(BuildModel(oracle, db_ids, dims, seed)),
+        db(EmbedDatabase(model, oracle, db_ids)) {
+    mono = std::make_unique<RetrievalEngine>(&model, &scorer, &db, db_ids);
+    ShardedEngineOptions options;
+    options.num_shards = std::max<size_t>(DefaultParallelism(), 2);
+    sharded = std::make_unique<ShardedRetrievalEngine>(&model, &scorer, db,
+                                                       db_ids, options);
+    for (size_t q = n; q < n + num_queries; ++q) {
+      queries.push_back(
+          [this, q](size_t id) { return oracle.Distance(q, id); });
+    }
+  }
+
+  static ObjectOracle<Vector> MakeOracle(size_t total, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Vector> points;
+    points.reserve(total);
+    for (size_t i = 0; i < total; ++i) {
+      points.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+    }
+    return ObjectOracle<Vector>(std::move(points), L2Distance);
+  }
+
+  static FastMapModel BuildModel(const ObjectOracle<Vector>& oracle,
+                                 const std::vector<size_t>& db_ids,
+                                 size_t dims, uint64_t seed) {
+    FastMapOptions options;
+    options.dims = dims;
+    options.seed = seed + 1;
+    return BuildFastMap(oracle, db_ids, options);
+  }
+
+  static std::vector<size_t> Iota(size_t n) {
+    std::vector<size_t> ids(n);
+    std::iota(ids.begin(), ids.end(), 0);
+    return ids;
+  }
+};
+
+struct RunResult {
+  double seconds = 0;
+  double qps = 0;
+  double mean_ns = 0;
+  LatencyPercentiles percentiles;  // ns
+  size_t completed = 0;
+  size_t rejected = 0;
+  size_t expired = 0;
+};
+
+RunResult Summarize(const std::vector<double>& latencies_ns, double seconds,
+                    size_t rejected, size_t expired) {
+  RunResult r;
+  r.seconds = seconds;
+  r.completed = latencies_ns.size();
+  r.qps = seconds > 0 ? r.completed / seconds : 0;
+  r.mean_ns = Mean(latencies_ns);
+  r.percentiles = ComputeLatencyPercentiles(latencies_ns);
+  r.rejected = rejected;
+  r.expired = expired;
+  return r;
+}
+
+/// Closed loop against a submit-and-wait function: `clients` threads each
+/// issue `requests / clients` sequential requests over the query set.
+template <typename SubmitWaitFn>
+RunResult RunClosedLoop(size_t clients, size_t requests,
+                        const std::vector<DxToDatabaseFn>& queries,
+                        const SubmitWaitFn& submit_and_wait) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  size_t per_client = requests / clients;
+  Timer wall;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      latencies[c].reserve(per_client);
+      for (size_t i = 0; i < per_client; ++i) {
+        const DxToDatabaseFn& dx =
+            queries[(c * per_client + i) % queries.size()];
+        Timer t;
+        submit_and_wait(dx);
+        latencies[c].push_back(t.Seconds() * 1e9);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double seconds = wall.Seconds();
+  std::vector<double> all;
+  for (const auto& l : latencies) all.insert(all.end(), l.begin(), l.end());
+  return Summarize(all, seconds, 0, 0);
+}
+
+/// Open loop: Poisson arrivals at `offered_qps` for `seconds`, submitted
+/// from one pacing thread; latencies recorded by completion callbacks.
+RunResult RunOpenLoop(AsyncRetrievalServer* server, size_t k, size_t p,
+                      const std::vector<DxToDatabaseFn>& queries,
+                      double offered_qps, double seconds, uint64_t seed,
+                      std::chrono::microseconds deadline_budget) {
+  struct Completion {
+    std::mutex mu;
+    std::vector<double> latencies_ns;
+    std::atomic<size_t> rejected{0};
+    std::atomic<size_t> expired{0};
+    std::atomic<size_t> outstanding{0};
+  };
+  auto state = std::make_shared<Completion>();
+  Rng rng(seed);
+  Timer wall;
+  double next_arrival = 0;  // Seconds since wall start.
+  size_t submitted = 0;
+  while (next_arrival < seconds) {
+    double now = wall.Seconds();
+    if (now < next_arrival) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(next_arrival - now, 0.001)));
+      continue;
+    }
+    SubmitOptions so;
+    so.k = k;
+    so.p = p;
+    if (deadline_budget.count() > 0) {
+      so.deadline = SubmitOptions::DeadlineIn(deadline_budget);
+    }
+    auto submit_time = ServerClock::now();
+    state->outstanding.fetch_add(1);
+    server->Submit(queries[submitted % queries.size()], so)
+        .OnReady([state, submit_time](const StatusOr<RetrievalResult>& r) {
+          double ns = std::chrono::duration<double, std::nano>(
+                          ServerClock::now() - submit_time)
+                          .count();
+          if (r.ok()) {
+            std::lock_guard<std::mutex> lock(state->mu);
+            state->latencies_ns.push_back(ns);
+          } else if (r.status().code() == StatusCode::kResourceExhausted) {
+            state->rejected.fetch_add(1);
+          } else if (r.status().code() == StatusCode::kDeadlineExceeded) {
+            state->expired.fetch_add(1);
+          }
+          state->outstanding.fetch_sub(1);
+        });
+    ++submitted;
+    // Poisson process: exponential inter-arrival at rate offered_qps.
+    next_arrival += -std::log(1.0 - rng.Uniform(0, 1)) / offered_qps;
+  }
+  while (state->outstanding.load() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  double elapsed = wall.Seconds();
+  std::lock_guard<std::mutex> lock(state->mu);
+  return Summarize(state->latencies_ns, elapsed, state->rejected.load(),
+                   state->expired.load());
+}
+
+void Report(const std::string& name, const RunResult& r,
+            std::vector<BenchJsonEntry>* json,
+            std::vector<std::pair<std::string, double>> extra_fields = {},
+            bool has_percentiles = true) {
+  if (has_percentiles) {
+    std::printf(
+        "%-36s %9.0f qps   mean %8.1f us   p50 %8.1f  p95 %8.1f  p99 %8.1f "
+        "us   completed %6zu  shed %5zu  expired %5zu\n",
+        name.c_str(), r.qps, r.mean_ns / 1e3, r.percentiles.p50 / 1e3,
+        r.percentiles.p95 / 1e3, r.percentiles.p99 / 1e3, r.completed,
+        r.rejected, r.expired);
+  } else {
+    std::printf("%-36s %9.0f qps   mean %8.1f us (amortized)   "
+                "completed %6zu\n",
+                name.c_str(), r.qps, r.mean_ns / 1e3, r.completed);
+  }
+  BenchJsonEntry entry;
+  entry.name = name;
+  entry.real_time_ns = r.mean_ns;
+  if (has_percentiles) entry.AddPercentiles(r.percentiles);
+  entry.extras.emplace_back("qps", r.qps);
+  entry.extras.emplace_back("completed", static_cast<double>(r.completed));
+  entry.extras.emplace_back("shed", static_cast<double>(r.rejected));
+  entry.extras.emplace_back("expired", static_cast<double>(r.expired));
+  for (auto& kv : extra_fields) entry.extras.push_back(std::move(kv));
+  json->push_back(std::move(entry));
+}
+
+}  // namespace
+}  // namespace qse
+
+int main(int argc, char** argv) {
+  using namespace qse;
+  bench::Flags flags(argc, argv);
+  const size_t n = flags.GetSize("n", 20000);
+  const size_t dims = flags.GetSize("dims", 8);
+  const size_t num_queries = flags.GetSize("queries", 256);
+  const size_t k = flags.GetSize("k", 3);
+  const size_t p = flags.GetSize("p", 200);
+  const size_t clients = flags.GetSize("clients", 8);
+  const size_t requests = flags.GetSize("requests", 2000);
+  const size_t max_batch = flags.GetSize("max_batch", 64);
+  const double open_seconds = flags.GetDouble("open_seconds", 1.0);
+  std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    // ResultsPath ensures bench_results/ exists; swap the extension.
+    out = bench::ResultsPath("server_load");
+    out.replace(out.size() - 4, 4, ".json");
+  }
+
+  std::printf("server_load: n=%zu dims=%zu k=%zu p=%zu clients=%zu "
+              "requests=%zu cores=%zu\n\n",
+              n, dims, k, p, clients, requests, DefaultParallelism());
+  LoadStack stack(n, num_queries, dims, 2005);
+
+  std::vector<BenchJsonEntry> json;
+  double adaptive_capacity_qps = 0;
+
+  struct Backend {
+    const char* name;
+    const RetrievalBackend* backend;
+  };
+  const Backend backends[] = {{"mono", stack.mono.get()},
+                              {"sharded", stack.sharded.get()}};
+
+  for (const Backend& b : backends) {
+    std::printf("--- backend: %s ---\n", b.name);
+
+    // Caller-batched ceiling: the pre-async serving mode, one big
+    // RetrieveBatch across all cores.
+    {
+      Timer t;
+      size_t done = 0;
+      while (done < requests) {
+        size_t chunk = std::min(requests - done, stack.queries.size());
+        std::vector<DxToDatabaseFn> batch(stack.queries.begin(),
+                                          stack.queries.begin() + chunk);
+        auto r = b.backend->RetrieveBatch(batch, k, p);
+        QSE_CHECK_MSG(r.ok(), r.status().ToString());
+        done += chunk;
+      }
+      double seconds = t.Seconds();
+      RunResult res;
+      res.seconds = seconds;
+      res.completed = requests;
+      res.qps = requests / seconds;
+      res.mean_ns = seconds / requests * 1e9;  // Amortized, not sojourn.
+      Report(std::string("SL_CallerBatch/") + b.name, res, &json, {},
+             /*has_percentiles=*/false);
+    }
+
+    // Closed loop, direct: clients call the backend themselves.
+    {
+      RunResult res = RunClosedLoop(
+          clients, requests, stack.queries, [&](const DxToDatabaseFn& dx) {
+            auto r = b.backend->Retrieve(dx, k, p);
+            QSE_CHECK_MSG(r.ok(), r.status().ToString());
+          });
+      Report(std::string("SL_Closed/") + b.name + "/direct", res, &json);
+    }
+
+    // Closed loop through the server: one-request-per-call (max_batch=1)
+    // vs adaptive micro-batching, same worker layout.
+    for (bool adaptive : {false, true}) {
+      AsyncServerOptions options;
+      options.queue_capacity = 4096;
+      options.max_batch = adaptive ? max_batch : 1;
+      options.num_workers = 1;
+      options.retrieve_threads = 0;  // Batch parallelism = the core count.
+      AsyncRetrievalServer server(b.backend, options);
+      RunResult res = RunClosedLoop(
+          clients, requests, stack.queries, [&](const DxToDatabaseFn& dx) {
+            SubmitOptions so;
+            so.k = k;
+            so.p = p;
+            // Keep the future alive across Get(): its shared state owns
+            // the result the reference points into.
+            Future<StatusOr<RetrievalResult>> f = server.Submit(dx, so);
+            const auto& r = f.Get();
+            QSE_CHECK_MSG(r.ok(), r.status().ToString());
+          });
+      server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+      ServerStats stats = server.stats();
+      double mean_batch = 0;
+      size_t batches = 0, weighted = 0;
+      for (size_t i = 0; i < stats.batch_size_histogram.size(); ++i) {
+        batches += stats.batch_size_histogram[i];
+        weighted += (i + 1) * stats.batch_size_histogram[i];
+      }
+      if (batches > 0) mean_batch = double(weighted) / double(batches);
+      Report(std::string("SL_Closed/") + b.name +
+                 (adaptive ? "/async_adaptive" : "/async_b1"),
+             res, &json, {{"mean_batch", mean_batch}});
+      if (adaptive && std::string(b.name) == "mono") {
+        adaptive_capacity_qps = res.qps;
+      }
+    }
+  }
+
+  // Open loop over the monolithic backend: sweep offered load as
+  // fractions of the measured adaptive closed-loop capacity, with a
+  // deadline so overload sheds instead of queueing without bound.
+  std::printf("--- open loop (mono, adaptive, deadline 50ms) ---\n");
+  for (double fraction : {0.5, 0.9, 1.2}) {
+    double offered = std::max(adaptive_capacity_qps * fraction, 50.0);
+    AsyncServerOptions options;
+    options.queue_capacity = 1024;
+    options.max_batch = max_batch;
+    options.num_workers = 1;
+    AsyncRetrievalServer server(stack.mono.get(), options);
+    RunResult res =
+        RunOpenLoop(&server, k, p, stack.queries, offered, open_seconds,
+                    7 + size_t(fraction * 10),
+                    std::chrono::milliseconds(50));
+    server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+    char name[64];
+    std::snprintf(name, sizeof(name), "SL_Open/mono/load%02d",
+                  int(fraction * 100));
+    Report(name, res, &json, {{"offered_qps", offered}});
+  }
+
+  Status s = bench::WriteBenchJson(out, json);
+  QSE_CHECK_MSG(s.ok(), s.ToString());
+  std::printf("\nwrote %s (%zu benchmark entries)\n", out.c_str(),
+              json.size());
+  return 0;
+}

@@ -1,0 +1,239 @@
+#include "src/server/async_retrieval_server.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace qse {
+
+namespace {
+
+AsyncServerOptions Sanitize(AsyncServerOptions o) {
+  if (o.max_batch == 0) o.max_batch = 1;
+  if (o.num_workers == 0) o.num_workers = 1;
+  return o;
+}
+
+}  // namespace
+
+AsyncRetrievalServer::AsyncRetrievalServer(const RetrievalBackend* backend,
+                                           AsyncServerOptions options)
+    : backend_(backend),
+      options_(Sanitize(options)),
+      queue_(options_.queue_capacity),
+      // One pending batch per worker: backlog accumulates in the bounded
+      // admission queue (where overflow is observable), not in an elastic
+      // dispatch buffer.
+      dispatch_(options_.num_workers),
+      batch_size_histogram_(options_.max_batch, 0) {
+  batcher_ = std::thread(&AsyncRetrievalServer::BatcherLoop, this);
+  workers_.reserve(options_.num_workers);
+  for (size_t w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back(&AsyncRetrievalServer::WorkerLoop, this);
+  }
+}
+
+AsyncRetrievalServer::~AsyncRetrievalServer() { Shutdown(DrainMode::kDrain); }
+
+Future<StatusOr<RetrievalResult>> AsyncRetrievalServer::Submit(
+    DxToDatabaseFn dx, SubmitOptions options) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Promise<StatusOr<RetrievalResult>> promise;
+  Future<StatusOr<RetrievalResult>> future = promise.future();
+  if (options.k == 0 || options.p == 0) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    promise.Set(Status::InvalidArgument("k and p must be positive"));
+    return future;
+  }
+  Request request{std::move(dx), options.k, options.p, options.deadline,
+                  promise};
+  // The refusal reason comes from under the queue lock: a full-queue
+  // rejection racing Shutdown still reports load shedding (retryable),
+  // not shutdown (terminal).
+  QueuePushResult pushed = queue_.TryPushWithReason(std::move(request));
+  if (pushed != QueuePushResult::kAccepted) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    promise.Set(pushed == QueuePushResult::kClosed
+                    ? Status::FailedPrecondition("server is shut down")
+                    : Status::ResourceExhausted("admission queue full"));
+    return future;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+StatusOr<RetrievalResult> AsyncRetrievalServer::Retrieve(
+    DxToDatabaseFn dx, size_t k, size_t p, ServerClock::time_point deadline) {
+  SubmitOptions options;
+  options.k = k;
+  options.p = p;
+  options.deadline = deadline;
+  return Submit(std::move(dx), options).Get();
+}
+
+void AsyncRetrievalServer::Shutdown(DrainMode mode) {
+  if (shutdown_.exchange(true)) return;
+  if (mode == DrainMode::kCancel) {
+    cancel_.store(true, std::memory_order_relaxed);
+  }
+  queue_.Close();  // New submits fail; the batcher drains what is queued.
+  if (batcher_.joinable()) batcher_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void AsyncRetrievalServer::CompleteCancelled(Request* r) {
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  r->promise.Set(Status::FailedPrecondition("server shut down before the "
+                                            "request was executed"));
+}
+
+bool AsyncRetrievalServer::AdmitToBatch(Request r, Batch* batch,
+                                        ServerClock::time_point now) {
+  if (cancel_.load(std::memory_order_relaxed)) {
+    CompleteCancelled(&r);
+    return false;
+  }
+  // Deadline check #1, at dequeue: a request that died waiting in the
+  // admission queue must not take a batch slot.
+  if (now > r.deadline) {
+    expired_.fetch_add(1, std::memory_order_relaxed);
+    r.promise.Set(
+        Status::DeadlineExceeded("deadline expired in the admission queue"));
+    return false;
+  }
+  batch->push_back(std::move(r));
+  return true;
+}
+
+void AsyncRetrievalServer::BatcherLoop() {
+  for (;;) {
+    std::optional<Request> first = queue_.Pop();
+    if (!first.has_value()) break;  // Closed and fully drained.
+
+    Batch batch;
+    // The batching window opens when the batch's first request is
+    // dequeued, so the first arrival bounds its own extra latency.
+    ServerClock::time_point window_end =
+        ServerClock::now() + options_.max_batch_delay;
+    AdmitToBatch(std::move(*first), &batch, ServerClock::now());
+
+    // Adaptive growth: keep coalescing while requests are available.
+    // With no window this stops the moment the queue is empty (idle =>
+    // singleton batches at single-query latency; backlog => full
+    // batches); with a window it also waits out the remaining time for
+    // stragglers.
+    while (!batch.empty() && batch.size() < options_.max_batch) {
+      std::optional<Request> next;
+      if (options_.max_batch_delay.count() == 0) {
+        next = queue_.TryPop();
+      } else {
+        auto remaining = window_end - ServerClock::now();
+        if (remaining.count() <= 0) {
+          next = queue_.TryPop();
+          if (!next.has_value()) break;
+        } else {
+          next = queue_.PopFor(remaining);
+        }
+      }
+      if (!next.has_value()) break;
+      AdmitToBatch(std::move(*next), &batch, ServerClock::now());
+    }
+    if (batch.empty()) continue;  // Everything expired or cancelled.
+
+    RecordBatchSize(batch.size());
+    if (!dispatch_.Push(std::move(batch))) {
+      // Only possible after the dispatch queue is closed, which this
+      // thread does below — defensive: never drop promises.
+      for (Request& r : batch) CompleteCancelled(&r);
+    }
+  }
+  dispatch_.Close();  // Workers drain remaining batches, then exit.
+}
+
+void AsyncRetrievalServer::WorkerLoop() {
+  for (;;) {
+    std::optional<Batch> batch = dispatch_.Pop();
+    if (!batch.has_value()) break;
+    ExecuteBatch(std::move(*batch));
+  }
+}
+
+void AsyncRetrievalServer::ExecuteBatch(Batch batch) {
+  // Deadline check #2, before refine: the last gate before the backend
+  // spends exact distances.  A request that expired while its batch sat
+  // in the dispatch queue is answered late-but-honestly, not served.
+  ServerClock::time_point now = ServerClock::now();
+  Batch live;
+  live.reserve(batch.size());
+  for (Request& r : batch) {
+    if (cancel_.load(std::memory_order_relaxed)) {
+      CompleteCancelled(&r);
+    } else if (now > r.deadline) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      r.promise.Set(Status::DeadlineExceeded(
+          "deadline expired before the refine step"));
+    } else {
+      live.push_back(std::move(r));
+    }
+  }
+
+  // All requests sharing (k, p) — adjacent or not — execute as one
+  // RetrieveBatch call; results[i] is bit-identical to
+  // Retrieve(queries[i]) by the backend contract.  Group count is tiny
+  // (bounded by max_batch), so a linear group scan beats hashing.
+  std::vector<std::vector<size_t>> groups;
+  for (size_t t = 0; t < live.size(); ++t) {
+    std::vector<size_t>* group = nullptr;
+    for (std::vector<size_t>& g : groups) {
+      if (live[g[0]].k == live[t].k && live[g[0]].p == live[t].p) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.emplace_back();
+      group = &groups.back();
+    }
+    group->push_back(t);
+  }
+  for (const std::vector<size_t>& group : groups) {
+    std::vector<DxToDatabaseFn> queries;
+    queries.reserve(group.size());
+    for (size_t t : group) queries.push_back(std::move(live[t].dx));
+    StatusOr<std::vector<RetrievalResult>> results = backend_->RetrieveBatch(
+        queries, live[group[0]].k, live[group[0]].p,
+        options_.retrieve_threads);
+    for (size_t i = 0; i < group.size(); ++i) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      if (results.ok()) {
+        live[group[i]].promise.Set(std::move((*results)[i]));
+      } else {
+        live[group[i]].promise.Set(results.status());
+      }
+    }
+  }
+}
+
+void AsyncRetrievalServer::RecordBatchSize(size_t size) {
+  std::lock_guard<std::mutex> lock(histogram_mu_);
+  batch_size_histogram_[std::min(size, options_.max_batch) - 1] += 1;
+}
+
+ServerStats AsyncRetrievalServer::stats() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_.size();
+  {
+    std::lock_guard<std::mutex> lock(histogram_mu_);
+    s.batch_size_histogram = batch_size_histogram_;
+  }
+  return s;
+}
+
+}  // namespace qse

@@ -1,0 +1,194 @@
+#ifndef QSE_SERVER_ASYNC_RETRIEVAL_SERVER_H_
+#define QSE_SERVER_ASYNC_RETRIEVAL_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/retrieval/retrieval_backend.h"
+#include "src/util/bounded_queue.h"
+#include "src/util/future.h"
+#include "src/util/statusor.h"
+
+namespace qse {
+
+/// Clock used for request deadlines (steady: immune to wall-clock jumps).
+using ServerClock = std::chrono::steady_clock;
+
+/// Per-request options for AsyncRetrievalServer::Submit.
+struct SubmitOptions {
+  /// Neighbors to return / filter candidates to refine; the same k and p
+  /// as RetrievalBackend::Retrieve.
+  size_t k = 1;
+  size_t p = 1;
+  /// Absolute completion deadline.  A request past its deadline is
+  /// answered with kDeadlineExceeded — checked when it leaves the
+  /// admission queue and again just before the backend spends exact
+  /// distances on it — never silently dropped or served late.  Default:
+  /// no deadline.
+  ServerClock::time_point deadline = ServerClock::time_point::max();
+
+  /// Convenience: an absolute deadline `budget` from now.
+  template <typename Rep, typename Period>
+  static ServerClock::time_point DeadlineIn(
+      std::chrono::duration<Rep, Period> budget) {
+    return ServerClock::now() +
+           std::chrono::duration_cast<ServerClock::duration>(budget);
+  }
+};
+
+struct AsyncServerOptions {
+  /// Admission queue bound; a Submit that finds it full is rejected
+  /// immediately with kResourceExhausted (load shedding, not unbounded
+  /// buffering).  A handful of further requests beyond this live in the
+  /// batcher/worker pipeline.
+  size_t queue_capacity = 1024;
+  /// Largest micro-batch the batcher will coalesce (also the resolution
+  /// of the batch-size histogram).
+  size_t max_batch = 64;
+  /// Batching window measured from the first request of a batch: with 0
+  /// (default) the batcher dispatches as soon as the queue is momentarily
+  /// empty — an idle system answers at ~single-query latency, a loaded
+  /// one grows batches naturally from backlog.  A positive window keeps
+  /// the batch open up to this long waiting for more arrivals, trading
+  /// idle latency for larger batches under light open-loop load.
+  std::chrono::microseconds max_batch_delay{0};
+  /// Worker threads executing dispatched batches (0 means 1).  More
+  /// workers pipeline batches; within one batch, parallelism comes from
+  /// RetrieveBatch itself.
+  size_t num_workers = 1;
+  /// `num_threads` handed to RetrievalBackend::RetrieveBatch per batch;
+  /// 0 = hardware concurrency.  Keep num_workers * retrieve_threads near
+  /// the core count to avoid oversubscription.
+  size_t retrieve_threads = 0;
+};
+
+/// Counter snapshot from AsyncRetrievalServer::stats().
+///
+/// Invariants (once all futures are ready, e.g. after Shutdown):
+///   submitted == admitted + rejected
+///   admitted  == completed + expired + cancelled
+struct ServerStats {
+  size_t submitted = 0;  ///< All Submit calls.
+  size_t admitted = 0;   ///< Entered the admission queue.
+  size_t rejected = 0;   ///< Never queued: overflow, invalid k/p, or
+                         ///< submitted after shutdown.
+  size_t expired = 0;    ///< Answered kDeadlineExceeded at dequeue or
+                         ///< just before refine.
+  size_t cancelled = 0;  ///< Answered at Shutdown(kCancel) without
+                         ///< reaching the backend.
+  size_t completed = 0;  ///< Backend answered (OK or a backend error).
+  size_t queue_depth = 0;  ///< Momentary admission-queue length.
+  /// batch_size_histogram[i] = dispatched micro-batches of size i + 1.
+  std::vector<size_t> batch_size_histogram;
+};
+
+/// The async serving front end: owns any RetrievalBackend (monolithic or
+/// sharded) behind a Submit -> Future pipeline.
+///
+///   submitters -> bounded admission queue -> batcher thread -> bounded
+///   batch queue -> worker pool -> RetrieveBatch -> promise completion
+///
+/// The batcher coalesces queued requests into adaptive micro-batches: it
+/// keeps growing a batch while the queue is non-empty (up to max_batch),
+/// capped by the max_batch_delay window, so batch size tracks load — an
+/// idle server dispatches singletons immediately, a saturated one ships
+/// full batches.  Requests in one micro-batch that share (k, p) run as a
+/// single RetrieveBatch call; each admitted, non-expired request's result
+/// is bit-identical to a direct RetrievalBackend::Retrieve.
+///
+/// Every submitted request's future becomes ready exactly once, whatever
+/// happens: backend result, kResourceExhausted (admission overflow),
+/// kDeadlineExceeded (expired in queue or just before refine),
+/// kInvalidArgument (k or p == 0), or kFailedPrecondition (shutdown).
+///
+/// Thread-safety: Submit/Retrieve/stats are safe from any thread.
+/// Shutdown is idempotent but must not race itself from two threads.  The
+/// backend must stay alive and unmutated (no Insert/Remove) while the
+/// server is running, matching RetrievalBackend's concurrency contract.
+class AsyncRetrievalServer {
+ public:
+  enum class DrainMode {
+    kDrain,   ///< Execute everything already admitted, then stop.
+    kCancel,  ///< Answer everything not yet executing with
+              ///< kFailedPrecondition, then stop.  In-flight batches
+              ///< still finish normally.
+  };
+
+  explicit AsyncRetrievalServer(const RetrievalBackend* backend,
+                                AsyncServerOptions options = {});
+  /// Shutdown(kDrain) if still running.
+  ~AsyncRetrievalServer();
+
+  AsyncRetrievalServer(const AsyncRetrievalServer&) = delete;
+  AsyncRetrievalServer& operator=(const AsyncRetrievalServer&) = delete;
+
+  /// Enqueues one retrieval.  Never blocks: on overflow (or invalid
+  /// options, or after shutdown) the returned future is already ready
+  /// with the rejection status.  `dx` may be invoked on a worker thread
+  /// any time before the future is ready; captured state must outlive
+  /// that.
+  Future<StatusOr<RetrievalResult>> Submit(DxToDatabaseFn dx,
+                                           SubmitOptions options);
+
+  /// Blocking convenience: Submit + Get.
+  StatusOr<RetrievalResult> Retrieve(
+      DxToDatabaseFn dx, size_t k, size_t p,
+      ServerClock::time_point deadline = ServerClock::time_point::max());
+
+  /// Stops the server: closes admission, drains or cancels queued work,
+  /// joins all threads.  On return every submitted future is ready.
+  void Shutdown(DrainMode mode = DrainMode::kDrain);
+
+  ServerStats stats() const;
+  const RetrievalBackend& backend() const { return *backend_; }
+  const AsyncServerOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    DxToDatabaseFn dx;
+    size_t k = 0;
+    size_t p = 0;
+    ServerClock::time_point deadline;
+    Promise<StatusOr<RetrievalResult>> promise;
+  };
+  using Batch = std::vector<Request>;
+
+  void BatcherLoop();
+  void WorkerLoop();
+  /// Deadline/cancel gate when a request leaves the admission queue:
+  /// appends it to `batch` or completes its promise.  Returns whether it
+  /// joined the batch.
+  bool AdmitToBatch(Request r, Batch* batch, ServerClock::time_point now);
+  /// Re-gates each request (the check "before refine"), groups survivors
+  /// by (k, p), runs RetrieveBatch per group, completes every promise.
+  void ExecuteBatch(Batch batch);
+  void RecordBatchSize(size_t size);
+  void CompleteCancelled(Request* r);
+
+  const RetrievalBackend* backend_;
+  AsyncServerOptions options_;
+  BoundedQueue<Request> queue_;    // admission (MPSC)
+  BoundedQueue<Batch> dispatch_;   // batcher -> workers (SPMC)
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> cancel_{false};
+
+  std::atomic<size_t> submitted_{0};
+  std::atomic<size_t> admitted_{0};
+  std::atomic<size_t> rejected_{0};
+  std::atomic<size_t> expired_{0};
+  std::atomic<size_t> cancelled_{0};
+  std::atomic<size_t> completed_{0};
+  mutable std::mutex histogram_mu_;
+  std::vector<size_t> batch_size_histogram_;
+
+  std::thread batcher_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qse
+
+#endif  // QSE_SERVER_ASYNC_RETRIEVAL_SERVER_H_

@@ -1,0 +1,141 @@
+#ifndef QSE_UTIL_BOUNDED_QUEUE_H_
+#define QSE_UTIL_BOUNDED_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace qse {
+
+/// Why a non-blocking push was refused — decided under the queue lock,
+/// so a caller can map "full" to load shedding and "closed" to shutdown
+/// without racing a concurrent Close().
+enum class QueuePushResult {
+  kAccepted,
+  kFull,
+  kClosed,
+};
+
+/// Bounded blocking FIFO queue — the admission and dispatch primitive of
+/// the async serving layer.  Safe for any number of producers and
+/// consumers; the server uses it MPSC (many submitters, one batcher) and
+/// SPMC (one batcher, many workers).
+///
+/// Close() makes the queue drainable-but-terminal: pushes fail, pops keep
+/// returning queued items and then nullopt, and every blocked thread is
+/// woken.  This is what makes graceful shutdown deterministic — nothing
+/// queued is ever silently dropped.
+///
+/// Failed pushes do not consume the value: `v` is only moved from when
+/// TryPush/Push return true, so the caller can still complete the
+/// request's promise with an overload/shutdown status.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking push; false when full or closed.
+  bool TryPush(T&& v) {
+    return TryPushWithReason(std::move(v)) == QueuePushResult::kAccepted;
+  }
+
+  /// Non-blocking push that reports why it was refused.
+  QueuePushResult TryPushWithReason(T&& v) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return QueuePushResult::kClosed;
+      if (items_.size() >= capacity_) return QueuePushResult::kFull;
+      items_.push_back(std::move(v));
+    }
+    not_empty_.notify_one();
+    return QueuePushResult::kAccepted;
+  }
+
+  /// Blocks until there is space or the queue closes; false when closed.
+  bool Push(T&& v) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock,
+                     [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(v));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; nullopt when momentarily empty.
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    return PopLocked(&lock);
+  }
+
+  /// Blocks until an item arrives; nullopt only once closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    return PopLocked(&lock);
+  }
+
+  /// Blocks up to `timeout` (non-positive behaves like TryPop); nullopt on
+  /// timeout or once closed and drained.
+  template <typename Rep, typename Period>
+  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, timeout,
+                        [this] { return closed_ || !items_.empty(); });
+    return PopLocked(&lock);
+  }
+
+  /// Rejects future pushes, lets pops drain, wakes all blocked threads.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Momentary number of queued items (the server's queue-depth stat).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  std::optional<T> PopLocked(std::unique_lock<std::mutex>* lock) {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    lock->unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace qse
+
+#endif  // QSE_UTIL_BOUNDED_QUEUE_H_

@@ -1,0 +1,130 @@
+#ifndef QSE_UTIL_FUTURE_H_
+#define QSE_UTIL_FUTURE_H_
+
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace qse {
+
+namespace internal {
+
+/// Shared state behind one Promise/Future pair: the one-shot value, the
+/// waiters' condition variable, and an optional ready-callback.
+template <typename T>
+struct FutureState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<T> value;
+  std::function<void(const T&)> callback;
+};
+
+}  // namespace internal
+
+template <typename T>
+class Promise;
+
+/// Read side of a one-shot Promise/Future pair, the async serving layer's
+/// completion handle.  Unlike std::future, the value stays readable after
+/// Get() (any number of threads may Wait/Get the same future), and a
+/// callback can be attached with OnReady for completion-driven callers.
+///
+/// The producer must eventually call Promise::Set exactly once; a future
+/// whose promise is dropped without Set never becomes ready.
+template <typename T>
+class Future {
+ public:
+  /// An invalid future (no shared state); valid() distinguishes it.
+  Future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the value is set; never reverts.
+  bool ready() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->value.has_value();
+  }
+
+  /// Blocks until the value is set.
+  void Wait() const {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [this] { return state_->value.has_value(); });
+  }
+
+  /// Blocks up to `timeout`; true when the value is ready.
+  template <typename Rep, typename Period>
+  bool WaitFor(std::chrono::duration<Rep, Period> timeout) const {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    return state_->cv.wait_for(
+        lock, timeout, [this] { return state_->value.has_value(); });
+  }
+
+  /// Blocks until ready and returns the value.  The reference stays valid
+  /// for the lifetime of the last Promise/Future handle to this state.
+  const T& Get() const {
+    Wait();
+    // Safe without the lock: Wait() established happens-before with the
+    // Set(), and the value never changes once set.
+    return *state_->value;
+  }
+
+  /// Runs `callback` with the value exactly once: immediately on the
+  /// calling thread when already ready, otherwise on the thread that calls
+  /// Promise::Set.  At most one callback per future chain.
+  void OnReady(std::function<void(const T&)> callback) {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    if (state_->value.has_value()) {
+      lock.unlock();
+      callback(*state_->value);
+      return;
+    }
+    assert(!state_->callback);
+    state_->callback = std::move(callback);
+  }
+
+ private:
+  friend class Promise<T>;
+  explicit Future(std::shared_ptr<internal::FutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+/// Write side: hands out futures() and fulfils them with Set.  Copyable —
+/// copies share the same state (so a request can carry the promise while
+/// the submitter keeps a fallback handle) — but Set must be called exactly
+/// once across all copies.
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<internal::FutureState<T>>()) {}
+
+  Future<T> future() const { return Future<T>(state_); }
+
+  /// Publishes the value, wakes all waiters, and runs a pending OnReady
+  /// callback (on this thread, outside the state lock).
+  void Set(T value) {
+    std::function<void(const T&)> callback;
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      assert(!state_->value.has_value());
+      state_->value.emplace(std::move(value));
+      callback = std::move(state_->callback);
+      state_->callback = nullptr;
+    }
+    state_->cv.notify_all();
+    if (callback) callback(*state_->value);
+  }
+
+ private:
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+}  // namespace qse
+
+#endif  // QSE_UTIL_FUTURE_H_

@@ -19,6 +19,8 @@ enum class StatusCode {
   kInternal = 5,
   kIOError = 6,
   kUnimplemented = 7,
+  kDeadlineExceeded = 8,
+  kResourceExhausted = 9,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -59,6 +61,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,583 @@
+// Tests of the async serving front end: every admitted, non-expired
+// request must come back bit-identical to a direct
+// RetrievalBackend::Retrieve — over both engines, multiple worker counts
+// and batch shapes, and randomized multi-threaded submit interleavings —
+// and every rejected/expired/cancelled request must surface the right
+// status code.  Nothing is ever silently dropped.
+#include "src/server/async_retrieval_server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/embedding/fastmap.h"
+#include "src/retrieval/filter_refine.h"
+#include "src/retrieval/retrieval_engine.h"
+#include "src/serving/sharded_retrieval_engine.h"
+#include "src/util/random.h"
+#include "tests/test_util.h"
+
+namespace qse {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// One workload shared by all server tests: plane points under L2,
+/// FastMap-embedded, served monolithic and sharded.
+struct ServingStack {
+  ObjectOracle<Vector> oracle;
+  std::vector<size_t> db_ids;
+  std::vector<size_t> query_ids;
+  FastMapModel model;
+  L2Scorer scorer;
+  EmbeddedDatabase db;
+  RetrievalEngine mono;
+  ShardedRetrievalEngine sharded;
+
+  static FastMapModel BuildModel(const ObjectOracle<Vector>& oracle,
+                                 const std::vector<size_t>& db_ids) {
+    FastMapOptions options;
+    options.dims = 3;
+    return BuildFastMap(oracle, db_ids, options);
+  }
+
+  static ShardedEngineOptions ShardOptions() {
+    ShardedEngineOptions options;
+    options.num_shards = 3;
+    options.scatter_threads = 1;
+    return options;
+  }
+
+  explicit ServingStack(size_t n_db = 60, size_t n_query = 10,
+                        uint64_t seed = 41)
+      : oracle(test::MakePlaneOracle(n_db + n_query, seed)),
+        db_ids(test::Iota(n_db)),
+        query_ids(test::Iota(n_query, n_db)),
+        model(BuildModel(oracle, db_ids)),
+        db(EmbedDatabase(model, oracle, db_ids)),
+        mono(&model, &scorer, &db, db_ids),
+        sharded(&model, &scorer, db, db_ids, ShardOptions()) {}
+
+  DxToDatabaseFn QueryDx(size_t query_id) const {
+    return [this, query_id](size_t id) {
+      return oracle.Distance(query_id, id);
+    };
+  }
+};
+
+void ExpectSameResult(const RetrievalResult& want,
+                      const RetrievalResult& got, const std::string& context) {
+  EXPECT_EQ(want.exact_distances, got.exact_distances) << context;
+  EXPECT_EQ(want.embedding_distances, got.embedding_distances) << context;
+  ASSERT_EQ(want.neighbors.size(), got.neighbors.size()) << context;
+  for (size_t i = 0; i < want.neighbors.size(); ++i) {
+    EXPECT_EQ(want.neighbors[i].index, got.neighbors[i].index)
+        << context << " i=" << i;
+    EXPECT_EQ(want.neighbors[i].score, got.neighbors[i].score)
+        << context << " i=" << i;
+  }
+}
+
+/// A dx wrapper that blocks inside the backend until released — pins a
+/// worker deterministically so queueing behavior can be observed.
+struct WorkerGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool released = false;
+  std::atomic<size_t> entered{0};
+
+  DxToDatabaseFn Gated(DxToDatabaseFn inner) {
+    return [this, inner](size_t id) {
+      if (entered.fetch_add(1) == 0) {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] { return released; });
+      }
+      return inner(id);
+    };
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      released = true;
+    }
+    cv.notify_all();
+  }
+};
+
+// --- The tentpole guarantee: bit-identical to direct Retrieve ----------
+
+TEST(AsyncServerParityTest, RandomizedInterleavingsOverBothEngines) {
+  ServingStack s;
+  const size_t k = 3;
+  struct Backend {
+    const char* name;
+    const RetrievalBackend* backend;
+  };
+  const Backend backends[] = {{"mono", &s.mono}, {"sharded", &s.sharded}};
+
+  for (const Backend& b : backends) {
+    for (size_t num_workers : {1u, 2u, 4u}) {
+      for (size_t max_batch : {1u, 8u}) {
+        AsyncServerOptions options;
+        options.num_workers = num_workers;
+        options.max_batch = max_batch;
+        options.retrieve_threads = 1;
+        options.queue_capacity = 256;
+        AsyncRetrievalServer server(b.backend, options);
+
+        // 3 submitter threads, each submitting every query at a shuffled
+        // (query, p) order with jittered pacing: the admission queue sees
+        // a different interleaving every config.
+        struct Expectation {
+          size_t query_id;
+          size_t p;
+          Future<StatusOr<RetrievalResult>> future;
+        };
+        std::mutex mu;
+        std::vector<Expectation> pending;
+        std::vector<std::thread> submitters;
+        for (size_t t = 0; t < 3; ++t) {
+          submitters.emplace_back([&, t] {
+            Rng rng(1000 * num_workers + 100 * max_batch + t);
+            std::vector<std::pair<size_t, size_t>> work;
+            for (size_t query_id : s.query_ids) {
+              for (size_t p : {size_t{1}, size_t{7}, s.db_ids.size()}) {
+                work.emplace_back(query_id, p);
+              }
+            }
+            for (size_t i = work.size(); i > 1; --i) {
+              std::swap(work[i - 1], work[rng.UniformInt(0, i - 1)]);
+            }
+            for (const auto& [query_id, p] : work) {
+              SubmitOptions so;
+              so.k = k;
+              so.p = p;
+              auto future = server.Submit(s.QueryDx(query_id), so);
+              {
+                std::lock_guard<std::mutex> lock(mu);
+                pending.push_back({query_id, p, std::move(future)});
+              }
+              if (rng.UniformInt(0, 3) == 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(rng.UniformInt(0, 200)));
+              }
+            }
+          });
+        }
+        for (auto& t : submitters) t.join();
+        server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+
+        for (const Expectation& e : pending) {
+          auto want = b.backend->Retrieve(s.QueryDx(e.query_id), k, e.p);
+          ASSERT_TRUE(want.ok());
+          const StatusOr<RetrievalResult>& got = e.future.Get();
+          ASSERT_TRUE(got.ok()) << got.status();
+          ExpectSameResult(*want, *got,
+                           std::string(b.name) +
+                               " workers=" + std::to_string(num_workers) +
+                               " max_batch=" + std::to_string(max_batch) +
+                               " q=" + std::to_string(e.query_id) +
+                               " p=" + std::to_string(e.p));
+        }
+        ServerStats stats = server.stats();
+        EXPECT_EQ(stats.submitted, pending.size());
+        EXPECT_EQ(stats.admitted, pending.size());
+        EXPECT_EQ(stats.completed, pending.size());
+        EXPECT_EQ(stats.rejected, 0u);
+        EXPECT_EQ(stats.expired, 0u);
+        EXPECT_EQ(stats.cancelled, 0u);
+      }
+    }
+  }
+}
+
+TEST(AsyncServerParityTest, BlockingRetrieveMatchesBackend) {
+  ServingStack s;
+  AsyncRetrievalServer server(&s.mono);
+  auto want = s.mono.Retrieve(s.QueryDx(s.query_ids[0]), 2, 10);
+  auto got = server.Retrieve(s.QueryDx(s.query_ids[0]), 2, 10);
+  ASSERT_TRUE(want.ok() && got.ok());
+  ExpectSameResult(*want, *got, "blocking");
+}
+
+TEST(AsyncServerParityTest, MixedKAndPInOneBurstStayExact) {
+  // Requests with different (k, p) coalesce into the same micro-batch but
+  // must execute as separate backend groups.
+  ServingStack s;
+  AsyncServerOptions options;
+  options.max_batch = 16;
+  options.max_batch_delay = 20ms;  // Force coalescing of the whole burst.
+  AsyncRetrievalServer server(&s.mono, options);
+  struct Case {
+    size_t query_id, my_k, p;
+    Future<StatusOr<RetrievalResult>> future;
+  };
+  std::vector<Case> cases;
+  size_t i = 0;
+  for (size_t query_id : s.query_ids) {
+    SubmitOptions so;
+    so.k = 1 + i % 3;
+    so.p = 5 + 7 * (i % 2);
+    cases.push_back({query_id, so.k, so.p,
+                     server.Submit(s.QueryDx(query_id), so)});
+    ++i;
+  }
+  for (Case& c : cases) {
+    auto want = s.mono.Retrieve(s.QueryDx(c.query_id), c.my_k, c.p);
+    ASSERT_TRUE(want.ok());
+    const auto& got = c.future.Get();
+    ASSERT_TRUE(got.ok()) << got.status();
+    ExpectSameResult(*want, *got, "mixed k/p q=" + std::to_string(c.query_id));
+  }
+}
+
+// --- Admission control --------------------------------------------------
+
+TEST(AsyncServerTest, InvalidArgumentsRejectedImmediately) {
+  ServingStack s;
+  AsyncRetrievalServer server(&s.mono);
+  SubmitOptions so;
+  so.k = 0;
+  so.p = 5;
+  auto f1 = server.Submit(s.QueryDx(s.query_ids[0]), so);
+  ASSERT_TRUE(f1.ready());  // No round-trip through the queue.
+  EXPECT_EQ(f1.Get().status().code(), StatusCode::kInvalidArgument);
+  so.k = 1;
+  so.p = 0;
+  auto f2 = server.Submit(s.QueryDx(s.query_ids[0]), so);
+  EXPECT_EQ(f2.Get().status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.stats().rejected, 2u);
+  EXPECT_EQ(server.stats().admitted, 0u);
+}
+
+TEST(AsyncServerTest, OverflowRejectsWithResourceExhausted) {
+  ServingStack s;
+  AsyncServerOptions options;
+  options.queue_capacity = 2;
+  options.max_batch = 1;
+  options.num_workers = 1;
+  AsyncRetrievalServer server(&s.mono, options);
+
+  WorkerGate gate;
+  SubmitOptions so;
+  so.k = 1;
+  so.p = 5;
+  // First request pins the single worker inside the backend; the pipeline
+  // (batcher + dispatch slot) and then the 2-slot admission queue fill up
+  // behind it.
+  auto gated = server.Submit(gate.Gated(s.QueryDx(s.query_ids[0])), so);
+  std::vector<Future<StatusOr<RetrievalResult>>> rest;
+  const size_t kExtra = 12;
+  for (size_t i = 0; i < kExtra; ++i) {
+    rest.push_back(server.Submit(s.QueryDx(s.query_ids[1]), so));
+    std::this_thread::sleep_for(2ms);  // Let the batcher drain what it can.
+  }
+  size_t rejected = 0;
+  for (const auto& f : rest) {
+    if (f.ready() && !f.Get().ok()) {
+      EXPECT_EQ(f.Get().status().code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u) << "a 2-slot queue must shed a 12-request burst";
+  EXPECT_EQ(server.stats().rejected, rejected);
+
+  gate.Release();
+  server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+  // Everyone admitted completed fine; everyone rejected saw the status.
+  ASSERT_TRUE(gated.Get().ok());
+  auto want = s.mono.Retrieve(s.QueryDx(s.query_ids[1]), 1, 5);
+  ASSERT_TRUE(want.ok());
+  for (const auto& f : rest) {
+    const auto& got = f.Get();
+    if (got.ok()) {
+      ExpectSameResult(*want, *got, "admitted after overflow");
+    } else {
+      EXPECT_EQ(got.status().code(), StatusCode::kResourceExhausted);
+    }
+  }
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, stats.admitted + stats.rejected);
+  EXPECT_EQ(stats.admitted, stats.completed);
+}
+
+// --- Deadlines ----------------------------------------------------------
+
+TEST(AsyncServerTest, ExpiredInQueueGetsDeadlineExceededAtDequeue) {
+  ServingStack s;
+  AsyncRetrievalServer server(&s.mono);
+  SubmitOptions so;
+  so.k = 1;
+  so.p = 5;
+  so.deadline = ServerClock::now() - 1ms;  // Already dead on arrival.
+  auto f = server.Submit(s.QueryDx(s.query_ids[0]), so);
+  const auto& got = f.Get();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(got.status().message().find("admission queue"),
+            std::string::npos);
+  server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+  EXPECT_EQ(server.stats().expired, 1u);
+  EXPECT_EQ(server.stats().completed, 0u);
+}
+
+TEST(AsyncServerTest, ExpiredInDispatchGetsDeadlineExceededBeforeRefine) {
+  ServingStack s;
+  AsyncServerOptions options;
+  options.max_batch = 1;
+  options.num_workers = 1;
+  options.queue_capacity = 16;
+  AsyncRetrievalServer server(&s.mono, options);
+
+  WorkerGate gate;
+  SubmitOptions slow;
+  slow.k = 1;
+  slow.p = 5;
+  auto gated = server.Submit(gate.Gated(s.QueryDx(s.query_ids[0])), slow);
+  // Wait until the worker is actually inside the backend, so the next
+  // request clears the dequeue-time check quickly and then outlives its
+  // deadline in the dispatch pipeline behind the pinned worker.
+  while (gate.entered.load() == 0) std::this_thread::sleep_for(1ms);
+
+  // Margins sized for slow hosts (TSan, loaded CI): the batcher is idle
+  // and dequeues in microseconds, so 200ms cannot expire at the dequeue
+  // check; the worker stays pinned for 450ms, so the deadline has
+  // certainly passed by the pre-refine check.
+  SubmitOptions tight;
+  tight.k = 1;
+  tight.p = 5;
+  tight.deadline = SubmitOptions::DeadlineIn(200ms);
+  auto doomed = server.Submit(s.QueryDx(s.query_ids[1]), tight);
+  std::this_thread::sleep_for(450ms);  // Deadline passes while pipelined.
+  gate.Release();
+
+  const auto& got = doomed.Get();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(got.status().message().find("refine"), std::string::npos);
+  ASSERT_TRUE(gated.Get().ok());
+  server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+  EXPECT_EQ(server.stats().expired, 1u);
+}
+
+// --- Adaptive micro-batching -------------------------------------------
+
+TEST(AsyncServerTest, BatchingWindowCoalescesABurst) {
+  ServingStack s;
+  AsyncServerOptions options;
+  options.max_batch = 5;
+  // Wide window for slow hosts: dispatch happens the moment the 5th
+  // request lands (max_batch reached), so the window's length only has
+  // to cover the submission loop, not add latency.
+  options.max_batch_delay = 250ms;
+  AsyncRetrievalServer server(&s.mono, options);
+  SubmitOptions so;
+  so.k = 1;
+  so.p = 5;
+  std::vector<Future<StatusOr<RetrievalResult>>> futures;
+  for (size_t i = 0; i < 5; ++i) {
+    futures.push_back(server.Submit(s.QueryDx(s.query_ids[i]), so));
+  }
+  for (const auto& f : futures) EXPECT_TRUE(f.Get().ok());
+  server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+  // All five submitted within the window and max_batch == 5: exactly one
+  // dispatched batch, of size 5.
+  ServerStats stats = server.stats();
+  ASSERT_EQ(stats.batch_size_histogram.size(), 5u);
+  EXPECT_EQ(stats.batch_size_histogram[4], 1u);
+  for (size_t i = 0; i + 1 < 5; ++i) {
+    EXPECT_EQ(stats.batch_size_histogram[i], 0u) << i;
+  }
+}
+
+TEST(AsyncServerTest, GreedyBatchingGrowsUnderBacklogOnly) {
+  // With no window, an idle server dispatches singletons; a backlog
+  // behind a pinned worker coalesces.
+  ServingStack s;
+  AsyncServerOptions options;
+  options.max_batch = 16;
+  options.num_workers = 1;
+  options.queue_capacity = 64;
+  AsyncRetrievalServer server(&s.mono, options);
+
+  SubmitOptions so;
+  so.k = 1;
+  so.p = 5;
+  // Idle phase: one at a time, waiting each out.
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(server.Retrieve(s.QueryDx(s.query_ids[0]), 1, 5).ok());
+  }
+  ServerStats idle = server.stats();
+  EXPECT_EQ(idle.batch_size_histogram[0], 3u) << "idle => singleton batches";
+
+  // Backlog phase: pin the worker, pile up a burst, release.
+  WorkerGate gate;
+  auto gated = server.Submit(gate.Gated(s.QueryDx(s.query_ids[0])), so);
+  while (gate.entered.load() == 0) std::this_thread::sleep_for(1ms);
+  std::vector<Future<StatusOr<RetrievalResult>>> burst;
+  for (size_t i = 0; i < 12; ++i) {
+    burst.push_back(server.Submit(s.QueryDx(s.query_ids[1]), so));
+  }
+  std::this_thread::sleep_for(20ms);  // Burst settles behind the worker.
+  gate.Release();
+  for (const auto& f : burst) EXPECT_TRUE(f.Get().ok());
+  ASSERT_TRUE(gated.Get().ok());
+  server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+
+  ServerStats stats = server.stats();
+  size_t multi = 0;
+  for (size_t i = 1; i < stats.batch_size_histogram.size(); ++i) {
+    multi += stats.batch_size_histogram[i];
+  }
+  EXPECT_GT(multi, 0u) << "backlog must produce at least one multi-batch";
+  size_t weighted = 0;
+  for (size_t i = 0; i < stats.batch_size_histogram.size(); ++i) {
+    weighted += (i + 1) * stats.batch_size_histogram[i];
+  }
+  EXPECT_EQ(weighted, stats.completed);
+}
+
+// --- Shutdown -----------------------------------------------------------
+
+TEST(AsyncServerTest, DrainCompletesEverythingThenRejectsNewWork) {
+  ServingStack s;
+  AsyncServerOptions options;
+  options.max_batch = 4;
+  AsyncRetrievalServer server(&s.mono, options);
+  SubmitOptions so;
+  so.k = 2;
+  so.p = 10;
+  std::vector<Future<StatusOr<RetrievalResult>>> futures;
+  for (size_t query_id : s.query_ids) {
+    futures.push_back(server.Submit(s.QueryDx(query_id), so));
+  }
+  server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+  for (const auto& f : futures) {
+    ASSERT_TRUE(f.ready()) << "Shutdown must resolve every future";
+    EXPECT_TRUE(f.Get().ok());
+  }
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, futures.size());
+  EXPECT_EQ(stats.queue_depth, 0u);
+
+  auto late = server.Submit(s.QueryDx(s.query_ids[0]), so);
+  ASSERT_TRUE(late.ready());
+  EXPECT_EQ(late.Get().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AsyncServerTest, CancelAnswersQueuedWorkWithoutExecutingIt) {
+  ServingStack s;
+  AsyncServerOptions options;
+  options.max_batch = 1;
+  options.num_workers = 1;
+  options.queue_capacity = 32;
+  AsyncRetrievalServer server(&s.mono, options);
+
+  WorkerGate gate;
+  SubmitOptions so;
+  so.k = 1;
+  so.p = 5;
+  auto in_flight = server.Submit(gate.Gated(s.QueryDx(s.query_ids[0])), so);
+  while (gate.entered.load() == 0) std::this_thread::sleep_for(1ms);
+  std::vector<Future<StatusOr<RetrievalResult>>> queued;
+  for (size_t i = 0; i < 8; ++i) {
+    queued.push_back(server.Submit(s.QueryDx(s.query_ids[1]), so));
+  }
+
+  std::thread shutdown(
+      [&] { server.Shutdown(AsyncRetrievalServer::DrainMode::kCancel); });
+  std::this_thread::sleep_for(20ms);
+  gate.Release();  // Unpin the worker so Shutdown can join.
+  shutdown.join();
+
+  // The in-flight request finished normally; everything queued behind it
+  // was answered with the shutdown status, deterministically.
+  EXPECT_TRUE(in_flight.Get().ok());
+  for (const auto& f : queued) {
+    ASSERT_TRUE(f.ready());
+    EXPECT_EQ(f.Get().status().code(), StatusCode::kFailedPrecondition);
+  }
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cancelled, queued.size());
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.admitted, stats.completed + stats.cancelled);
+}
+
+TEST(AsyncServerTest, DestructorDrains) {
+  ServingStack s;
+  Future<StatusOr<RetrievalResult>> future;
+  {
+    AsyncRetrievalServer server(&s.mono);
+    SubmitOptions so;
+    so.k = 1;
+    so.p = 5;
+    future = server.Submit(s.QueryDx(s.query_ids[0]), so);
+  }
+  ASSERT_TRUE(future.ready());
+  EXPECT_TRUE(future.Get().ok());
+}
+
+// --- Error propagation and stats ---------------------------------------
+
+TEST(AsyncServerTest, BackendErrorsPropagateAsCompleted) {
+  // An empty backend fails FailedPrecondition inside RetrieveBatch; the
+  // server delivers that status and counts the request as completed (the
+  // backend answered — it is not an admission failure).
+  ServingStack s;
+  ShardedEngineOptions shard_options;
+  shard_options.num_shards = 2;
+  ShardedRetrievalEngine empty(&s.model, &s.scorer, shard_options);
+  AsyncRetrievalServer server(&empty);
+  auto got = server.Retrieve(s.QueryDx(s.query_ids[0]), 1, 5);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kFailedPrecondition);
+  server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+  EXPECT_EQ(server.stats().completed, 1u);
+}
+
+TEST(AsyncServerTest, StatsInvariantsHoldAfterMixedTraffic) {
+  ServingStack s;
+  AsyncServerOptions options;
+  options.queue_capacity = 16;  // Roomy: only the invalid submit rejects.
+  options.max_batch = 2;
+  AsyncRetrievalServer server(&s.mono, options);
+  SubmitOptions ok;
+  ok.k = 1;
+  ok.p = 5;
+  SubmitOptions dead = ok;
+  dead.deadline = ServerClock::now() - 1ms;
+  SubmitOptions invalid;
+  invalid.k = 0;
+  invalid.p = 5;
+
+  std::vector<Future<StatusOr<RetrievalResult>>> futures;
+  for (size_t i = 0; i < 6; ++i) {
+    futures.push_back(server.Submit(s.QueryDx(s.query_ids[i % 4]),
+                                    i % 3 == 2 ? dead : ok));
+  }
+  futures.push_back(server.Submit(s.QueryDx(s.query_ids[0]), invalid));
+  for (const auto& f : futures) f.Wait();
+  server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, futures.size());
+  EXPECT_EQ(stats.submitted, stats.admitted + stats.rejected);
+  EXPECT_EQ(stats.admitted,
+            stats.completed + stats.expired + stats.cancelled);
+  EXPECT_EQ(stats.rejected, 1u);   // The invalid submit.
+  EXPECT_EQ(stats.expired, 2u);    // i = 2 and i = 5.
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+}  // namespace
+}  // namespace qse

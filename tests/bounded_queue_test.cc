@@ -1,0 +1,165 @@
+#include "src/util/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace qse {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(BoundedQueueTest, FifoOrderWithinCapacity) {
+  BoundedQueue<int> q(3);
+  EXPECT_EQ(q.capacity(), 3u);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_TRUE(q.TryPush(3));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.Pop(), 3);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, TryPushFailsWhenFullWithoutConsumingValue) {
+  BoundedQueue<std::unique_ptr<int>> q(1);
+  EXPECT_TRUE(q.TryPush(std::make_unique<int>(1)));
+  auto v = std::make_unique<int>(2);
+  EXPECT_FALSE(q.TryPush(std::move(v)));
+  // The rejected value is still ours: the server relies on this to
+  // complete the request's promise with kResourceExhausted.
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 2);
+}
+
+TEST(BoundedQueueTest, TryPushWithReasonDistinguishesFullFromClosed) {
+  BoundedQueue<int> q(1);
+  EXPECT_EQ(q.TryPushWithReason(1), QueuePushResult::kAccepted);
+  EXPECT_EQ(q.TryPushWithReason(2), QueuePushResult::kFull);
+  q.Close();
+  // Closed wins over full: the reason is decided under the queue lock.
+  EXPECT_EQ(q.TryPushWithReason(3), QueuePushResult::kClosed);
+}
+
+TEST(BoundedQueueTest, ZeroCapacityIsClampedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.TryPush(7));
+  EXPECT_FALSE(q.TryPush(8));
+}
+
+TEST(BoundedQueueTest, TryPopOnEmptyReturnsNullopt) {
+  BoundedQueue<int> q(2);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BoundedQueueTest, PopForTimesOut) {
+  BoundedQueue<int> q(2);
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.PopFor(20ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 15ms);
+  // Non-positive timeout behaves like TryPop.
+  EXPECT_FALSE(q.PopFor(-1ms).has_value());
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilPush) {
+  BoundedQueue<int> q(2);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(10ms);
+    EXPECT_TRUE(q.TryPush(42));
+  });
+  EXPECT_EQ(q.Pop(), 42);  // Blocks until the producer delivers.
+  producer.join();
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilSpace) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.TryPush(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(2));  // Blocks: queue is full.
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(10ms);
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenTerminates) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.TryPush(1));
+  ASSERT_TRUE(q.TryPush(2));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.TryPush(3));
+  // Queued items drain, then pops report termination.
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_FALSE(q.PopFor(1ms).has_value());
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedPopAndPush) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.TryPush(1));
+  std::atomic<int> results{0};
+  std::thread blocked_push([&] {
+    EXPECT_FALSE(q.Push(2));  // Woken by Close, reports failure.
+    results.fetch_add(1);
+  });
+  BoundedQueue<int> empty(1);
+  std::thread blocked_pop([&] {
+    EXPECT_FALSE(empty.Pop().has_value());
+    results.fetch_add(1);
+  });
+  std::this_thread::sleep_for(10ms);
+  q.Close();
+  empty.Close();
+  blocked_push.join();
+  blocked_pop.join();
+  EXPECT_EQ(results.load(), 2);
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumersDeliverEachItemOnce) {
+  const size_t kProducers = 4, kConsumers = 3, kPerProducer = 500;
+  BoundedQueue<size_t> q(16);
+  std::mutex mu;
+  std::set<size_t> seen;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        std::optional<size_t> v = q.Pop();
+        if (!v.has_value()) return;
+        std::lock_guard<std::mutex> lock(mu);
+        EXPECT_TRUE(seen.insert(*v).second) << "duplicate " << *v;
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(seen.size(), kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace qse

@@ -1,0 +1,111 @@
+#include "src/util/future.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace qse {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(FutureTest, DefaultConstructedIsInvalid) {
+  Future<int> f;
+  EXPECT_FALSE(f.valid());
+}
+
+TEST(FutureTest, SetBeforeGet) {
+  Promise<int> p;
+  Future<int> f = p.future();
+  EXPECT_TRUE(f.valid());
+  EXPECT_FALSE(f.ready());
+  p.Set(42);
+  EXPECT_TRUE(f.ready());
+  EXPECT_EQ(f.Get(), 42);
+  // The value stays readable: Get is not a one-shot consume.
+  EXPECT_EQ(f.Get(), 42);
+}
+
+TEST(FutureTest, GetBlocksUntilSetFromAnotherThread) {
+  Promise<std::string> p;
+  Future<std::string> f = p.future();
+  std::thread setter([&] {
+    std::this_thread::sleep_for(10ms);
+    p.Set("done");
+  });
+  EXPECT_EQ(f.Get(), "done");
+  setter.join();
+}
+
+TEST(FutureTest, WaitForTimesOutThenSucceeds) {
+  Promise<int> p;
+  Future<int> f = p.future();
+  EXPECT_FALSE(f.WaitFor(5ms));
+  p.Set(1);
+  EXPECT_TRUE(f.WaitFor(0ms));
+}
+
+TEST(FutureTest, OnReadyAfterSetRunsInline) {
+  Promise<int> p;
+  Future<int> f = p.future();
+  p.Set(7);
+  int observed = 0;
+  f.OnReady([&](const int& v) { observed = v; });
+  EXPECT_EQ(observed, 7);
+}
+
+TEST(FutureTest, OnReadyBeforeSetRunsOnSettingThread) {
+  Promise<int> p;
+  Future<int> f = p.future();
+  std::atomic<int> observed{0};
+  std::thread::id callback_thread;
+  f.OnReady([&](const int& v) {
+    callback_thread = std::this_thread::get_id();
+    observed.store(v);
+  });
+  EXPECT_EQ(observed.load(), 0);
+  std::thread setter([&] { p.Set(9); });
+  std::thread::id setter_id = setter.get_id();
+  setter.join();
+  EXPECT_EQ(observed.load(), 9);
+  EXPECT_EQ(callback_thread, setter_id);
+}
+
+TEST(FutureTest, ManyWaitersAllWake) {
+  Promise<int> p;
+  Future<int> f = p.future();
+  std::atomic<int> sum{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&] { sum.fetch_add(f.Get()); });
+  }
+  p.Set(5);
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(sum.load(), 20);
+}
+
+TEST(FutureTest, PromiseCopiesShareState) {
+  Promise<int> p;
+  Promise<int> copy = p;  // The server keeps one handle in the request
+  Future<int> f = p.future();  // and one at the submitter.
+  copy.Set(3);
+  EXPECT_EQ(f.Get(), 3);
+}
+
+TEST(FutureTest, CarriesStatusOrLikeTheServer) {
+  Promise<StatusOr<int>> p;
+  Future<StatusOr<int>> f = p.future();
+  p.Set(Status::DeadlineExceeded("late"));
+  ASSERT_FALSE(f.Get().ok());
+  EXPECT_EQ(f.Get().status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace qse

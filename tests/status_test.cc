@@ -26,7 +26,53 @@ TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+}
+
+TEST(StatusTest, EveryEnumeratorRoundTripsThroughFactoryAndName) {
+  // One row per enumerator: keep this table in sync with StatusCode so a
+  // new code cannot land without a factory and a stable name.
+  const struct {
+    Status status;
+    StatusCode code;
+    const char* name;
+  } kCases[] = {
+      {Status::OK(), StatusCode::kOk, "OK"},
+      {Status::InvalidArgument("m"), StatusCode::kInvalidArgument,
+       "INVALID_ARGUMENT"},
+      {Status::NotFound("m"), StatusCode::kNotFound, "NOT_FOUND"},
+      {Status::OutOfRange("m"), StatusCode::kOutOfRange, "OUT_OF_RANGE"},
+      {Status::FailedPrecondition("m"), StatusCode::kFailedPrecondition,
+       "FAILED_PRECONDITION"},
+      {Status::Internal("m"), StatusCode::kInternal, "INTERNAL"},
+      {Status::IOError("m"), StatusCode::kIOError, "IO_ERROR"},
+      {Status::Unimplemented("m"), StatusCode::kUnimplemented,
+       "UNIMPLEMENTED"},
+      {Status::DeadlineExceeded("m"), StatusCode::kDeadlineExceeded,
+       "DEADLINE_EXCEEDED"},
+      {Status::ResourceExhausted("m"), StatusCode::kResourceExhausted,
+       "RESOURCE_EXHAUSTED"},
+  };
+  for (const auto& c : kCases) {
+    EXPECT_EQ(c.status.code(), c.code) << c.name;
+    EXPECT_STREQ(StatusCodeToString(c.code), c.name);
+    if (c.status.ok()) {
+      EXPECT_EQ(c.status.ToString(), "OK");
+    } else {
+      EXPECT_EQ(c.status.message(), "m") << c.name;
+      EXPECT_EQ(c.status.ToString(), std::string(c.name) + ": m");
+    }
+  }
+  // Names are pairwise distinct: ToString never aliases two codes.
+  for (const auto& a : kCases) {
+    for (const auto& b : kCases) {
+      if (a.code != b.code) EXPECT_STRNE(a.name, b.name);
+    }
+  }
 }
 
 TEST(StatusTest, ToStringIncludesCodeAndMessage) {
