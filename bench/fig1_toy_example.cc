@@ -117,7 +117,8 @@ int main(int argc, char** argv) {
   }
   overall.AddRow({"query-sensitive (nearest ref only)",
                   Table::Fmt(FailureRate(t, qs_margin)), "(lower than F)"});
-  std::printf("Figure 1 toy example — overall failure rates on all triples\n%s",
+  std::printf(
+      "Figure 1 toy example — overall failure rates on all triples\n%s",
               overall.ToPretty().c_str());
 
   // Per-query rows: for the query nearest to each reference object,

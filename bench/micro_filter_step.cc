@@ -235,7 +235,7 @@ void BM_RetrieveSingleLoop(benchmark::State& state) {
   EngineFixture f(n, d, q);
   for (auto _ : state) {
     for (const auto& dx : f.queries) {
-      auto r = f.engine->Retrieve(dx, 10, 100);
+      auto r = f.engine->Retrieve({dx, RetrievalOptions(10, 100)});
       QSE_CHECK(r.ok());
       benchmark::DoNotOptimize(r.value());
     }
@@ -253,7 +253,7 @@ void BM_RetrieveBatchParallel(benchmark::State& state) {
   size_t q = static_cast<size_t>(state.range(2));
   EngineFixture f(n, d, q);
   for (auto _ : state) {
-    auto r = f.engine->RetrieveBatch(f.queries, 10, 100);
+    auto r = f.engine->RetrieveBatch(f.queries, RetrievalOptions(10, 100));
     QSE_CHECK(r.ok());
     benchmark::DoNotOptimize(r.value());
   }
@@ -281,7 +281,8 @@ void BM_RetrieveMonolithicSingleQuery(benchmark::State& state) {
   size_t d = static_cast<size_t>(state.range(1));
   EngineFixture f(n, d, 1);
   for (auto _ : state) {
-    auto r = f.engine->Retrieve(f.queries[0], kShardedK, kShardedP);
+    auto r = f.engine->Retrieve(
+        {f.queries[0], RetrievalOptions(kShardedK, kShardedP)});
     QSE_CHECK(r.ok());
     benchmark::DoNotOptimize(r.value());
   }
@@ -311,7 +312,7 @@ void BM_RetrieveShardedSingleQuery(benchmark::State& state) {
   ShardedRetrievalEngine sharded(&embedder, &scorer, db, db_ids, options);
   DxToDatabaseFn dx = [](size_t) { return 0.0; };
   for (auto _ : state) {
-    auto r = sharded.Retrieve(dx, kShardedK, kShardedP);
+    auto r = sharded.Retrieve({dx, RetrievalOptions(kShardedK, kShardedP)});
     QSE_CHECK(r.ok());
     benchmark::DoNotOptimize(r.value());
   }

@@ -1,8 +1,10 @@
 // Load generator for the async serving front end: how does adaptive
 // micro-batching behave under traffic, against one-request-per-call
-// serving and against the caller-batched ceiling?
+// serving and against the caller-batched ceiling — and how do the
+// strict-priority admission lanes and per-tenant quotas carve up an
+// overloaded queue?
 //
-// Two generators over both backends (monolithic + sharded):
+// Three generators over both backends (monolithic + sharded):
 //
 //  * Closed loop: C client threads, each submits one request and blocks
 //    on its future before the next (classic concurrency-limited load).
@@ -18,15 +20,22 @@
 //    capacity.  Reports achieved QPS, shed/expired counts, and sojourn
 //    percentiles.
 //
+//  * Priority lanes: a mixed-priority, multi-tenant burst saturates a
+//    small admission queue.  Strict priority must hand the high lane a
+//    far lower p99 sojourn with zero sheds while the low lane absorbs
+//    the shedding, and a tenant capped at a sliver of the queue must be
+//    refused (kResourceExhausted) while the others keep admitting.
+//
 // Output: a human table plus a google-benchmark-shaped JSON artifact
 // (bench_results/server_load.json by default, --out to override) with
 // p50/p95/p99 tail latency per configuration;
 // tools/check_bench_regressions.py gates on the adaptive-vs-b1 mean and
-// p99 ratios.
+// p99 ratios and on the high-vs-low lane p99 ratio.
 //
 // Run: ./build/bench/server_load [--n=20000] [--clients=8]
 //        [--requests=2000] [--open_seconds=1.0] [--out=path.json]
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -188,18 +197,16 @@ RunResult RunOpenLoop(AsyncRetrievalServer* server, size_t k, size_t p,
           std::min(next_arrival - now, 0.001)));
       continue;
     }
-    SubmitOptions so;
-    so.k = k;
-    so.p = p;
+    RetrievalOptions ro(k, p);
     if (deadline_budget.count() > 0) {
-      so.deadline = SubmitOptions::DeadlineIn(deadline_budget);
+      ro.deadline = RetrievalOptions::DeadlineIn(deadline_budget);
     }
-    auto submit_time = ServerClock::now();
+    auto submit_time = RetrievalClock::now();
     state->outstanding.fetch_add(1);
-    server->Submit(queries[submitted % queries.size()], so)
-        .OnReady([state, submit_time](const StatusOr<RetrievalResult>& r) {
+    server->Submit({queries[submitted % queries.size()], ro})
+        .OnReady([state, submit_time](const StatusOr<RetrievalResponse>& r) {
           double ns = std::chrono::duration<double, std::nano>(
-                          ServerClock::now() - submit_time)
+                          RetrievalClock::now() - submit_time)
                           .count();
           if (r.ok()) {
             std::lock_guard<std::mutex> lock(state->mu);
@@ -252,6 +259,121 @@ void Report(const std::string& name, const RunResult& r,
   json->push_back(std::move(entry));
 }
 
+/// The priority-lane / tenant-quota configuration: burst-submit a mixed
+/// workload from one thread per lane through a deliberately small
+/// admission queue over one worker, so the queue saturates and the
+/// admission policy — not the backend — decides who waits and who is
+/// shed.  A fourth thread floods a tenant capped at a sliver of the
+/// queue to exercise over-quota refusal.
+void RunPriorityLanes(const RetrievalBackend* backend, size_t k, size_t p,
+                      const std::vector<DxToDatabaseFn>& queries,
+                      size_t per_lane,
+                      std::vector<BenchJsonEntry>* json) {
+  AsyncServerOptions options;
+  options.queue_capacity = 128;
+  options.max_batch = 16;
+  options.num_workers = 1;
+  options.tenant_quotas = {
+      {"interactive", 0.75},  // The high/normal lanes' tenant.
+      {"analytics", 0.25},    // The low lane's tenant.
+      {"greedy", 0.02},       // Quota-capped flooder (~2 slots of 128).
+  };
+  AsyncRetrievalServer server(backend, options);
+
+  struct LaneCompletion {
+    std::mutex mu;
+    std::vector<double> latencies_ns;
+    std::atomic<size_t> shed_or_rejected{0};
+  };
+  std::array<LaneCompletion, kNumPriorityLanes> lanes;
+  std::atomic<size_t> outstanding{0};
+  std::atomic<size_t> greedy_rejected{0};
+
+  auto submit = [&](RequestPriority priority, const std::string& tenant,
+                    size_t i, std::atomic<size_t>* rejected_counter) {
+    RetrievalOptions ro(k, p);
+    ro.priority = priority;
+    ro.tenant_id = tenant;
+    size_t lane = static_cast<size_t>(priority);
+    auto submit_time = RetrievalClock::now();
+    outstanding.fetch_add(1);
+    server.Submit({queries[i % queries.size()], ro})
+        .OnReady([&, lane, submit_time,
+                  rejected_counter](const StatusOr<RetrievalResponse>& r) {
+          if (r.ok()) {
+            double ns = std::chrono::duration<double, std::nano>(
+                            RetrievalClock::now() - submit_time)
+                            .count();
+            std::lock_guard<std::mutex> lock(lanes[lane].mu);
+            lanes[lane].latencies_ns.push_back(ns);
+          } else if (r.status().code() == StatusCode::kResourceExhausted) {
+            lanes[lane].shed_or_rejected.fetch_add(1);
+            if (rejected_counter != nullptr) rejected_counter->fetch_add(1);
+          }
+          outstanding.fetch_sub(1);
+        });
+  };
+
+  Timer wall;
+  std::vector<std::thread> submitters;
+  const struct {
+    RequestPriority priority;
+    const char* tenant;
+  } lanes_cfg[] = {{RequestPriority::kHigh, "interactive"},
+                   {RequestPriority::kNormal, "interactive"},
+                   {RequestPriority::kLow, "analytics"}};
+  for (const auto& cfg : lanes_cfg) {
+    submitters.emplace_back([&, cfg] {
+      for (size_t i = 0; i < per_lane; ++i) {
+        submit(cfg.priority, cfg.tenant, i, nullptr);
+      }
+    });
+  }
+  submitters.emplace_back([&] {
+    for (size_t i = 0; i < per_lane; ++i) {
+      submit(RequestPriority::kNormal, "greedy", i, &greedy_rejected);
+    }
+  });
+  for (auto& t : submitters) t.join();
+  while (outstanding.load() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  double seconds = wall.Seconds();
+  server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+  ServerStats stats = server.stats();
+
+  for (size_t l = 0; l < kNumPriorityLanes; ++l) {
+    RunResult r = Summarize(lanes[l].latencies_ns, seconds,
+                            lanes[l].shed_or_rejected.load(), 0);
+    std::string name = std::string("SL_Lanes/mono/") +
+                       RequestPriorityName(static_cast<RequestPriority>(l));
+    Report(name, r, json,
+           {{"lane_shed", static_cast<double>(stats.lanes[l].shed)},
+            {"lane_admitted", static_cast<double>(stats.lanes[l].admitted)}});
+  }
+  const TenantStats* greedy = nullptr;
+  for (const TenantStats& t : stats.tenants) {
+    if (t.tenant_id == "greedy") greedy = &t;
+  }
+  QSE_CHECK(greedy != nullptr);
+  std::printf("lanes: high shed %zu (must be 0), low shed %zu; greedy "
+              "tenant: %zu/%zu over-quota rejections (limit %zu slots)\n",
+              stats.lanes[0].shed, stats.lanes[2].shed, greedy->rejected,
+              greedy->submitted, greedy->limit);
+  BenchJsonEntry tenants;
+  tenants.name = "SL_Lanes/mono/tenants";
+  tenants.real_time_ns = 0;
+  tenants.extras.emplace_back("greedy_rejected",
+                              static_cast<double>(greedy->rejected));
+  tenants.extras.emplace_back("greedy_admitted",
+                              static_cast<double>(greedy->admitted));
+  tenants.extras.emplace_back("high_shed",
+                              static_cast<double>(stats.lanes[0].shed));
+  tenants.extras.emplace_back("low_shed",
+                              static_cast<double>(stats.lanes[2].shed));
+  json->push_back(std::move(tenants));
+}
+
 }  // namespace
 }  // namespace qse
 
@@ -278,6 +400,7 @@ int main(int argc, char** argv) {
               "requests=%zu cores=%zu\n\n",
               n, dims, k, p, clients, requests, DefaultParallelism());
   LoadStack stack(n, num_queries, dims, 2005);
+  const RetrievalOptions base_options(k, p);
 
   std::vector<BenchJsonEntry> json;
   double adaptive_capacity_qps = 0;
@@ -301,7 +424,7 @@ int main(int argc, char** argv) {
         size_t chunk = std::min(requests - done, stack.queries.size());
         std::vector<DxToDatabaseFn> batch(stack.queries.begin(),
                                           stack.queries.begin() + chunk);
-        auto r = b.backend->RetrieveBatch(batch, k, p);
+        auto r = b.backend->RetrieveBatch(batch, base_options);
         QSE_CHECK_MSG(r.ok(), r.status().ToString());
         done += chunk;
       }
@@ -319,7 +442,7 @@ int main(int argc, char** argv) {
     {
       RunResult res = RunClosedLoop(
           clients, requests, stack.queries, [&](const DxToDatabaseFn& dx) {
-            auto r = b.backend->Retrieve(dx, k, p);
+            auto r = b.backend->Retrieve({dx, base_options});
             QSE_CHECK_MSG(r.ok(), r.status().ToString());
           });
       Report(std::string("SL_Closed/") + b.name + "/direct", res, &json);
@@ -336,12 +459,10 @@ int main(int argc, char** argv) {
       AsyncRetrievalServer server(b.backend, options);
       RunResult res = RunClosedLoop(
           clients, requests, stack.queries, [&](const DxToDatabaseFn& dx) {
-            SubmitOptions so;
-            so.k = k;
-            so.p = p;
             // Keep the future alive across Get(): its shared state owns
             // the result the reference points into.
-            Future<StatusOr<RetrievalResult>> f = server.Submit(dx, so);
+            Future<StatusOr<RetrievalResponse>> f =
+                server.Submit({dx, base_options});
             const auto& r = f.Get();
             QSE_CHECK_MSG(r.ok(), r.status().ToString());
           });
@@ -384,6 +505,11 @@ int main(int argc, char** argv) {
                   int(fraction * 100));
     Report(name, res, &json, {{"offered_qps", offered}});
   }
+
+  // Priority lanes + tenant quotas under a saturating burst (mono).
+  std::printf("--- priority lanes (mono, queue 128, 1 worker) ---\n");
+  RunPriorityLanes(stack.mono.get(), k, p, stack.queries,
+                   std::max<size_t>(requests / 4, 64), &json);
 
   Status s = bench::WriteBenchJson(out, json);
   QSE_CHECK_MSG(s.ok(), s.ToString());

@@ -65,18 +65,18 @@ int main() {
   QseEmbedderAdapter embedder(&artifacts->model);
   EmbeddedDatabase embedded = EmbedDatabase(embedder, oracle, db_ids);
   QuerySensitiveScorer scorer(&artifacts->model);
-  FilterRefineRetriever retriever(&embedder, &scorer, &embedded, db_ids);
+  RetrievalEngine retriever(&embedder, &scorer, &embedded, db_ids);
 
   // --- Show one query and its retrieved neighbors as ASCII art.
   size_t demo_query = kDbSize;  // First query object.
   auto demo_dx = [&](size_t id) { return oracle.Distance(demo_query, id); };
-  auto demo_or = retriever.Retrieve(demo_dx, 3, 40);
+  auto demo_or = retriever.Retrieve({demo_dx, RetrievalOptions(3, 40)});
   if (!demo_or.ok()) {
     std::fprintf(stderr, "retrieval failed: %s\n",
                  demo_or.status().ToString().c_str());
     return 1;
   }
-  RetrievalResult demo = std::move(demo_or).value();
+  RetrievalResponse demo = std::move(demo_or).value();
   std::printf("query digit (true label %d):\n", labels[demo_query]);
   for (const auto& row : RenderAscii(oracle.object(demo_query), 24, 12)) {
     std::printf("  %s\n", row.c_str());
@@ -103,16 +103,16 @@ int main() {
       return oracle.Distance(q, id);
     });
   }
-  auto batch_or = retriever.RetrieveBatch(queries, 1, 40);
+  auto batch_or = retriever.RetrieveBatch(queries, RetrievalOptions(1, 40));
   if (!batch_or.ok()) {
     std::fprintf(stderr, "retrieval failed: %s\n",
                  batch_or.status().ToString().c_str());
     return 1;
   }
   size_t correct = 0, total_cost = 0;
-  std::vector<RetrievalResult> results = std::move(batch_or).value();
+  std::vector<RetrievalResponse> results = std::move(batch_or).value();
   for (size_t qi = 0; qi < results.size(); ++qi) {
-    const RetrievalResult& r = results[qi];
+    const RetrievalResponse& r = results[qi];
     total_cost += r.exact_distances;
     if (labels[db_ids[r.neighbors[0].index]] == labels[kDbSize + qi]) {
       ++correct;

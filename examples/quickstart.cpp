@@ -76,7 +76,7 @@ int main() {
       return oracle.Distance(query_id, id);
     });
   }
-  auto batch = engine.RetrieveBatch(queries, k, p);
+  auto batch = engine.RetrieveBatch(queries, RetrievalOptions(k, p));
   if (!batch.ok()) {
     std::fprintf(stderr, "retrieval failed: %s\n",
                  batch.status().ToString().c_str());
@@ -84,7 +84,7 @@ int main() {
   }
   size_t correct = 0, total_cost = 0;
   for (size_t qi = 0; qi < batch->size(); ++qi) {
-    const RetrievalResult& result = (*batch)[qi];
+    const RetrievalResponse& result = (*batch)[qi];
     total_cost += result.exact_distances;
     // Compare against brute force.
     auto exact = ExactKnn(oracle, 1900 + qi, db_ids, k);

@@ -31,7 +31,7 @@ namespace {
 std::pair<std::vector<size_t>, size_t> Serve(
     const qse::RetrievalBackend& backend,
     const std::vector<qse::DxToDatabaseFn>& queries, size_t k, size_t p) {
-  auto batch = backend.RetrieveBatch(queries, k, p);
+  auto batch = backend.RetrieveBatch(queries, qse::RetrievalOptions(k, p));
   if (!batch.ok()) {
     std::fprintf(stderr, "retrieval failed: %s\n",
                  batch.status().ToString().c_str());
@@ -39,7 +39,7 @@ std::pair<std::vector<size_t>, size_t> Serve(
   }
   std::vector<size_t> best;
   size_t cost = 0;
-  for (const qse::RetrievalResult& r : *batch) {
+  for (const qse::RetrievalResponse& r : *batch) {
     best.push_back(backend.db_id_of(r.neighbors[0].index));
     cost += r.exact_distances;
   }
@@ -109,12 +109,14 @@ int main() {
               num_queries, ms_mono, ms_sharded);
 
   // --- Per-shard scan stats: the load-balancing signal.  A shard that
-  // keeps winning most of the merged top-p holds a hot region.
-  std::vector<ShardScanStats> stats;
-  auto one = sharded.RetrieveWithStats(queries[0], k, p, &stats);
+  // keeps winning most of the merged top-p holds a hot region.  Stats
+  // ride on the one request envelope: set want_stats, read shard_stats.
+  RetrievalOptions with_stats(k, p);
+  with_stats.want_stats = true;
+  auto one = sharded.Retrieve({queries[0], with_stats});
   if (one.ok()) {
     std::printf("per-shard top-%zu contributions for one query:", p);
-    for (const ShardScanStats& s : stats) {
+    for (const ShardScanStats& s : one->shard_stats) {
       std::printf(" %zu/%zu", s.candidates, s.rows);
     }
     std::printf("\n");

@@ -96,19 +96,19 @@ int main() {
   QseEmbedderAdapter embedder(&artifacts->model);
   EmbeddedDatabase embedded = EmbedDatabase(embedder, oracle, db_ids);
   QuerySensitiveScorer scorer(&artifacts->model);
-  FilterRefineRetriever retriever(&embedder, &scorer, &embedded, db_ids);
+  RetrievalEngine retriever(&embedder, &scorer, &embedded, db_ids);
 
   size_t hit = 0, family_hit = 0, total_cost = 0;
   const size_t p = 40;
   for (size_t q = kDbSize; q < kDbSize + kNumQueries; ++q) {
     auto dx = [&](size_t id) { return oracle.Distance(q, id); };
-    auto r_or = retriever.Retrieve(dx, 1, p);
+    auto r_or = retriever.Retrieve({dx, RetrievalOptions(1, p)});
     if (!r_or.ok()) {
       std::fprintf(stderr, "retrieval failed: %s\n",
                    r_or.status().ToString().c_str());
       return 1;
     }
-    RetrievalResult r = std::move(r_or).value();
+    RetrievalResponse r = std::move(r_or).value();
     total_cost += r.exact_distances;
     auto exact = ExactKnn(oracle, q, db_ids, 1);
     if (r.neighbors[0].index == exact[0].index) ++hit;

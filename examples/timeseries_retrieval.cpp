@@ -56,7 +56,7 @@ int main() {
   QseEmbedderAdapter embedder(&artifacts->model);
   EmbeddedDatabase embedded = EmbedDatabase(embedder, oracle, db_ids);
   QuerySensitiveScorer scorer(&artifacts->model);
-  FilterRefineRetriever retriever(&embedder, &scorer, &embedded, db_ids);
+  RetrievalEngine retriever(&embedder, &scorer, &embedded, db_ids);
 
   LbDtwIndex lb_index(db, kBand);
 
@@ -66,13 +66,13 @@ int main() {
     auto dx = [&](size_t id) { return oracle.Distance(q, id); };
     auto exact = ExactKnn(oracle, q, db_ids, 1);
 
-    auto r_or = retriever.Retrieve(dx, 1, p);
+    auto r_or = retriever.Retrieve({dx, RetrievalOptions(1, p)});
     if (!r_or.ok()) {
       std::fprintf(stderr, "retrieval failed: %s\n",
                    r_or.status().ToString().c_str());
       return 1;
     }
-    RetrievalResult r = std::move(r_or).value();
+    RetrievalResponse r = std::move(r_or).value();
     qse_cost += r.exact_distances;
     if (r.neighbors[0].index == exact[0].index) ++qse_correct;
 

@@ -32,7 +32,9 @@ double WeightedEditDistance(const std::string& a, const std::string& b,
   assert(insert_cost >= 0 && delete_cost >= 0 && substitute_cost >= 0);
   const size_t n = a.size(), m = b.size();
   std::vector<double> prev(m + 1), curr(m + 1);
-  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<double>(j) * insert_cost;
+  for (size_t j = 0; j <= m; ++j) {
+    prev[j] = static_cast<double>(j) * insert_cost;
+  }
   for (size_t i = 1; i <= n; ++i) {
     curr[0] = static_cast<double>(i) * delete_cost;
     for (size_t j = 1; j <= m; ++j) {

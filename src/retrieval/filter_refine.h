@@ -35,11 +35,6 @@ EmbeddedDatabase EmbedDatabase(const Embedder& embedder,
                                const std::vector<size_t>& db_ids,
                                size_t num_threads = 0);
 
-/// Former name of the retrieval pipeline; the engine supersedes it with
-/// batched retrieval and incremental updates.  Kept as an alias so older
-/// call sites and downstream forks keep compiling.
-using FilterRefineRetriever = RetrievalEngine;
-
 }  // namespace qse
 
 #endif  // QSE_RETRIEVAL_FILTER_REFINE_H_

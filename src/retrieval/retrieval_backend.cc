@@ -1,0 +1,32 @@
+#include "src/retrieval/retrieval_backend.h"
+
+namespace qse {
+
+const char* RequestPriorityName(RequestPriority priority) {
+  switch (priority) {
+    case RequestPriority::kHigh:
+      return "high";
+    case RequestPriority::kNormal:
+      return "normal";
+    case RequestPriority::kLow:
+      return "low";
+  }
+  return "invalid";
+}
+
+Status ValidateRetrievalOptions(const RetrievalOptions& options) {
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (options.p == 0) {
+    return Status::InvalidArgument(
+        "p must be >= 1: a filter step that keeps no candidates cannot "
+        "retrieve anything");
+  }
+  if (static_cast<size_t>(options.priority) >= kNumPriorityLanes) {
+    return Status::InvalidArgument(
+        "invalid priority enumerator: " +
+        std::to_string(static_cast<size_t>(options.priority)));
+  }
+  return Status::OK();
+}
+
+}  // namespace qse

@@ -1,27 +1,132 @@
 #ifndef QSE_RETRIEVAL_RETRIEVAL_BACKEND_H_
 #define QSE_RETRIEVAL_RETRIEVAL_BACKEND_H_
 
+#include <chrono>
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "src/embedding/embedder.h"
+#include "src/util/status.h"
 #include "src/util/statusor.h"
 #include "src/util/top_k.h"
 
 namespace qse {
 
+/// Clock used for request deadlines (steady: immune to wall-clock jumps).
+using RetrievalClock = std::chrono::steady_clock;
+
+/// Admission priority of one request.  Lanes are strict: the serving
+/// layer dequeues kHigh before kNormal before kLow, and sheds kLow first
+/// under overflow.  The backends themselves ignore priority (it does not
+/// change results), but validate it so a mis-cast enum fails loudly at
+/// every layer.
+enum class RequestPriority {
+  kHigh = 0,
+  kNormal = 1,
+  kLow = 2,
+};
+
+/// Number of admission lanes (one per RequestPriority enumerator).
+inline constexpr size_t kNumPriorityLanes = 3;
+
+/// Stable lower-case lane name ("high", "normal", "low") for stats and
+/// bench output; "invalid" for out-of-range values.
+const char* RequestPriorityName(RequestPriority priority);
+
+/// Per-request options: the one envelope every query surface consumes —
+/// direct engine calls, batched calls, and the async server.
+struct RetrievalOptions {
+  /// Neighbors to return.
+  size_t k = 1;
+  /// Filter candidates to refine with exact distances; the paper's p.
+  size_t p = 1;
+  /// Threads for RetrieveBatch's across-query fan-out; 0 means hardware
+  /// concurrency.  Ignored by single-query Retrieve.  The async server
+  /// substitutes its own retrieve_threads policy: a request does not get
+  /// to choose the server's parallelism.
+  size_t num_threads = 0;
+  /// When true the response's shard_stats is filled: per-shard scan and
+  /// candidate counters from the sharded engine, or the whole database
+  /// reported as a single pseudo-shard by the monolithic engine.
+  bool want_stats = false;
+  /// Admission lane in the async server; ignored by direct engine calls.
+  RequestPriority priority = RequestPriority::kNormal;
+  /// Tenant for per-tenant admission quotas in the async server; ""
+  /// means anonymous.  Ignored by direct engine calls.
+  std::string tenant_id;
+  /// Absolute completion deadline, enforced by the async server: a
+  /// request past it is answered with kDeadlineExceeded — checked when
+  /// it leaves the admission queue and again just before the backend
+  /// spends exact distances on it — never silently dropped or served
+  /// late.  Direct engine calls do not check it.  Default: no deadline.
+  RetrievalClock::time_point deadline = RetrievalClock::time_point::max();
+
+  RetrievalOptions() = default;
+  /// The common case: everything default except k and p.
+  RetrievalOptions(size_t k_in, size_t p_in) : k(k_in), p(p_in) {}
+
+  /// Convenience: an absolute deadline `budget` from now.
+  template <typename Rep, typename Period>
+  static RetrievalClock::time_point DeadlineIn(
+      std::chrono::duration<Rep, Period> budget) {
+    return RetrievalClock::now() +
+           std::chrono::duration_cast<RetrievalClock::duration>(budget);
+  }
+
+  /// True when two requests are guaranteed identical backend results for
+  /// the same dx, so a batcher may run them as one RetrieveBatch call.
+  /// priority/tenant/deadline shape admission, num_threads shapes
+  /// execution; none of them change results.
+  bool SameResultKey(const RetrievalOptions& other) const {
+    return k == other.k && p == other.p && want_stats == other.want_stats;
+  }
+};
+
+/// The option checks shared verbatim by both engines and the async
+/// server, so validation behavior cannot drift between surfaces:
+///  * k == 0 or p == 0 is InvalidArgument (a filter that keeps nothing
+///    is a caller bug, not a degenerate retrieval);
+///  * an out-of-range priority enumerator is InvalidArgument.
+/// Database emptiness is a backend-state concern checked by the engines
+/// (FailedPrecondition), not here.
+Status ValidateRetrievalOptions(const RetrievalOptions& options);
+
+/// One retrieval: the exact-distance resolver for the query plus its
+/// options.  `dx` resolves DX(query, o) for database ids `o`; it may be
+/// invoked from whichever thread executes the request.
+struct RetrievalRequest {
+  DxToDatabaseFn dx;
+  RetrievalOptions options;
+};
+
+/// Per-shard counters from one retrieval (want_stats); the raw material
+/// for load balancing — a shard that keeps contributing most of the
+/// merged top-p is either oversized or holds a hot region of the
+/// embedded space.
+struct ShardScanStats {
+  /// Shard size (rows scanned by the filter step) at query time.
+  size_t rows = 0;
+  /// Entries this shard placed in the globally merged top-p.
+  size_t candidates = 0;
+};
+
 /// Result of one filter-and-refine retrieval.
-struct RetrievalResult {
+struct RetrievalResponse {
   /// Top-k neighbors by exact distance among the refined candidates.
   /// `index` is backend-specific — db rows for RetrievalEngine, database
-  /// ids for ShardedRetrievalEngine — and always resolves to a database id
-  /// through the owning backend's db_id_of().
+  /// ids for ShardedRetrievalEngine — and always resolves to a database
+  /// id through the owning backend's db_id_of().
   std::vector<ScoredIndex> neighbors;
   /// Exact DX evaluations spent: embedding step + refine step.  This is
   /// the paper's per-query cost measure.
   size_t exact_distances = 0;
   /// Of which, spent embedding the query.
   size_t embedding_distances = 0;
+  /// Filled iff the request set want_stats: shard_stats[s] covers shard
+  /// s of the sharded engine; the monolithic engine reports its whole
+  /// database as shard_stats[0].  Empty otherwise.
+  std::vector<ShardScanStats> shard_stats;
 };
 
 /// The serving-facing face of a retrieval engine: the filter-and-refine
@@ -31,10 +136,11 @@ struct RetrievalResult {
 /// behind a single interface.
 ///
 /// Contract, identical across implementations:
-///  * Retrieve returns InvalidArgument for k == 0 or p == 0 and
-///    FailedPrecondition on an empty database; p is clamped to size().
-///  * RetrieveBatch(queries, ...)[i] is bit-identical to
-///    Retrieve(queries[i], ...), whatever the thread count.
+///  * Retrieve validates options via ValidateRetrievalOptions and
+///    returns FailedPrecondition on an empty database; p is clamped to
+///    size().
+///  * RetrieveBatch(queries, options)[i] is bit-identical to
+///    Retrieve({queries[i], options}), whatever options.num_threads is.
 ///  * Insert fails with InvalidArgument on a duplicate id, Remove with
 ///    NotFound on an unknown one.
 ///  * Retrieve/RetrieveBatch are const and safe to call concurrently;
@@ -44,15 +150,15 @@ class RetrievalBackend {
   virtual ~RetrievalBackend() = default;
 
   /// Retrieves the k best matches among the top-p filter candidates.
-  /// `dx` resolves exact distances from the query to database ids.
-  virtual StatusOr<RetrievalResult> Retrieve(const DxToDatabaseFn& dx,
-                                             size_t k, size_t p) const = 0;
+  virtual StatusOr<RetrievalResponse> Retrieve(
+      const RetrievalRequest& request) const = 0;
 
-  /// Retrieves a batch of queries in parallel; results[i] corresponds to
-  /// queries[i].  `num_threads` = 0 means hardware concurrency.
-  virtual StatusOr<std::vector<RetrievalResult>> RetrieveBatch(
-      const std::vector<DxToDatabaseFn>& queries, size_t k, size_t p,
-      size_t num_threads = 0) const = 0;
+  /// Retrieves a batch of queries sharing one options envelope, in
+  /// parallel across options.num_threads workers; results[i] corresponds
+  /// to queries[i].
+  virtual StatusOr<std::vector<RetrievalResponse>> RetrieveBatch(
+      const std::vector<DxToDatabaseFn>& queries,
+      const RetrievalOptions& options) const = 0;
 
   /// Embeds a new object via `dx` and adds it under `db_id`.
   virtual Status Insert(size_t db_id, const DxToDatabaseFn& dx) = 0;
@@ -63,7 +169,7 @@ class RetrievalBackend {
   /// Number of database objects currently live.
   virtual size_t size() const = 0;
 
-  /// Database id behind a RetrievalResult neighbor index.
+  /// Database id behind a RetrievalResponse neighbor index.
   virtual size_t db_id_of(size_t neighbor_index) const = 0;
 };
 

@@ -23,28 +23,35 @@ RetrievalEngine::RetrievalEngine(const Embedder* embedder,
   }
 }
 
-StatusOr<RetrievalResult> RetrievalEngine::Retrieve(const DxToDatabaseFn& dx,
-                                                    size_t k,
-                                                    size_t p) const {
-  if (k == 0) return Status::InvalidArgument("k must be >= 1");
-  if (p == 0) {
-    return Status::InvalidArgument(
-        "p must be >= 1: a filter step that keeps no candidates cannot "
-        "retrieve anything");
-  }
+StatusOr<RetrievalResponse> RetrievalEngine::Retrieve(
+    const RetrievalRequest& request) const {
+  return RetrieveOne(request.dx, request.options);
+}
+
+StatusOr<RetrievalResponse> RetrievalEngine::RetrieveOne(
+    const DxToDatabaseFn& dx, const RetrievalOptions& options) const {
+  QSE_RETURN_IF_ERROR(ValidateRetrievalOptions(options));
   if (db_->empty()) {
     return Status::FailedPrecondition("embedded database is empty");
   }
-  p = std::min(p, db_->size());
+  const size_t k = options.k;
+  const size_t p = std::min(options.p, db_->size());
 
-  RetrievalResult result;
+  RetrievalResponse response;
   // Embedding step.
   size_t embed_cost = 0;
   Vector fq = embedder_->Embed(dx, &embed_cost);
-  result.embedding_distances = embed_cost;
+  response.embedding_distances = embed_cost;
 
   // Filter step: one streaming early-abandon scan keeping the top p.
   std::vector<ScoredIndex> candidates = scorer_->ScoreTopP(fq, *db_, p);
+
+  // The monolithic engine is one pseudo-shard: every row scanned, every
+  // candidate contributed — the same shape the sharded engine reports,
+  // so stats consumers need no backend-specific cases.
+  if (options.want_stats) {
+    response.shard_stats = {{db_->size(), candidates.size()}};
+  }
 
   // Refine step: exact distances on the p candidates only.
   std::vector<ScoredIndex> refined;
@@ -54,35 +61,34 @@ StatusOr<RetrievalResult> RetrievalEngine::Retrieve(const DxToDatabaseFn& dx,
   }
   std::sort(refined.begin(), refined.end());
   if (refined.size() > k) refined.resize(k);
-  result.neighbors = std::move(refined);
-  result.exact_distances = embed_cost + candidates.size();
-  return result;
+  response.neighbors = std::move(refined);
+  response.exact_distances = embed_cost + candidates.size();
+  return response;
 }
 
-StatusOr<std::vector<RetrievalResult>> RetrievalEngine::RetrieveBatch(
-    const std::vector<DxToDatabaseFn>& queries, size_t k, size_t p,
-    size_t num_threads) const {
+StatusOr<std::vector<RetrievalResponse>> RetrievalEngine::RetrieveBatch(
+    const std::vector<DxToDatabaseFn>& queries,
+    const RetrievalOptions& options) const {
   // Validate once up front so a bad parameter fails the whole batch
   // instead of every entry failing identically in parallel.
-  if (k == 0) return Status::InvalidArgument("k must be >= 1");
-  if (p == 0) return Status::InvalidArgument("p must be >= 1");
+  QSE_RETURN_IF_ERROR(ValidateRetrievalOptions(options));
   if (db_->empty()) {
     return Status::FailedPrecondition("embedded database is empty");
   }
 
-  std::vector<RetrievalResult> results(queries.size());
+  std::vector<RetrievalResponse> results(queries.size());
   // Grain 2: one item is a whole filter-and-refine retrieval, expensive
   // enough to parallelize even a handful of queries.
   ParallelForGrain(
       0, queries.size(), 2,
       [&](size_t i) {
-        StatusOr<RetrievalResult> r = Retrieve(queries[i], k, p);
+        StatusOr<RetrievalResponse> r = RetrieveOne(queries[i], options);
         // Parameters were validated above; a failure here would be a
         // programming error, not caller input.
         QSE_CHECK_MSG(r.ok(), r.status().ToString());
         results[i] = std::move(r).value();
       },
-      num_threads);
+      options.num_threads);
   return results;
 }
 

@@ -34,23 +34,21 @@ class RetrievalEngine : public RetrievalBackend {
 
   /// Retrieves the k best matches among the top-p filter candidates;
   /// neighbor indices are db positions (rows of the embedded database).
-  /// `dx` resolves exact distances from the query to database ids.
   ///
-  /// Returns InvalidArgument when k == 0 or p == 0 (a filter that keeps
-  /// nothing is a caller bug, not a degenerate retrieval), and
-  /// FailedPrecondition on an empty database.  p is clamped to the
-  /// database size (p = n degenerates to brute force, as in the paper).
-  StatusOr<RetrievalResult> Retrieve(const DxToDatabaseFn& dx, size_t k,
-                                     size_t p) const override;
+  /// Options are validated by ValidateRetrievalOptions; an empty
+  /// database is FailedPrecondition.  p is clamped to the database size
+  /// (p = n degenerates to brute force, as in the paper).  want_stats
+  /// reports the whole database as a single pseudo-shard.
+  StatusOr<RetrievalResponse> Retrieve(
+      const RetrievalRequest& request) const override;
 
   /// Retrieves a batch of queries in parallel via qse::ParallelFor.
   /// results[i] corresponds to queries[i] and is bit-identical to
-  /// Retrieve(queries[i], k, p) — each query runs the exact same
-  /// single-query code path, whatever the thread count.
-  /// `num_threads` = 0 means hardware concurrency.
-  StatusOr<std::vector<RetrievalResult>> RetrieveBatch(
-      const std::vector<DxToDatabaseFn>& queries, size_t k, size_t p,
-      size_t num_threads = 0) const override;
+  /// Retrieve({queries[i], options}) — each query runs the exact same
+  /// single-query code path, whatever options.num_threads is.
+  StatusOr<std::vector<RetrievalResponse>> RetrieveBatch(
+      const std::vector<DxToDatabaseFn>& queries,
+      const RetrievalOptions& options) const override;
 
   /// Embeds a new object (<= 2d exact distances via `dx`) and appends it
   /// to the database under `db_id`.  Fails with InvalidArgument when the
@@ -71,6 +69,12 @@ class RetrievalEngine : public RetrievalBackend {
   const EmbeddedDatabase& db() const { return *db_; }
 
  private:
+  /// The single-query pipeline behind both entry points, taking the
+  /// envelope pieces by reference so the batch loop never copies a
+  /// query functor or the options (tenant_id) per query.
+  StatusOr<RetrievalResponse> RetrieveOne(
+      const DxToDatabaseFn& dx, const RetrievalOptions& options) const;
+
   const Embedder* embedder_;
   const FilterScorer* scorer_;
   EmbeddedDatabase* db_;

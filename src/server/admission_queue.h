@@ -1,0 +1,224 @@
+#ifndef QSE_SERVER_ADMISSION_QUEUE_H_
+#define QSE_SERVER_ADMISSION_QUEUE_H_
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/retrieval/retrieval_backend.h"
+
+namespace qse {
+
+/// Sentinel tenant slot: not subject to any per-tenant limit.  A
+/// namespace-level constant so callers can use it while their item type
+/// is still incomplete.
+inline constexpr size_t kNoTenantSlot = ~size_t{0};
+
+/// Why a push was refused (or what it displaced) — decided under the
+/// queue lock, so a caller can map every outcome to the right status
+/// without racing a concurrent Close().
+enum class AdmitResult {
+  /// Queued; no side effects.
+  kAdmitted,
+  /// Queued by evicting a strictly lower-priority entry; the caller
+  /// receives the victim and must complete its promise (shed).
+  kAdmittedEvicting,
+  /// Full and nothing strictly lower-priority to shed.
+  kQueueFull,
+  /// The pushing tenant is at its per-tenant occupancy limit; other
+  /// tenants' requests still admit.
+  kTenantOverQuota,
+  /// Closed for shutdown.
+  kClosed,
+};
+
+/// Bounded multi-lane admission queue — the strict-priority, tenant-quota
+/// front door of the async serving layer.  One FIFO lane per
+/// RequestPriority shares a single capacity; Pop always drains the
+/// highest-priority non-empty lane, and a push that finds the queue full
+/// sheds from the back of the lowest-priority lane strictly below the
+/// incoming request (high-priority traffic displaces low, never the
+/// reverse).  Per-tenant occupancy limits cap how much of the shared
+/// capacity one tenant can hold at once.
+///
+/// Safe for any number of producers and consumers; the server uses it
+/// MPSC (many submitters, one batcher).  Close() makes it
+/// drainable-but-terminal exactly like BoundedQueue: pushes fail, pops
+/// keep returning queued items and then nullopt, and every blocked
+/// thread is woken.
+///
+/// A refused push does not consume the value: `v` is only moved from on
+/// kAdmitted/kAdmittedEvicting, so the caller can still complete the
+/// request's promise with the refusal status.
+template <typename T>
+class PriorityAdmissionQueue {
+ public:
+  /// Sentinel tenant slot: not subject to any per-tenant limit.
+  static constexpr size_t kNoTenant = kNoTenantSlot;
+
+  /// `tenant_limits[slot]` is the max entries tenant `slot` may occupy
+  /// at once; resolving tenant ids to slots is the caller's job.
+  explicit PriorityAdmissionQueue(size_t capacity,
+                                  std::vector<size_t> tenant_limits = {})
+      : capacity_(capacity == 0 ? 1 : capacity),
+        tenant_limits_(std::move(tenant_limits)),
+        tenant_counts_(tenant_limits_.size(), 0) {}
+
+  PriorityAdmissionQueue(const PriorityAdmissionQueue&) = delete;
+  PriorityAdmissionQueue& operator=(const PriorityAdmissionQueue&) = delete;
+
+  struct PushOutcome {
+    AdmitResult result = AdmitResult::kQueueFull;
+    /// The shed entry and its lane, set iff result == kAdmittedEvicting.
+    std::optional<T> evicted;
+    size_t evicted_lane = 0;
+  };
+
+  /// Non-blocking push into `lane` on behalf of `tenant_slot` (kNoTenant
+  /// for untracked).  Never blocks: overflow either sheds a lower-lane
+  /// victim or refuses the push.
+  PushOutcome TryPush(T&& v, size_t lane, size_t tenant_slot = kNoTenant) {
+    PushOutcome outcome;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        outcome.result = AdmitResult::kClosed;
+        return outcome;
+      }
+      if (tenant_slot != kNoTenant &&
+          tenant_counts_[tenant_slot] >= tenant_limits_[tenant_slot]) {
+        outcome.result = AdmitResult::kTenantOverQuota;
+        return outcome;
+      }
+      if (size_ >= capacity_) {
+        // Shed the youngest entry of the lowest-priority lane strictly
+        // below the incoming one (the youngest is furthest from being
+        // served, so the shed wastes the least queueing already paid).
+        size_t victim_lane = lanes_.size();
+        for (size_t l = lanes_.size(); l-- > lane + 1;) {
+          if (!lanes_[l].empty()) {
+            victim_lane = l;
+            break;
+          }
+        }
+        if (victim_lane == lanes_.size()) {
+          outcome.result = AdmitResult::kQueueFull;
+          return outcome;
+        }
+        Entry victim = std::move(lanes_[victim_lane].back());
+        lanes_[victim_lane].pop_back();
+        --size_;
+        if (victim.tenant_slot != kNoTenant) {
+          --tenant_counts_[victim.tenant_slot];
+        }
+        outcome.result = AdmitResult::kAdmittedEvicting;
+        outcome.evicted = std::move(victim.value);
+        outcome.evicted_lane = victim_lane;
+      } else {
+        outcome.result = AdmitResult::kAdmitted;
+      }
+      lanes_[lane].push_back(Entry{std::move(v), tenant_slot});
+      ++size_;
+      if (tenant_slot != kNoTenant) ++tenant_counts_[tenant_slot];
+    }
+    not_empty_.notify_one();
+    return outcome;
+  }
+
+  /// Non-blocking pop; nullopt when momentarily empty.
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    return PopLocked();
+  }
+
+  /// Blocks until an item arrives; nullopt only once closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || size_ > 0; });
+    return PopLocked();
+  }
+
+  /// Blocks up to `timeout` (non-positive behaves like TryPop); nullopt
+  /// on timeout or once closed and drained.
+  template <typename Rep, typename Period>
+  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, timeout,
+                        [this] { return closed_ || size_ > 0; });
+    return PopLocked();
+  }
+
+  /// Rejects future pushes, lets pops drain, wakes all blocked threads.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Momentary total queued items across lanes.
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+
+  /// Momentary per-lane depths (the server's per-lane queue-depth stat).
+  std::array<size_t, kNumPriorityLanes> lane_sizes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::array<size_t, kNumPriorityLanes> sizes{};
+    for (size_t l = 0; l < lanes_.size(); ++l) sizes[l] = lanes_[l].size();
+    return sizes;
+  }
+
+  /// Momentary per-tenant occupancy (index = tenant slot).
+  std::vector<size_t> tenant_counts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tenant_counts_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    T value;
+    size_t tenant_slot;
+  };
+
+  /// Strict priority: always the front of the first non-empty lane.
+  std::optional<T> PopLocked() {
+    for (auto& lane : lanes_) {
+      if (lane.empty()) continue;
+      Entry e = std::move(lane.front());
+      lane.pop_front();
+      --size_;
+      if (e.tenant_slot != kNoTenant) --tenant_counts_[e.tenant_slot];
+      return std::move(e.value);
+    }
+    return std::nullopt;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::array<std::deque<Entry>, kNumPriorityLanes> lanes_;
+  const size_t capacity_;
+  std::vector<size_t> tenant_limits_;
+  std::vector<size_t> tenant_counts_;
+  size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace qse
+
+#endif  // QSE_SERVER_ADMISSION_QUEUE_H_

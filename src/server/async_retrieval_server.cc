@@ -1,7 +1,11 @@
 #include "src/server/async_retrieval_server.h"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
 #include <utility>
+
+#include "src/util/logging.h"
 
 namespace qse {
 
@@ -13,18 +17,48 @@ AsyncServerOptions Sanitize(AsyncServerOptions o) {
   return o;
 }
 
+/// Occupancy slots one quota buys: its share of the capacity, at least
+/// one slot so a configured tenant is never locked out entirely.
+size_t QuotaSlots(double share, size_t capacity) {
+  double slots = std::floor(share * static_cast<double>(capacity));
+  if (slots < 1.0) return 1;
+  if (slots > static_cast<double>(capacity)) return capacity;
+  return static_cast<size_t>(slots);
+}
+
+std::vector<size_t> TenantLimits(const AsyncServerOptions& options) {
+  std::vector<size_t> limits;
+  limits.reserve(options.tenant_quotas.size());
+  for (const TenantQuota& q : options.tenant_quotas) {
+    limits.push_back(QuotaSlots(q.share, options.queue_capacity));
+  }
+  return limits;
+}
+
 }  // namespace
 
 AsyncRetrievalServer::AsyncRetrievalServer(const RetrievalBackend* backend,
                                            AsyncServerOptions options)
     : backend_(backend),
       options_(Sanitize(options)),
-      queue_(options_.queue_capacity),
+      tenant_limits_(TenantLimits(options_)),
+      queue_(options_.queue_capacity, tenant_limits_),
       // One pending batch per worker: backlog accumulates in the bounded
       // admission queue (where overflow is observable), not in an elastic
       // dispatch buffer.
       dispatch_(options_.num_workers),
       batch_size_histogram_(options_.max_batch, 0) {
+  tenant_stats_.reserve(options_.tenant_quotas.size());
+  for (size_t slot = 0; slot < options_.tenant_quotas.size(); ++slot) {
+    const TenantQuota& q = options_.tenant_quotas[slot];
+    bool inserted = tenant_slots_.emplace(q.tenant_id, slot).second;
+    QSE_CHECK_MSG(inserted, "duplicate tenant quota: '" << q.tenant_id
+                                                        << "'");
+    TenantStats stats;
+    stats.tenant_id = q.tenant_id;
+    stats.limit = tenant_limits_[slot];
+    tenant_stats_.push_back(std::move(stats));
+  }
   batcher_ = std::thread(&AsyncRetrievalServer::BatcherLoop, this);
   workers_.reserve(options_.num_workers);
   for (size_t w = 0; w < options_.num_workers; ++w) {
@@ -34,40 +68,81 @@ AsyncRetrievalServer::AsyncRetrievalServer(const RetrievalBackend* backend,
 
 AsyncRetrievalServer::~AsyncRetrievalServer() { Shutdown(DrainMode::kDrain); }
 
-Future<StatusOr<RetrievalResult>> AsyncRetrievalServer::Submit(
-    DxToDatabaseFn dx, SubmitOptions options) {
+Future<StatusOr<RetrievalResponse>> AsyncRetrievalServer::Submit(
+    RetrievalRequest request) {
+  active_submits_.fetch_add(1, std::memory_order_acq_rel);
+  struct ActiveSubmitGuard {
+    std::atomic<size_t>* count;
+    ~ActiveSubmitGuard() { count->fetch_sub(1, std::memory_order_release); }
+  } guard{&active_submits_};
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  Promise<StatusOr<RetrievalResult>> promise;
-  Future<StatusOr<RetrievalResult>> future = promise.future();
-  if (options.k == 0 || options.p == 0) {
+  Promise<StatusOr<RetrievalResponse>> promise;
+  Future<StatusOr<RetrievalResponse>> future = promise.future();
+  Status valid = ValidateRetrievalOptions(request.options);
+  if (!valid.ok()) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
-    promise.Set(Status::InvalidArgument("k and p must be positive"));
+    promise.Set(std::move(valid));
     return future;
   }
-  Request request{std::move(dx), options.k, options.p, options.deadline,
-                  promise};
+  const size_t lane = static_cast<size_t>(request.options.priority);
+  size_t tenant_slot = kNoTenantSlot;
+  if (!tenant_slots_.empty()) {
+    auto it = tenant_slots_.find(request.options.tenant_id);
+    if (it == tenant_slots_.end()) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      unknown_tenant_rejected_.fetch_add(1, std::memory_order_relaxed);
+      promise.Set(Status::InvalidArgument("unknown tenant: '" +
+                                          request.options.tenant_id + "'"));
+      return future;
+    }
+    tenant_slot = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(breakdown_mu_);
+    ++lane_stats_[lane].submitted;
+    if (tenant_slot != kNoTenantSlot) ++tenant_stats_[tenant_slot].submitted;
+  }
+
+  Request r{std::move(request), lane, tenant_slot, promise};
   // The refusal reason comes from under the queue lock: a full-queue
   // rejection racing Shutdown still reports load shedding (retryable),
   // not shutdown (terminal).
-  QueuePushResult pushed = queue_.TryPushWithReason(std::move(request));
-  if (pushed != QueuePushResult::kAccepted) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    promise.Set(pushed == QueuePushResult::kClosed
-                    ? Status::FailedPrecondition("server is shut down")
-                    : Status::ResourceExhausted("admission queue full"));
-    return future;
+  auto outcome = queue_.TryPush(std::move(r), lane, tenant_slot);
+  switch (outcome.result) {
+    case AdmitResult::kAdmitted:
+    case AdmitResult::kAdmittedEvicting:
+      break;
+    case AdmitResult::kQueueFull:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      promise.Set(Status::ResourceExhausted("admission queue full"));
+      return future;
+    case AdmitResult::kTenantOverQuota: {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(breakdown_mu_);
+      ++tenant_stats_[tenant_slot].rejected;
+      promise.Set(Status::ResourceExhausted(
+          "tenant '" + tenant_stats_[tenant_slot].tenant_id +
+          "' over admission quota"));
+      return future;
+    }
+    case AdmitResult::kClosed:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      promise.Set(Status::FailedPrecondition("server is shut down"));
+      return future;
   }
   admitted_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(breakdown_mu_);
+    ++lane_stats_[lane].admitted;
+    if (tenant_slot != kNoTenantSlot) ++tenant_stats_[tenant_slot].admitted;
+  }
+  if (outcome.evicted.has_value()) CompleteShed(&*outcome.evicted);
   return future;
 }
 
-StatusOr<RetrievalResult> AsyncRetrievalServer::Retrieve(
-    DxToDatabaseFn dx, size_t k, size_t p, ServerClock::time_point deadline) {
-  SubmitOptions options;
-  options.k = k;
-  options.p = p;
-  options.deadline = deadline;
-  return Submit(std::move(dx), options).Get();
+StatusOr<RetrievalResponse> AsyncRetrievalServer::Retrieve(
+    RetrievalRequest request) {
+  return Submit(std::move(request)).Get();
 }
 
 void AsyncRetrievalServer::Shutdown(DrainMode mode) {
@@ -80,6 +155,12 @@ void AsyncRetrievalServer::Shutdown(DrainMode mode) {
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
+  // A Submit racing this shutdown may still hold an unset promise (its
+  // own rejection, or a victim its push evicted between TryPush and
+  // CompleteShed); wait it out so every future is ready on return.
+  while (active_submits_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
 }
 
 void AsyncRetrievalServer::CompleteCancelled(Request* r) {
@@ -88,16 +169,31 @@ void AsyncRetrievalServer::CompleteCancelled(Request* r) {
                                             "request was executed"));
 }
 
+void AsyncRetrievalServer::CompleteShed(Request* r) {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(breakdown_mu_);
+    ++lane_stats_[r->lane].shed;
+    if (r->tenant_slot != kNoTenantSlot) ++tenant_stats_[r->tenant_slot].shed;
+  }
+  r->promise.Set(Status::ResourceExhausted(
+      "shed from the admission queue by a higher-priority arrival"));
+}
+
 bool AsyncRetrievalServer::AdmitToBatch(Request r, Batch* batch,
-                                        ServerClock::time_point now) {
+                                        RetrievalClock::time_point now) {
   if (cancel_.load(std::memory_order_relaxed)) {
     CompleteCancelled(&r);
     return false;
   }
   // Deadline check #1, at dequeue: a request that died waiting in the
   // admission queue must not take a batch slot.
-  if (now > r.deadline) {
+  if (now > r.req.options.deadline) {
     expired_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(breakdown_mu_);
+      ++lane_stats_[r.lane].expired;
+    }
     r.promise.Set(
         Status::DeadlineExceeded("deadline expired in the admission queue"));
     return false;
@@ -114,9 +210,9 @@ void AsyncRetrievalServer::BatcherLoop() {
     Batch batch;
     // The batching window opens when the batch's first request is
     // dequeued, so the first arrival bounds its own extra latency.
-    ServerClock::time_point window_end =
-        ServerClock::now() + options_.max_batch_delay;
-    AdmitToBatch(std::move(*first), &batch, ServerClock::now());
+    RetrievalClock::time_point window_end =
+        RetrievalClock::now() + options_.max_batch_delay;
+    AdmitToBatch(std::move(*first), &batch, RetrievalClock::now());
 
     // Adaptive growth: keep coalescing while requests are available.
     // With no window this stops the moment the queue is empty (idle =>
@@ -128,7 +224,7 @@ void AsyncRetrievalServer::BatcherLoop() {
       if (options_.max_batch_delay.count() == 0) {
         next = queue_.TryPop();
       } else {
-        auto remaining = window_end - ServerClock::now();
+        auto remaining = window_end - RetrievalClock::now();
         if (remaining.count() <= 0) {
           next = queue_.TryPop();
           if (!next.has_value()) break;
@@ -137,7 +233,7 @@ void AsyncRetrievalServer::BatcherLoop() {
         }
       }
       if (!next.has_value()) break;
-      AdmitToBatch(std::move(*next), &batch, ServerClock::now());
+      AdmitToBatch(std::move(*next), &batch, RetrievalClock::now());
     }
     if (batch.empty()) continue;  // Everything expired or cancelled.
 
@@ -163,14 +259,20 @@ void AsyncRetrievalServer::ExecuteBatch(Batch batch) {
   // Deadline check #2, before refine: the last gate before the backend
   // spends exact distances.  A request that expired while its batch sat
   // in the dispatch queue is answered late-but-honestly, not served.
-  ServerClock::time_point now = ServerClock::now();
+  RetrievalClock::time_point now = RetrievalClock::now();
   Batch live;
   live.reserve(batch.size());
+  // Per-lane counts accumulate locally and fold in under one lock per
+  // batch: breakdown_mu_ is shared with every concurrent Submit, so the
+  // completion path must not take it once per request.
+  std::array<size_t, kNumPriorityLanes> lane_expired{};
+  std::array<size_t, kNumPriorityLanes> lane_completed{};
   for (Request& r : batch) {
     if (cancel_.load(std::memory_order_relaxed)) {
       CompleteCancelled(&r);
-    } else if (now > r.deadline) {
+    } else if (now > r.req.options.deadline) {
       expired_.fetch_add(1, std::memory_order_relaxed);
+      ++lane_expired[r.lane];
       r.promise.Set(Status::DeadlineExceeded(
           "deadline expired before the refine step"));
     } else {
@@ -178,15 +280,15 @@ void AsyncRetrievalServer::ExecuteBatch(Batch batch) {
     }
   }
 
-  // All requests sharing (k, p) — adjacent or not — execute as one
+  // All requests sharing a result key — adjacent or not — execute as one
   // RetrieveBatch call; results[i] is bit-identical to
-  // Retrieve(queries[i]) by the backend contract.  Group count is tiny
+  // Retrieve(requests[i]) by the backend contract.  Group count is tiny
   // (bounded by max_batch), so a linear group scan beats hashing.
   std::vector<std::vector<size_t>> groups;
   for (size_t t = 0; t < live.size(); ++t) {
     std::vector<size_t>* group = nullptr;
     for (std::vector<size_t>& g : groups) {
-      if (live[g[0]].k == live[t].k && live[g[0]].p == live[t].p) {
+      if (live[g[0]].req.options.SameResultKey(live[t].req.options)) {
         group = &g;
         break;
       }
@@ -200,17 +302,28 @@ void AsyncRetrievalServer::ExecuteBatch(Batch batch) {
   for (const std::vector<size_t>& group : groups) {
     std::vector<DxToDatabaseFn> queries;
     queries.reserve(group.size());
-    for (size_t t : group) queries.push_back(std::move(live[t].dx));
-    StatusOr<std::vector<RetrievalResult>> results = backend_->RetrieveBatch(
-        queries, live[group[0]].k, live[group[0]].p,
-        options_.retrieve_threads);
+    for (size_t t : group) queries.push_back(std::move(live[t].req.dx));
+    // The server's worker policy, not the request, decides execution
+    // parallelism; num_threads does not affect results.
+    RetrievalOptions exec = live[group[0]].req.options;
+    exec.num_threads = options_.retrieve_threads;
+    StatusOr<std::vector<RetrievalResponse>> results =
+        backend_->RetrieveBatch(queries, exec);
     for (size_t i = 0; i < group.size(); ++i) {
       completed_.fetch_add(1, std::memory_order_relaxed);
+      ++lane_completed[live[group[i]].lane];
       if (results.ok()) {
         live[group[i]].promise.Set(std::move((*results)[i]));
       } else {
         live[group[i]].promise.Set(results.status());
       }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(breakdown_mu_);
+    for (size_t l = 0; l < kNumPriorityLanes; ++l) {
+      lane_stats_[l].expired += lane_expired[l];
+      lane_stats_[l].completed += lane_completed[l];
     }
   }
 }
@@ -225,10 +338,22 @@ ServerStats AsyncRetrievalServer::stats() const {
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.admitted = admitted_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
   s.expired = expired_.load(std::memory_order_relaxed);
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.queue_depth = queue_.size();
+  s.unknown_tenant_rejected =
+      unknown_tenant_rejected_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(breakdown_mu_);
+    s.lanes = lane_stats_;
+    s.tenants = tenant_stats_;
+  }
+  std::array<size_t, kNumPriorityLanes> depths = queue_.lane_sizes();
+  for (size_t l = 0; l < kNumPriorityLanes; ++l) {
+    s.lanes[l].queue_depth = depths[l];
+  }
   {
     std::lock_guard<std::mutex> lock(histogram_mu_);
     s.batch_size_histogram = batch_size_histogram_;

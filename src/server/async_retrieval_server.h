@@ -1,50 +1,40 @@
 #ifndef QSE_SERVER_ASYNC_RETRIEVAL_SERVER_H_
 #define QSE_SERVER_ASYNC_RETRIEVAL_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/retrieval/retrieval_backend.h"
+#include "src/server/admission_queue.h"
 #include "src/util/bounded_queue.h"
 #include "src/util/future.h"
 #include "src/util/statusor.h"
 
 namespace qse {
 
-/// Clock used for request deadlines (steady: immune to wall-clock jumps).
-using ServerClock = std::chrono::steady_clock;
-
-/// Per-request options for AsyncRetrievalServer::Submit.
-struct SubmitOptions {
-  /// Neighbors to return / filter candidates to refine; the same k and p
-  /// as RetrievalBackend::Retrieve.
-  size_t k = 1;
-  size_t p = 1;
-  /// Absolute completion deadline.  A request past its deadline is
-  /// answered with kDeadlineExceeded — checked when it leaves the
-  /// admission queue and again just before the backend spends exact
-  /// distances on it — never silently dropped or served late.  Default:
-  /// no deadline.
-  ServerClock::time_point deadline = ServerClock::time_point::max();
-
-  /// Convenience: an absolute deadline `budget` from now.
-  template <typename Rep, typename Period>
-  static ServerClock::time_point DeadlineIn(
-      std::chrono::duration<Rep, Period> budget) {
-    return ServerClock::now() +
-           std::chrono::duration_cast<ServerClock::duration>(budget);
-  }
+/// One tenant's share of the admission queue.  A tenant may occupy at
+/// most max(1, floor(share * queue_capacity)) slots at once; a Submit
+/// beyond that is refused with kResourceExhausted while other tenants
+/// still admit.
+struct TenantQuota {
+  std::string tenant_id;
+  double share = 1.0;
 };
 
 struct AsyncServerOptions {
-  /// Admission queue bound; a Submit that finds it full is rejected
-  /// immediately with kResourceExhausted (load shedding, not unbounded
-  /// buffering).  A handful of further requests beyond this live in the
-  /// batcher/worker pipeline.
+  /// Admission queue bound, shared by all priority lanes.  A Submit that
+  /// finds it full either sheds a strictly lower-priority queued request
+  /// (which is answered kResourceExhausted) or is itself rejected with
+  /// kResourceExhausted — load shedding, not unbounded buffering.  A
+  /// handful of further requests beyond this live in the batcher/worker
+  /// pipeline.
   size_t queue_capacity = 1024;
   /// Largest micro-batch the batcher will coalesce (also the resolution
   /// of the batch-size histogram).
@@ -60,28 +50,65 @@ struct AsyncServerOptions {
   /// workers pipeline batches; within one batch, parallelism comes from
   /// RetrieveBatch itself.
   size_t num_workers = 1;
-  /// `num_threads` handed to RetrievalBackend::RetrieveBatch per batch;
+  /// num_threads the server substitutes into each executed batch's
+  /// options (a request does not choose the server's parallelism);
   /// 0 = hardware concurrency.  Keep num_workers * retrieve_threads near
   /// the core count to avoid oversubscription.
   size_t retrieve_threads = 0;
+  /// Per-tenant admission quotas.  Empty (default): tenant_id is ignored
+  /// and nothing is tenant-limited.  Non-empty: listed tenants are
+  /// capped at their share of queue_capacity, and a request from an
+  /// unlisted tenant is rejected with kInvalidArgument ("" is a tenant
+  /// like any other — list it to admit anonymous traffic).
+  std::vector<TenantQuota> tenant_quotas;
+};
+
+/// Per-priority-lane counter slice of ServerStats.
+struct LaneStats {
+  size_t submitted = 0;  ///< Valid submits carrying this priority.
+  size_t admitted = 0;   ///< Entered this admission lane.
+  size_t shed = 0;       ///< Evicted from the queue by a higher-priority
+                         ///< arrival (answered kResourceExhausted).
+  size_t expired = 0;    ///< Answered kDeadlineExceeded.
+  size_t completed = 0;  ///< Backend answered.
+  size_t queue_depth = 0;  ///< Momentary lane length.
+};
+
+/// Per-tenant counter slice of ServerStats (quota-configured servers).
+struct TenantStats {
+  std::string tenant_id;
+  size_t limit = 0;      ///< Occupancy slots (share * queue_capacity).
+  size_t submitted = 0;  ///< Valid submits naming this tenant.
+  size_t admitted = 0;
+  size_t rejected = 0;  ///< Refused over-quota with kResourceExhausted.
+  size_t shed = 0;      ///< Admitted, then evicted by priority shedding.
 };
 
 /// Counter snapshot from AsyncRetrievalServer::stats().
 ///
 /// Invariants (once all futures are ready, e.g. after Shutdown):
 ///   submitted == admitted + rejected
-///   admitted  == completed + expired + cancelled
+///   admitted  == completed + expired + cancelled + shed
 struct ServerStats {
   size_t submitted = 0;  ///< All Submit calls.
   size_t admitted = 0;   ///< Entered the admission queue.
-  size_t rejected = 0;   ///< Never queued: overflow, invalid k/p, or
-                         ///< submitted after shutdown.
-  size_t expired = 0;    ///< Answered kDeadlineExceeded at dequeue or
-                         ///< just before refine.
+  size_t rejected = 0;   ///< Never queued: overflow, over-quota, invalid
+                         ///< options, unknown tenant, or submitted after
+                         ///< shutdown.
+  size_t shed = 0;      ///< Admitted, then evicted by a higher-priority
+                        ///< arrival under overflow.
+  size_t expired = 0;   ///< Answered kDeadlineExceeded at dequeue or
+                        ///< just before refine.
   size_t cancelled = 0;  ///< Answered at Shutdown(kCancel) without
                          ///< reaching the backend.
   size_t completed = 0;  ///< Backend answered (OK or a backend error).
   size_t queue_depth = 0;  ///< Momentary admission-queue length.
+  /// Of `rejected`, submits naming a tenant absent from tenant_quotas.
+  size_t unknown_tenant_rejected = 0;
+  /// Indexed by RequestPriority (kHigh = 0, kNormal = 1, kLow = 2).
+  std::array<LaneStats, kNumPriorityLanes> lanes;
+  /// One entry per configured TenantQuota, in configuration order.
+  std::vector<TenantStats> tenants;
   /// batch_size_histogram[i] = dispatched micro-batches of size i + 1.
   std::vector<size_t> batch_size_histogram;
 };
@@ -89,21 +116,31 @@ struct ServerStats {
 /// The async serving front end: owns any RetrievalBackend (monolithic or
 /// sharded) behind a Submit -> Future pipeline.
 ///
-///   submitters -> bounded admission queue -> batcher thread -> bounded
-///   batch queue -> worker pool -> RetrieveBatch -> promise completion
+///   submitters -> bounded multi-lane admission queue -> batcher thread
+///   -> bounded batch queue -> worker pool -> RetrieveBatch -> promise
+///   completion
+///
+/// Admission is strict-priority with per-tenant quotas: the batcher
+/// always dequeues kHigh before kNormal before kLow, an overflowing
+/// queue sheds the lowest-priority queued work first (never the
+/// incoming request, unless nothing below it is queued), and a tenant
+/// over its configured share of queue_capacity is refused while other
+/// tenants still admit.
 ///
 /// The batcher coalesces queued requests into adaptive micro-batches: it
 /// keeps growing a batch while the queue is non-empty (up to max_batch),
 /// capped by the max_batch_delay window, so batch size tracks load — an
 /// idle server dispatches singletons immediately, a saturated one ships
-/// full batches.  Requests in one micro-batch that share (k, p) run as a
-/// single RetrieveBatch call; each admitted, non-expired request's result
-/// is bit-identical to a direct RetrievalBackend::Retrieve.
+/// full batches.  Requests in one micro-batch that share a result key
+/// (RetrievalOptions::SameResultKey: equal k, p, want_stats) run as a
+/// single RetrieveBatch call; each admitted, non-expired request's
+/// result is bit-identical to a direct RetrievalBackend::Retrieve.
 ///
 /// Every submitted request's future becomes ready exactly once, whatever
-/// happens: backend result, kResourceExhausted (admission overflow),
-/// kDeadlineExceeded (expired in queue or just before refine),
-/// kInvalidArgument (k or p == 0), or kFailedPrecondition (shutdown).
+/// happens: backend result, kResourceExhausted (admission overflow,
+/// priority shed, or tenant over quota), kDeadlineExceeded (expired in
+/// queue or just before refine), kInvalidArgument (bad options or
+/// unknown tenant), or kFailedPrecondition (shutdown).
 ///
 /// Thread-safety: Submit/Retrieve/stats are safe from any thread.
 /// Shutdown is idempotent but must not race itself from two threads.  The
@@ -127,17 +164,14 @@ class AsyncRetrievalServer {
   AsyncRetrievalServer& operator=(const AsyncRetrievalServer&) = delete;
 
   /// Enqueues one retrieval.  Never blocks: on overflow (or invalid
-  /// options, or after shutdown) the returned future is already ready
-  /// with the rejection status.  `dx` may be invoked on a worker thread
-  /// any time before the future is ready; captured state must outlive
-  /// that.
-  Future<StatusOr<RetrievalResult>> Submit(DxToDatabaseFn dx,
-                                           SubmitOptions options);
+  /// options, over-quota tenant, or after shutdown) the returned future
+  /// is already ready with the rejection status.  `request.dx` may be
+  /// invoked on a worker thread any time before the future is ready;
+  /// captured state must outlive that.
+  Future<StatusOr<RetrievalResponse>> Submit(RetrievalRequest request);
 
   /// Blocking convenience: Submit + Get.
-  StatusOr<RetrievalResult> Retrieve(
-      DxToDatabaseFn dx, size_t k, size_t p,
-      ServerClock::time_point deadline = ServerClock::time_point::max());
+  StatusOr<RetrievalResponse> Retrieve(RetrievalRequest request);
 
   /// Stops the server: closes admission, drains or cancels queued work,
   /// joins all threads.  On return every submitted future is ready.
@@ -149,11 +183,10 @@ class AsyncRetrievalServer {
 
  private:
   struct Request {
-    DxToDatabaseFn dx;
-    size_t k = 0;
-    size_t p = 0;
-    ServerClock::time_point deadline;
-    Promise<StatusOr<RetrievalResult>> promise;
+    RetrievalRequest req;
+    size_t lane = static_cast<size_t>(RequestPriority::kNormal);
+    size_t tenant_slot = kNoTenantSlot;
+    Promise<StatusOr<RetrievalResponse>> promise;
   };
   using Batch = std::vector<Request>;
 
@@ -162,26 +195,46 @@ class AsyncRetrievalServer {
   /// Deadline/cancel gate when a request leaves the admission queue:
   /// appends it to `batch` or completes its promise.  Returns whether it
   /// joined the batch.
-  bool AdmitToBatch(Request r, Batch* batch, ServerClock::time_point now);
+  bool AdmitToBatch(Request r, Batch* batch, RetrievalClock::time_point now);
   /// Re-gates each request (the check "before refine"), groups survivors
-  /// by (k, p), runs RetrieveBatch per group, completes every promise.
+  /// by result key, runs RetrieveBatch per group, completes every
+  /// promise.
   void ExecuteBatch(Batch batch);
   void RecordBatchSize(size_t size);
   void CompleteCancelled(Request* r);
+  /// Completes an eviction victim with kResourceExhausted and counts the
+  /// shed against its lane and tenant.
+  void CompleteShed(Request* r);
 
   const RetrievalBackend* backend_;
   AsyncServerOptions options_;
-  BoundedQueue<Request> queue_;    // admission (MPSC)
-  BoundedQueue<Batch> dispatch_;   // batcher -> workers (SPMC)
+  std::unordered_map<std::string, size_t> tenant_slots_;  // id -> slot
+  /// tenant_limits_[slot] — the one place quota shares become slots;
+  /// both the queue's enforcement and TenantStats::limit read it.
+  std::vector<size_t> tenant_limits_;
+  PriorityAdmissionQueue<Request> queue_;  // admission (MPSC)
+  BoundedQueue<Batch> dispatch_;           // batcher -> workers (SPMC)
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> cancel_{false};
+  /// Submit calls currently executing.  Shutdown waits for this to hit
+  /// zero before returning: a Submit may still be completing a promise
+  /// it owns — its own rejection, or a victim evicted by its push —
+  /// after the queue has drained, and "every submitted future is ready"
+  /// must cover those too.
+  std::atomic<size_t> active_submits_{0};
 
   std::atomic<size_t> submitted_{0};
   std::atomic<size_t> admitted_{0};
   std::atomic<size_t> rejected_{0};
+  std::atomic<size_t> shed_{0};
   std::atomic<size_t> expired_{0};
   std::atomic<size_t> cancelled_{0};
   std::atomic<size_t> completed_{0};
+  std::atomic<size_t> unknown_tenant_rejected_{0};
+  /// Guards the lane/tenant breakdowns (cold relative to retrieval).
+  mutable std::mutex breakdown_mu_;
+  std::array<LaneStats, kNumPriorityLanes> lane_stats_;
+  std::vector<TenantStats> tenant_stats_;
   mutable std::mutex histogram_mu_;
   std::vector<size_t> batch_size_histogram_;
 

@@ -93,25 +93,21 @@ size_t ShardedRetrievalEngine::AssignShard(size_t db_id) const {
   return 0;
 }
 
-StatusOr<RetrievalResult> ShardedRetrievalEngine::ScatterGather(
-    const DxToDatabaseFn& dx, size_t k, size_t p,
-    std::vector<ShardScanStats>* stats, size_t scatter_threads) const {
-  if (k == 0) return Status::InvalidArgument("k must be >= 1");
-  if (p == 0) {
-    return Status::InvalidArgument(
-        "p must be >= 1: a filter step that keeps no candidates cannot "
-        "retrieve anything");
-  }
+StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
+    const DxToDatabaseFn& dx, const RetrievalOptions& options,
+    size_t scatter_threads) const {
+  QSE_RETURN_IF_ERROR(ValidateRetrievalOptions(options));
   if (size() == 0) {
     return Status::FailedPrecondition("embedded database is empty");
   }
-  p = std::min(p, size());
+  const size_t k = options.k;
+  const size_t p = std::min(options.p, size());
 
-  RetrievalResult result;
+  RetrievalResponse response;
   // Embedding step: once per query, shared by every shard's scan.
   size_t embed_cost = 0;
   Vector fq = embedder_->Embed(dx, &embed_cost);
-  result.embedding_distances = embed_cost;
+  response.embedding_distances = embed_cost;
 
   // Scatter: each shard's filter step keeps its local top p (the global
   // top p could in the worst case live entirely in one shard).  Grain 2:
@@ -136,13 +132,13 @@ StatusOr<RetrievalResult> ShardedRetrievalEngine::ScatterGather(
   // Gather: k-way heap merge down to the global top p.
   std::vector<ScoredIndex> candidates = MergeSortedTopK(per_shard, p);
 
-  if (stats != nullptr) {
-    stats->assign(num_shards, ShardScanStats{});
+  if (options.want_stats) {
+    response.shard_stats.assign(num_shards, ShardScanStats{});
     for (size_t s = 0; s < num_shards; ++s) {
-      (*stats)[s].rows = shards_[s].db->size();
+      response.shard_stats[s].rows = shards_[s].db->size();
     }
     for (const ScoredIndex& c : candidates) {
-      ++(*stats)[shard_of_.at(c.index)].candidates;
+      ++response.shard_stats[shard_of_.at(c.index)].candidates;
     }
   }
 
@@ -155,45 +151,39 @@ StatusOr<RetrievalResult> ShardedRetrievalEngine::ScatterGather(
   }
   std::sort(refined.begin(), refined.end());
   if (refined.size() > k) refined.resize(k);
-  result.neighbors = std::move(refined);
-  result.exact_distances = embed_cost + candidates.size();
-  return result;
+  response.neighbors = std::move(refined);
+  response.exact_distances = embed_cost + candidates.size();
+  return response;
 }
 
-StatusOr<RetrievalResult> ShardedRetrievalEngine::Retrieve(
-    const DxToDatabaseFn& dx, size_t k, size_t p) const {
-  return ScatterGather(dx, k, p, nullptr, options_.scatter_threads);
+StatusOr<RetrievalResponse> ShardedRetrievalEngine::Retrieve(
+    const RetrievalRequest& request) const {
+  return ScatterGather(request.dx, request.options,
+                       options_.scatter_threads);
 }
 
-StatusOr<RetrievalResult> ShardedRetrievalEngine::RetrieveWithStats(
-    const DxToDatabaseFn& dx, size_t k, size_t p,
-    std::vector<ShardScanStats>* stats) const {
-  return ScatterGather(dx, k, p, stats, options_.scatter_threads);
-}
-
-StatusOr<std::vector<RetrievalResult>> ShardedRetrievalEngine::RetrieveBatch(
-    const std::vector<DxToDatabaseFn>& queries, size_t k, size_t p,
-    size_t num_threads) const {
+StatusOr<std::vector<RetrievalResponse>> ShardedRetrievalEngine::RetrieveBatch(
+    const std::vector<DxToDatabaseFn>& queries,
+    const RetrievalOptions& options) const {
   // Validate once up front, matching RetrievalEngine::RetrieveBatch.
-  if (k == 0) return Status::InvalidArgument("k must be >= 1");
-  if (p == 0) return Status::InvalidArgument("p must be >= 1");
+  QSE_RETURN_IF_ERROR(ValidateRetrievalOptions(options));
   if (size() == 0) {
     return Status::FailedPrecondition("embedded database is empty");
   }
 
-  std::vector<RetrievalResult> results(queries.size());
+  std::vector<RetrievalResponse> results(queries.size());
   // Parallelize across queries and scan each query's shards serially
   // (scatter_threads = 1): one level of parallelism, no nested thread
   // fan-out, and per-query results identical to Retrieve's.
   ParallelForGrain(
       0, queries.size(), 2,
       [&](size_t i) {
-        StatusOr<RetrievalResult> r =
-            ScatterGather(queries[i], k, p, nullptr, /*scatter_threads=*/1);
+        StatusOr<RetrievalResponse> r =
+            ScatterGather(queries[i], options, /*scatter_threads=*/1);
         QSE_CHECK_MSG(r.ok(), r.status().ToString());
         results[i] = std::move(r).value();
       },
-      num_threads);
+      options.num_threads);
   return results;
 }
 

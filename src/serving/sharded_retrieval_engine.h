@@ -37,23 +37,14 @@ struct ShardedEngineOptions {
   size_t scatter_threads = 0;
 };
 
-/// Per-shard counters from one Retrieve call; the raw material for load
-/// balancing (a shard that keeps contributing most of the merged top-p is
-/// either oversized or holds a hot region of the embedded space).
-struct ShardScanStats {
-  /// Shard size (rows scanned by the filter step) at query time.
-  size_t rows = 0;
-  /// Entries this shard placed in the globally merged top-p.
-  size_t candidates = 0;
-};
-
 /// Scatter/gather retrieval over S per-shard engines — the serving layer's
 /// answer to the filter step's linear scan growing with n: each shard owns
 /// an EmbeddedDatabase + RetrievalEngine over a disjoint subset of the
 /// database, one query's filter scan fans out across shards in parallel,
 /// per-shard top-p candidate lists are gathered through a k-way heap merge
 /// (MergeSortedTopK), and a single global refine re-ranks the merged top p
-/// by exact distance.
+/// by exact distance.  A request with want_stats receives per-shard
+/// scan/candidate counters in RetrievalResponse::shard_stats.
 ///
 /// Exactness: results are bit-identical to an unsharded RetrievalEngine at
 /// equal p over the same data — every row's filter score is computed by the
@@ -91,19 +82,14 @@ class ShardedRetrievalEngine : public RetrievalBackend {
 
   /// Scatter/gather retrieval; neighbor indices are database ids.  Same
   /// validation contract as RetrievalEngine::Retrieve.
-  StatusOr<RetrievalResult> Retrieve(const DxToDatabaseFn& dx, size_t k,
-                                     size_t p) const override;
-
-  /// Retrieve plus per-shard scan stats: fills stats->at(s) for shard s.
-  StatusOr<RetrievalResult> RetrieveWithStats(
-      const DxToDatabaseFn& dx, size_t k, size_t p,
-      std::vector<ShardScanStats>* stats) const;
+  StatusOr<RetrievalResponse> Retrieve(
+      const RetrievalRequest& request) const override;
 
   /// Thread-parallel over queries (each query's scatter runs serially);
-  /// results[i] is bit-identical to Retrieve(queries[i], k, p).
-  StatusOr<std::vector<RetrievalResult>> RetrieveBatch(
-      const std::vector<DxToDatabaseFn>& queries, size_t k, size_t p,
-      size_t num_threads = 0) const override;
+  /// results[i] is bit-identical to Retrieve({queries[i], options}).
+  StatusOr<std::vector<RetrievalResponse>> RetrieveBatch(
+      const std::vector<DxToDatabaseFn>& queries,
+      const RetrievalOptions& options) const override;
 
   /// Embeds the new object once and appends it to the shard chosen by the
   /// assignment policy.  InvalidArgument on a duplicate id.
@@ -138,11 +124,12 @@ class ShardedRetrievalEngine : public RetrievalBackend {
   /// Shard that Insert would place `db_id` in right now.
   size_t AssignShard(size_t db_id) const;
 
-  /// The scatter/gather pipeline behind both Retrieve entry points.
-  StatusOr<RetrievalResult> ScatterGather(const DxToDatabaseFn& dx, size_t k,
-                                          size_t p,
-                                          std::vector<ShardScanStats>* stats,
-                                          size_t scatter_threads) const;
+  /// The scatter/gather pipeline behind both Retrieve entry points,
+  /// taking the envelope pieces by reference so the batch loop never
+  /// copies a query functor or the options per query.
+  StatusOr<RetrievalResponse> ScatterGather(const DxToDatabaseFn& dx,
+                                            const RetrievalOptions& options,
+                                            size_t scatter_threads) const;
 
   const Embedder* embedder_;
   const FilterScorer* scorer_;

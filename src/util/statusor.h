@@ -22,7 +22,8 @@ class StatusOr {
   /// programming error and is converted to kInternal).
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
     if (status_.ok()) {
-      status_ = Status::Internal("StatusOr constructed with OK status but no value");
+      status_ = Status::Internal(
+          "StatusOr constructed with OK status but no value");
     }
   }
 

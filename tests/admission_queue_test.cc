@@ -1,0 +1,139 @@
+// Tests of the multi-lane admission queue: strict-priority pops, FIFO
+// within a lane, shed-lowest-first eviction under overflow, per-tenant
+// occupancy limits, and BoundedQueue-style drainable close semantics.
+#include "src/server/admission_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace qse {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr size_t kHigh = 0;
+constexpr size_t kNormal = 1;
+constexpr size_t kLow = 2;
+
+TEST(AdmissionQueueTest, PopsStrictPriorityThenFifoWithinLane) {
+  PriorityAdmissionQueue<int> q(8);
+  EXPECT_EQ(q.TryPush(20, kLow).result, AdmitResult::kAdmitted);
+  EXPECT_EQ(q.TryPush(10, kNormal).result, AdmitResult::kAdmitted);
+  EXPECT_EQ(q.TryPush(0, kHigh).result, AdmitResult::kAdmitted);
+  EXPECT_EQ(q.TryPush(1, kHigh).result, AdmitResult::kAdmitted);
+  EXPECT_EQ(q.TryPush(21, kLow).result, AdmitResult::kAdmitted);
+  EXPECT_EQ(q.size(), 5u);
+  std::vector<int> order;
+  while (auto v = q.TryPop()) order.push_back(*v);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 10, 20, 21}));
+}
+
+TEST(AdmissionQueueTest, OverflowEvictsYoungestOfLowestLane) {
+  PriorityAdmissionQueue<int> q(3);
+  ASSERT_EQ(q.TryPush(20, kLow).result, AdmitResult::kAdmitted);
+  ASSERT_EQ(q.TryPush(21, kLow).result, AdmitResult::kAdmitted);
+  ASSERT_EQ(q.TryPush(10, kNormal).result, AdmitResult::kAdmitted);
+
+  // A high push evicts the youngest low (21), not the normal.
+  auto outcome = q.TryPush(0, kHigh);
+  EXPECT_EQ(outcome.result, AdmitResult::kAdmittedEvicting);
+  ASSERT_TRUE(outcome.evicted.has_value());
+  EXPECT_EQ(*outcome.evicted, 21);
+  EXPECT_EQ(outcome.evicted_lane, kLow);
+
+  // Another high evicts the remaining low; a third evicts the normal; a
+  // fourth finds nothing below kHigh and is refused.
+  EXPECT_EQ(*q.TryPush(1, kHigh).evicted, 20);
+  EXPECT_EQ(*q.TryPush(2, kHigh).evicted, 10);
+  EXPECT_EQ(q.TryPush(3, kHigh).result, AdmitResult::kQueueFull);
+
+  // A full queue refuses same-priority and lower-priority pushes too.
+  EXPECT_EQ(q.TryPush(30, kLow).result, AdmitResult::kQueueFull);
+  std::vector<int> order;
+  while (auto v = q.TryPop()) order.push_back(*v);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(AdmissionQueueTest, NormalEvictsOnlyLow) {
+  PriorityAdmissionQueue<int> q(2);
+  ASSERT_EQ(q.TryPush(0, kHigh).result, AdmitResult::kAdmitted);
+  ASSERT_EQ(q.TryPush(20, kLow).result, AdmitResult::kAdmitted);
+  auto outcome = q.TryPush(10, kNormal);
+  EXPECT_EQ(outcome.result, AdmitResult::kAdmittedEvicting);
+  EXPECT_EQ(*outcome.evicted, 20);
+  // Now [high, normal]: an incoming normal has nothing strictly below.
+  EXPECT_EQ(q.TryPush(11, kNormal).result, AdmitResult::kQueueFull);
+}
+
+TEST(AdmissionQueueTest, TenantLimitsCapOccupancyNotThroughput) {
+  PriorityAdmissionQueue<int> q(8, {2, 8});
+  EXPECT_EQ(q.TryPush(1, kNormal, 0).result, AdmitResult::kAdmitted);
+  EXPECT_EQ(q.TryPush(2, kNormal, 0).result, AdmitResult::kAdmitted);
+  EXPECT_EQ(q.TryPush(3, kNormal, 0).result, AdmitResult::kTenantOverQuota);
+  // Another tenant, and untracked traffic, still admit.
+  EXPECT_EQ(q.TryPush(4, kNormal, 1).result, AdmitResult::kAdmitted);
+  EXPECT_EQ(q.TryPush(5, kNormal).result, AdmitResult::kAdmitted);
+  EXPECT_EQ(q.tenant_counts(), (std::vector<size_t>{2, 1}));
+
+  // Popping tenant 0's work frees its slots: occupancy, not lifetime.
+  EXPECT_EQ(*q.TryPop(), 1);
+  EXPECT_EQ(q.TryPush(6, kNormal, 0).result, AdmitResult::kAdmitted);
+  EXPECT_EQ(q.tenant_counts(), (std::vector<size_t>{2, 1}));
+}
+
+TEST(AdmissionQueueTest, EvictionReleasesVictimTenantSlot) {
+  PriorityAdmissionQueue<int> q(2, {2});
+  ASSERT_EQ(q.TryPush(20, kLow, 0).result, AdmitResult::kAdmitted);
+  ASSERT_EQ(q.TryPush(21, kLow, 0).result, AdmitResult::kAdmitted);
+  auto outcome = q.TryPush(0, kHigh);
+  ASSERT_EQ(outcome.result, AdmitResult::kAdmittedEvicting);
+  EXPECT_EQ(*outcome.evicted, 21);
+  // The shed low freed one of tenant 0's two slots... but the queue is
+  // still full, so the next low push is refused for capacity (nothing
+  // below kLow to evict), not for quota.
+  EXPECT_EQ(q.TryPush(22, kLow, 0).result, AdmitResult::kQueueFull);
+  EXPECT_EQ(q.tenant_counts(), (std::vector<size_t>{1}));
+  EXPECT_EQ(*q.TryPop(), 0);
+  EXPECT_EQ(q.TryPush(22, kLow, 0).result, AdmitResult::kAdmitted);
+}
+
+TEST(AdmissionQueueTest, CloseDrainsThenRefuses) {
+  PriorityAdmissionQueue<int> q(4);
+  ASSERT_EQ(q.TryPush(1, kNormal).result, AdmitResult::kAdmitted);
+  ASSERT_EQ(q.TryPush(2, kLow).result, AdmitResult::kAdmitted);
+  q.Close();
+  EXPECT_EQ(q.TryPush(3, kHigh).result, AdmitResult::kClosed);
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_FALSE(q.Pop().has_value());  // Closed and drained: no block.
+}
+
+TEST(AdmissionQueueTest, PopBlocksUntilPushAcrossThreads) {
+  PriorityAdmissionQueue<int> q(4);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(20ms);
+    q.TryPush(7, kLow);
+  });
+  auto v = q.Pop();  // Blocks until the producer delivers.
+  producer.join();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(AdmissionQueueTest, PopForTimesOutEmptyAndLaneSizesTrack) {
+  PriorityAdmissionQueue<int> q(4);
+  EXPECT_FALSE(q.PopFor(5ms).has_value());
+  q.TryPush(1, kHigh);
+  q.TryPush(2, kLow);
+  auto sizes = q.lane_sizes();
+  EXPECT_EQ(sizes[kHigh], 1u);
+  EXPECT_EQ(sizes[kNormal], 0u);
+  EXPECT_EQ(sizes[kLow], 1u);
+  EXPECT_EQ(*q.PopFor(5ms), 1);
+}
+
+}  // namespace
+}  // namespace qse

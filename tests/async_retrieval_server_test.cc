@@ -2,8 +2,10 @@
 // request must come back bit-identical to a direct
 // RetrievalBackend::Retrieve — over both engines, multiple worker counts
 // and batch shapes, and randomized multi-threaded submit interleavings —
-// and every rejected/expired/cancelled request must surface the right
-// status code.  Nothing is ever silently dropped.
+// and every rejected/shed/expired/cancelled request must surface the
+// right status code.  Nothing is ever silently dropped.  Admission is
+// strict-priority (high dequeues first, low sheds first) with per-tenant
+// quotas, asserted deterministically below.
 #include "src/server/async_retrieval_server.h"
 
 #include <gtest/gtest.h>
@@ -74,8 +76,9 @@ struct ServingStack {
   }
 };
 
-void ExpectSameResult(const RetrievalResult& want,
-                      const RetrievalResult& got, const std::string& context) {
+void ExpectSameResult(const RetrievalResponse& want,
+                      const RetrievalResponse& got,
+                      const std::string& context) {
   EXPECT_EQ(want.exact_distances, got.exact_distances) << context;
   EXPECT_EQ(want.embedding_distances, got.embedding_distances) << context;
   ASSERT_EQ(want.neighbors.size(), got.neighbors.size()) << context;
@@ -114,6 +117,30 @@ struct WorkerGate {
   }
 };
 
+/// Pins the single worker with a gated request and then stuffs the
+/// batcher + dispatch pipeline with `plugs` sacrificial requests, so
+/// every subsequent Submit stays in the admission queue until the gate
+/// releases.  Requires max_batch = 1 and num_workers = 1.  Waits until
+/// the admission queue is observably empty again.
+struct PinnedPipeline {
+  WorkerGate gate;
+  Future<StatusOr<RetrievalResponse>> gated;
+  std::vector<Future<StatusOr<RetrievalResponse>>> plugs;
+
+  PinnedPipeline(AsyncRetrievalServer* server, const ServingStack& s,
+                 RetrievalOptions options, size_t num_plugs = 2) {
+    gated = server->Submit({gate.Gated(s.QueryDx(s.query_ids[0])), options});
+    while (gate.entered.load() == 0) std::this_thread::sleep_for(1ms);
+    for (size_t i = 0; i < num_plugs; ++i) {
+      plugs.push_back(server->Submit({s.QueryDx(s.query_ids[1]), options}));
+    }
+    // The batcher parks one plug in the dispatch queue and holds the
+    // other in hand, blocked; wait until the admission queue drains so
+    // later submits deterministically queue behind the pinned pipeline.
+    while (server->stats().queue_depth > 0) std::this_thread::sleep_for(1ms);
+  }
+};
+
 // --- The tentpole guarantee: bit-identical to direct Retrieve ----------
 
 TEST(AsyncServerParityTest, RandomizedInterleavingsOverBothEngines) {
@@ -136,12 +163,13 @@ TEST(AsyncServerParityTest, RandomizedInterleavingsOverBothEngines) {
         AsyncRetrievalServer server(b.backend, options);
 
         // 3 submitter threads, each submitting every query at a shuffled
-        // (query, p) order with jittered pacing: the admission queue sees
-        // a different interleaving every config.
+        // (query, p) order with jittered pacing and a rotating priority:
+        // the admission queue sees a different interleaving every
+        // config, and lanes must not change any result.
         struct Expectation {
           size_t query_id;
           size_t p;
-          Future<StatusOr<RetrievalResult>> future;
+          Future<StatusOr<RetrievalResponse>> future;
         };
         std::mutex mu;
         std::vector<Expectation> pending;
@@ -158,11 +186,11 @@ TEST(AsyncServerParityTest, RandomizedInterleavingsOverBothEngines) {
             for (size_t i = work.size(); i > 1; --i) {
               std::swap(work[i - 1], work[rng.UniformInt(0, i - 1)]);
             }
+            size_t seq = 0;
             for (const auto& [query_id, p] : work) {
-              SubmitOptions so;
-              so.k = k;
-              so.p = p;
-              auto future = server.Submit(s.QueryDx(query_id), so);
+              RetrievalOptions ro(k, p);
+              ro.priority = static_cast<RequestPriority>(seq++ % 3);
+              auto future = server.Submit({s.QueryDx(query_id), ro});
               {
                 std::lock_guard<std::mutex> lock(mu);
                 pending.push_back({query_id, p, std::move(future)});
@@ -178,9 +206,10 @@ TEST(AsyncServerParityTest, RandomizedInterleavingsOverBothEngines) {
         server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
 
         for (const Expectation& e : pending) {
-          auto want = b.backend->Retrieve(s.QueryDx(e.query_id), k, e.p);
+          auto want = b.backend->Retrieve(
+              {s.QueryDx(e.query_id), RetrievalOptions(k, e.p)});
           ASSERT_TRUE(want.ok());
-          const StatusOr<RetrievalResult>& got = e.future.Get();
+          const StatusOr<RetrievalResponse>& got = e.future.Get();
           ASSERT_TRUE(got.ok()) << got.status();
           ExpectSameResult(*want, *got,
                            std::string(b.name) +
@@ -194,8 +223,16 @@ TEST(AsyncServerParityTest, RandomizedInterleavingsOverBothEngines) {
         EXPECT_EQ(stats.admitted, pending.size());
         EXPECT_EQ(stats.completed, pending.size());
         EXPECT_EQ(stats.rejected, 0u);
+        EXPECT_EQ(stats.shed, 0u);
         EXPECT_EQ(stats.expired, 0u);
         EXPECT_EQ(stats.cancelled, 0u);
+        size_t lane_submitted = 0, lane_completed = 0;
+        for (const LaneStats& lane : stats.lanes) {
+          lane_submitted += lane.submitted;
+          lane_completed += lane.completed;
+        }
+        EXPECT_EQ(lane_submitted, pending.size());
+        EXPECT_EQ(lane_completed, pending.size());
       }
     }
   }
@@ -204,61 +241,59 @@ TEST(AsyncServerParityTest, RandomizedInterleavingsOverBothEngines) {
 TEST(AsyncServerParityTest, BlockingRetrieveMatchesBackend) {
   ServingStack s;
   AsyncRetrievalServer server(&s.mono);
-  auto want = s.mono.Retrieve(s.QueryDx(s.query_ids[0]), 2, 10);
-  auto got = server.Retrieve(s.QueryDx(s.query_ids[0]), 2, 10);
+  auto want =
+      s.mono.Retrieve({s.QueryDx(s.query_ids[0]), RetrievalOptions(2, 10)});
+  auto got =
+      server.Retrieve({s.QueryDx(s.query_ids[0]), RetrievalOptions(2, 10)});
   ASSERT_TRUE(want.ok() && got.ok());
   ExpectSameResult(*want, *got, "blocking");
 }
 
-TEST(AsyncServerParityTest, MixedKAndPInOneBurstStayExact) {
-  // Requests with different (k, p) coalesce into the same micro-batch but
-  // must execute as separate backend groups.
+TEST(AsyncServerParityTest, MixedOptionsInOneBurstStayExact) {
+  // Requests with different (k, p, want_stats) coalesce into the same
+  // micro-batch but must execute as separate backend groups; priority
+  // and deadline do not split groups (they don't change results).
   ServingStack s;
   AsyncServerOptions options;
   options.max_batch = 16;
   options.max_batch_delay = 20ms;  // Force coalescing of the whole burst.
-  AsyncRetrievalServer server(&s.mono, options);
+  AsyncRetrievalServer server(&s.sharded, options);
   struct Case {
-    size_t query_id, my_k, p;
-    Future<StatusOr<RetrievalResult>> future;
+    size_t query_id;
+    RetrievalOptions ro;
+    Future<StatusOr<RetrievalResponse>> future;
   };
   std::vector<Case> cases;
   size_t i = 0;
   for (size_t query_id : s.query_ids) {
-    SubmitOptions so;
-    so.k = 1 + i % 3;
-    so.p = 5 + 7 * (i % 2);
-    cases.push_back({query_id, so.k, so.p,
-                     server.Submit(s.QueryDx(query_id), so)});
+    RetrievalOptions ro(1 + i % 3, 5 + 7 * (i % 2));
+    ro.want_stats = i % 4 == 0;
+    ro.priority = static_cast<RequestPriority>(i % 3);
+    ro.deadline = RetrievalOptions::DeadlineIn(10s);
+    cases.push_back({query_id, ro, server.Submit({s.QueryDx(query_id), ro})});
     ++i;
   }
   for (Case& c : cases) {
-    auto want = s.mono.Retrieve(s.QueryDx(c.query_id), c.my_k, c.p);
+    auto want = s.sharded.Retrieve({s.QueryDx(c.query_id), c.ro});
     ASSERT_TRUE(want.ok());
     const auto& got = c.future.Get();
     ASSERT_TRUE(got.ok()) << got.status();
-    ExpectSameResult(*want, *got, "mixed k/p q=" + std::to_string(c.query_id));
+    ExpectSameResult(*want, *got, "mixed q=" + std::to_string(c.query_id));
+    ASSERT_EQ(got->shard_stats.size(), want->shard_stats.size());
+    for (size_t sh = 0; sh < got->shard_stats.size(); ++sh) {
+      EXPECT_EQ(got->shard_stats[sh].rows, want->shard_stats[sh].rows);
+      EXPECT_EQ(got->shard_stats[sh].candidates,
+                want->shard_stats[sh].candidates);
+    }
+    if (c.ro.want_stats) {
+      EXPECT_EQ(got->shard_stats.size(), s.sharded.num_shards());
+    } else {
+      EXPECT_TRUE(got->shard_stats.empty());
+    }
   }
 }
 
 // --- Admission control --------------------------------------------------
-
-TEST(AsyncServerTest, InvalidArgumentsRejectedImmediately) {
-  ServingStack s;
-  AsyncRetrievalServer server(&s.mono);
-  SubmitOptions so;
-  so.k = 0;
-  so.p = 5;
-  auto f1 = server.Submit(s.QueryDx(s.query_ids[0]), so);
-  ASSERT_TRUE(f1.ready());  // No round-trip through the queue.
-  EXPECT_EQ(f1.Get().status().code(), StatusCode::kInvalidArgument);
-  so.k = 1;
-  so.p = 0;
-  auto f2 = server.Submit(s.QueryDx(s.query_ids[0]), so);
-  EXPECT_EQ(f2.Get().status().code(), StatusCode::kInvalidArgument);
-  EXPECT_EQ(server.stats().rejected, 2u);
-  EXPECT_EQ(server.stats().admitted, 0u);
-}
 
 TEST(AsyncServerTest, OverflowRejectsWithResourceExhausted) {
   ServingStack s;
@@ -269,17 +304,17 @@ TEST(AsyncServerTest, OverflowRejectsWithResourceExhausted) {
   AsyncRetrievalServer server(&s.mono, options);
 
   WorkerGate gate;
-  SubmitOptions so;
-  so.k = 1;
-  so.p = 5;
+  RetrievalOptions ro(1, 5);
   // First request pins the single worker inside the backend; the pipeline
   // (batcher + dispatch slot) and then the 2-slot admission queue fill up
-  // behind it.
-  auto gated = server.Submit(gate.Gated(s.QueryDx(s.query_ids[0])), so);
-  std::vector<Future<StatusOr<RetrievalResult>>> rest;
+  // behind it.  Same-priority traffic cannot shed itself, so overflow
+  // refuses the incoming request.
+  auto gated =
+      server.Submit({gate.Gated(s.QueryDx(s.query_ids[0])), ro});
+  std::vector<Future<StatusOr<RetrievalResponse>>> rest;
   const size_t kExtra = 12;
   for (size_t i = 0; i < kExtra; ++i) {
-    rest.push_back(server.Submit(s.QueryDx(s.query_ids[1]), so));
+    rest.push_back(server.Submit({s.QueryDx(s.query_ids[1]), ro}));
     std::this_thread::sleep_for(2ms);  // Let the batcher drain what it can.
   }
   size_t rejected = 0;
@@ -296,7 +331,8 @@ TEST(AsyncServerTest, OverflowRejectsWithResourceExhausted) {
   server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
   // Everyone admitted completed fine; everyone rejected saw the status.
   ASSERT_TRUE(gated.Get().ok());
-  auto want = s.mono.Retrieve(s.QueryDx(s.query_ids[1]), 1, 5);
+  auto want =
+      s.mono.Retrieve({s.QueryDx(s.query_ids[1]), RetrievalOptions(1, 5)});
   ASSERT_TRUE(want.ok());
   for (const auto& f : rest) {
     const auto& got = f.Get();
@@ -309,6 +345,189 @@ TEST(AsyncServerTest, OverflowRejectsWithResourceExhausted) {
   ServerStats stats = server.stats();
   EXPECT_EQ(stats.submitted, stats.admitted + stats.rejected);
   EXPECT_EQ(stats.admitted, stats.completed);
+  EXPECT_EQ(stats.shed, 0u);  // Same-priority overflow never evicts.
+}
+
+// --- Priority lanes -----------------------------------------------------
+
+TEST(AsyncServerPriorityTest, HighLaneDequeuesFirst) {
+  ServingStack s;
+  AsyncServerOptions options;
+  options.queue_capacity = 64;
+  options.max_batch = 1;  // One request per batch: pop order observable.
+  options.num_workers = 1;
+  AsyncRetrievalServer server(&s.mono, options);
+  RetrievalOptions base(1, 5);
+  PinnedPipeline pinned(&server, s, base);
+
+  // With the pipeline pinned, queue a mixed burst: low first so FIFO
+  // order alone would serve it first, then high, then normal.
+  std::mutex mu;
+  std::vector<size_t> completion_lanes;
+  auto tracked = [&](RequestPriority priority) {
+    RetrievalOptions ro = base;
+    ro.priority = priority;
+    server.Submit({s.QueryDx(s.query_ids[2]), ro})
+        .OnReady([&mu, &completion_lanes,
+                  priority](const StatusOr<RetrievalResponse>& r) {
+          ASSERT_TRUE(r.ok()) << r.status();
+          std::lock_guard<std::mutex> lock(mu);
+          completion_lanes.push_back(static_cast<size_t>(priority));
+        });
+  };
+  for (size_t i = 0; i < 6; ++i) tracked(RequestPriority::kLow);
+  for (size_t i = 0; i < 4; ++i) tracked(RequestPriority::kHigh);
+  for (size_t i = 0; i < 2; ++i) tracked(RequestPriority::kNormal);
+
+  pinned.gate.Release();
+  server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+
+  // Strict priority: every high completes before every normal, every
+  // normal before every low — despite the lows being submitted first.
+  std::vector<size_t> expected = {0, 0, 0, 0, 1, 1, 2, 2, 2, 2, 2, 2};
+  EXPECT_EQ(completion_lanes, expected);
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.lanes[0].completed, 4u);
+  EXPECT_EQ(stats.lanes[1].completed, 2u + 3u);  // + gated and plugs.
+  EXPECT_EQ(stats.lanes[2].completed, 6u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST(AsyncServerPriorityTest, OverflowShedsLowestLaneFirst) {
+  ServingStack s;
+  AsyncServerOptions options;
+  options.queue_capacity = 4;
+  options.max_batch = 1;
+  options.num_workers = 1;
+  AsyncRetrievalServer server(&s.mono, options);
+  RetrievalOptions base(1, 5);
+  PinnedPipeline pinned(&server, s, base);
+
+  RetrievalOptions low = base;
+  low.priority = RequestPriority::kLow;
+  RetrievalOptions high = base;
+  high.priority = RequestPriority::kHigh;
+
+  // Fill the 4-slot queue with low-priority work.
+  std::vector<Future<StatusOr<RetrievalResponse>>> lows;
+  for (size_t i = 0; i < 4; ++i) {
+    lows.push_back(server.Submit({s.QueryDx(s.query_ids[2]), low}));
+  }
+  for (const auto& f : lows) EXPECT_FALSE(f.ready());
+
+  // Two high arrivals evict the two youngest lows — shed, answered
+  // kResourceExhausted immediately — and are themselves admitted.
+  std::vector<Future<StatusOr<RetrievalResponse>>> highs;
+  for (size_t i = 0; i < 2; ++i) {
+    highs.push_back(server.Submit({s.QueryDx(s.query_ids[3]), high}));
+  }
+  ASSERT_TRUE(lows[3].ready());
+  ASSERT_TRUE(lows[2].ready());
+  EXPECT_EQ(lows[3].Get().status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(lows[3].Get().status().message().find("shed"),
+            std::string::npos);
+  EXPECT_FALSE(lows[0].ready());
+  EXPECT_FALSE(lows[1].ready());
+
+  // Two more highs evict the remaining lows; a fifth finds nothing
+  // below it and is refused itself (a different message: not shed).
+  for (size_t i = 0; i < 2; ++i) {
+    highs.push_back(server.Submit({s.QueryDx(s.query_ids[3]), high}));
+  }
+  auto refused = server.Submit({s.QueryDx(s.query_ids[3]), high});
+  ASSERT_TRUE(refused.ready());
+  EXPECT_EQ(refused.Get().status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(refused.Get().status().message().find("queue full"),
+            std::string::npos);
+
+  ServerStats mid = server.stats();
+  EXPECT_EQ(mid.shed, 4u);
+  EXPECT_EQ(mid.lanes[2].shed, 4u);
+  EXPECT_EQ(mid.lanes[0].shed, 0u);
+  EXPECT_EQ(mid.rejected, 1u);
+
+  pinned.gate.Release();
+  server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+  for (const auto& f : highs) EXPECT_TRUE(f.Get().ok());
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, stats.admitted + stats.rejected);
+  EXPECT_EQ(stats.admitted,
+            stats.completed + stats.expired + stats.cancelled + stats.shed);
+  EXPECT_EQ(stats.lanes[0].queue_depth, 0u);
+}
+
+// --- Tenant quotas ------------------------------------------------------
+
+TEST(AsyncServerTenantTest, OverQuotaTenantRejectedWhileOthersAdmit) {
+  ServingStack s;
+  AsyncServerOptions options;
+  options.queue_capacity = 16;
+  options.max_batch = 1;
+  options.num_workers = 1;
+  options.tenant_quotas = {{"alpha", 0.5}, {"beta", 0.125}};
+  AsyncRetrievalServer server(&s.mono, options);
+  RetrievalOptions alpha(1, 5);
+  alpha.tenant_id = "alpha";
+  PinnedPipeline pinned(&server, s, alpha);
+
+  RetrievalOptions beta(1, 5);
+  beta.tenant_id = "beta";
+  // beta's share: floor(0.125 * 16) = 2 queue slots.
+  std::vector<Future<StatusOr<RetrievalResponse>>> betas;
+  for (size_t i = 0; i < 4; ++i) {
+    betas.push_back(server.Submit({s.QueryDx(s.query_ids[2]), beta}));
+  }
+  EXPECT_FALSE(betas[0].ready());
+  EXPECT_FALSE(betas[1].ready());
+  for (size_t i : {2u, 3u}) {
+    ASSERT_TRUE(betas[i].ready()) << i;
+    EXPECT_EQ(betas[i].Get().status().code(),
+              StatusCode::kResourceExhausted);
+    EXPECT_NE(betas[i].Get().status().message().find("quota"),
+              std::string::npos);
+  }
+
+  // alpha (and the quota-free queue) still admits while beta is capped.
+  std::vector<Future<StatusOr<RetrievalResponse>>> alphas;
+  for (size_t i = 0; i < 3; ++i) {
+    alphas.push_back(server.Submit({s.QueryDx(s.query_ids[3]), alpha}));
+  }
+  for (const auto& f : alphas) EXPECT_FALSE(f.ready());
+
+  ServerStats mid = server.stats();
+  ASSERT_EQ(mid.tenants.size(), 2u);
+  EXPECT_EQ(mid.tenants[0].tenant_id, "alpha");
+  EXPECT_EQ(mid.tenants[1].tenant_id, "beta");
+  EXPECT_EQ(mid.tenants[1].limit, 2u);
+  EXPECT_EQ(mid.tenants[1].admitted, 2u);
+  EXPECT_EQ(mid.tenants[1].rejected, 2u);
+  EXPECT_EQ(mid.tenants[0].rejected, 0u);
+
+  pinned.gate.Release();
+  server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+  for (const auto& f : alphas) EXPECT_TRUE(f.Get().ok());
+  EXPECT_TRUE(betas[0].Get().ok());
+  EXPECT_TRUE(betas[1].Get().ok());
+}
+
+TEST(AsyncServerTenantTest, QuotaFreesAsTenantWorkDrains) {
+  // A tenant refused at its cap admits again once its queued work is
+  // served: the quota caps occupancy, not lifetime request count.
+  ServingStack s;
+  AsyncServerOptions options;
+  options.queue_capacity = 8;
+  options.tenant_quotas = {{"solo", 0.125}};  // 1 slot.
+  AsyncRetrievalServer server(&s.mono, options);
+  RetrievalOptions solo(1, 5);
+  solo.tenant_id = "solo";
+  for (size_t round = 0; round < 3; ++round) {
+    auto r = server.Retrieve({s.QueryDx(s.query_ids[round]), solo});
+    ASSERT_TRUE(r.ok()) << "round " << round << ": " << r.status();
+  }
+  ServerStats stats = server.stats();
+  ASSERT_EQ(stats.tenants.size(), 1u);
+  EXPECT_EQ(stats.tenants[0].admitted, 3u);
+  EXPECT_EQ(stats.tenants[0].rejected, 0u);
 }
 
 // --- Deadlines ----------------------------------------------------------
@@ -316,11 +535,9 @@ TEST(AsyncServerTest, OverflowRejectsWithResourceExhausted) {
 TEST(AsyncServerTest, ExpiredInQueueGetsDeadlineExceededAtDequeue) {
   ServingStack s;
   AsyncRetrievalServer server(&s.mono);
-  SubmitOptions so;
-  so.k = 1;
-  so.p = 5;
-  so.deadline = ServerClock::now() - 1ms;  // Already dead on arrival.
-  auto f = server.Submit(s.QueryDx(s.query_ids[0]), so);
+  RetrievalOptions ro(1, 5);
+  ro.deadline = RetrievalClock::now() - 1ms;  // Already dead on arrival.
+  auto f = server.Submit({s.QueryDx(s.query_ids[0]), ro});
   const auto& got = f.Get();
   ASSERT_FALSE(got.ok());
   EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
@@ -328,6 +545,7 @@ TEST(AsyncServerTest, ExpiredInQueueGetsDeadlineExceededAtDequeue) {
             std::string::npos);
   server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
   EXPECT_EQ(server.stats().expired, 1u);
+  EXPECT_EQ(server.stats().lanes[1].expired, 1u);  // kNormal lane.
   EXPECT_EQ(server.stats().completed, 0u);
 }
 
@@ -340,10 +558,8 @@ TEST(AsyncServerTest, ExpiredInDispatchGetsDeadlineExceededBeforeRefine) {
   AsyncRetrievalServer server(&s.mono, options);
 
   WorkerGate gate;
-  SubmitOptions slow;
-  slow.k = 1;
-  slow.p = 5;
-  auto gated = server.Submit(gate.Gated(s.QueryDx(s.query_ids[0])), slow);
+  RetrievalOptions slow(1, 5);
+  auto gated = server.Submit({gate.Gated(s.QueryDx(s.query_ids[0])), slow});
   // Wait until the worker is actually inside the backend, so the next
   // request clears the dequeue-time check quickly and then outlives its
   // deadline in the dispatch pipeline behind the pinned worker.
@@ -353,11 +569,9 @@ TEST(AsyncServerTest, ExpiredInDispatchGetsDeadlineExceededBeforeRefine) {
   // and dequeues in microseconds, so 200ms cannot expire at the dequeue
   // check; the worker stays pinned for 450ms, so the deadline has
   // certainly passed by the pre-refine check.
-  SubmitOptions tight;
-  tight.k = 1;
-  tight.p = 5;
-  tight.deadline = SubmitOptions::DeadlineIn(200ms);
-  auto doomed = server.Submit(s.QueryDx(s.query_ids[1]), tight);
+  RetrievalOptions tight(1, 5);
+  tight.deadline = RetrievalOptions::DeadlineIn(200ms);
+  auto doomed = server.Submit({s.QueryDx(s.query_ids[1]), tight});
   std::this_thread::sleep_for(450ms);  // Deadline passes while pipelined.
   gate.Release();
 
@@ -381,12 +595,10 @@ TEST(AsyncServerTest, BatchingWindowCoalescesABurst) {
   // to cover the submission loop, not add latency.
   options.max_batch_delay = 250ms;
   AsyncRetrievalServer server(&s.mono, options);
-  SubmitOptions so;
-  so.k = 1;
-  so.p = 5;
-  std::vector<Future<StatusOr<RetrievalResult>>> futures;
+  RetrievalOptions ro(1, 5);
+  std::vector<Future<StatusOr<RetrievalResponse>>> futures;
   for (size_t i = 0; i < 5; ++i) {
-    futures.push_back(server.Submit(s.QueryDx(s.query_ids[i]), so));
+    futures.push_back(server.Submit({s.QueryDx(s.query_ids[i]), ro}));
   }
   for (const auto& f : futures) EXPECT_TRUE(f.Get().ok());
   server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
@@ -410,23 +622,23 @@ TEST(AsyncServerTest, GreedyBatchingGrowsUnderBacklogOnly) {
   options.queue_capacity = 64;
   AsyncRetrievalServer server(&s.mono, options);
 
-  SubmitOptions so;
-  so.k = 1;
-  so.p = 5;
+  RetrievalOptions ro(1, 5);
   // Idle phase: one at a time, waiting each out.
   for (size_t i = 0; i < 3; ++i) {
-    ASSERT_TRUE(server.Retrieve(s.QueryDx(s.query_ids[0]), 1, 5).ok());
+    ASSERT_TRUE(
+        server.Retrieve({s.QueryDx(s.query_ids[0]), RetrievalOptions(1, 5)})
+            .ok());
   }
   ServerStats idle = server.stats();
   EXPECT_EQ(idle.batch_size_histogram[0], 3u) << "idle => singleton batches";
 
   // Backlog phase: pin the worker, pile up a burst, release.
   WorkerGate gate;
-  auto gated = server.Submit(gate.Gated(s.QueryDx(s.query_ids[0])), so);
+  auto gated = server.Submit({gate.Gated(s.QueryDx(s.query_ids[0])), ro});
   while (gate.entered.load() == 0) std::this_thread::sleep_for(1ms);
-  std::vector<Future<StatusOr<RetrievalResult>>> burst;
+  std::vector<Future<StatusOr<RetrievalResponse>>> burst;
   for (size_t i = 0; i < 12; ++i) {
-    burst.push_back(server.Submit(s.QueryDx(s.query_ids[1]), so));
+    burst.push_back(server.Submit({s.QueryDx(s.query_ids[1]), ro}));
   }
   std::this_thread::sleep_for(20ms);  // Burst settles behind the worker.
   gate.Release();
@@ -454,12 +666,10 @@ TEST(AsyncServerTest, DrainCompletesEverythingThenRejectsNewWork) {
   AsyncServerOptions options;
   options.max_batch = 4;
   AsyncRetrievalServer server(&s.mono, options);
-  SubmitOptions so;
-  so.k = 2;
-  so.p = 10;
-  std::vector<Future<StatusOr<RetrievalResult>>> futures;
+  RetrievalOptions ro(2, 10);
+  std::vector<Future<StatusOr<RetrievalResponse>>> futures;
   for (size_t query_id : s.query_ids) {
-    futures.push_back(server.Submit(s.QueryDx(query_id), so));
+    futures.push_back(server.Submit({s.QueryDx(query_id), ro}));
   }
   server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
   for (const auto& f : futures) {
@@ -470,7 +680,7 @@ TEST(AsyncServerTest, DrainCompletesEverythingThenRejectsNewWork) {
   EXPECT_EQ(stats.completed, futures.size());
   EXPECT_EQ(stats.queue_depth, 0u);
 
-  auto late = server.Submit(s.QueryDx(s.query_ids[0]), so);
+  auto late = server.Submit({s.QueryDx(s.query_ids[0]), ro});
   ASSERT_TRUE(late.ready());
   EXPECT_EQ(late.Get().status().code(), StatusCode::kFailedPrecondition);
 }
@@ -484,14 +694,12 @@ TEST(AsyncServerTest, CancelAnswersQueuedWorkWithoutExecutingIt) {
   AsyncRetrievalServer server(&s.mono, options);
 
   WorkerGate gate;
-  SubmitOptions so;
-  so.k = 1;
-  so.p = 5;
-  auto in_flight = server.Submit(gate.Gated(s.QueryDx(s.query_ids[0])), so);
+  RetrievalOptions ro(1, 5);
+  auto in_flight = server.Submit({gate.Gated(s.QueryDx(s.query_ids[0])), ro});
   while (gate.entered.load() == 0) std::this_thread::sleep_for(1ms);
-  std::vector<Future<StatusOr<RetrievalResult>>> queued;
+  std::vector<Future<StatusOr<RetrievalResponse>>> queued;
   for (size_t i = 0; i < 8; ++i) {
-    queued.push_back(server.Submit(s.QueryDx(s.query_ids[1]), so));
+    queued.push_back(server.Submit({s.QueryDx(s.query_ids[1]), ro}));
   }
 
   std::thread shutdown(
@@ -515,13 +723,11 @@ TEST(AsyncServerTest, CancelAnswersQueuedWorkWithoutExecutingIt) {
 
 TEST(AsyncServerTest, DestructorDrains) {
   ServingStack s;
-  Future<StatusOr<RetrievalResult>> future;
+  Future<StatusOr<RetrievalResponse>> future;
   {
     AsyncRetrievalServer server(&s.mono);
-    SubmitOptions so;
-    so.k = 1;
-    so.p = 5;
-    future = server.Submit(s.QueryDx(s.query_ids[0]), so);
+    future =
+        server.Submit({s.QueryDx(s.query_ids[0]), RetrievalOptions(1, 5)});
   }
   ASSERT_TRUE(future.ready());
   EXPECT_TRUE(future.Get().ok());
@@ -538,7 +744,8 @@ TEST(AsyncServerTest, BackendErrorsPropagateAsCompleted) {
   shard_options.num_shards = 2;
   ShardedRetrievalEngine empty(&s.model, &s.scorer, shard_options);
   AsyncRetrievalServer server(&empty);
-  auto got = server.Retrieve(s.QueryDx(s.query_ids[0]), 1, 5);
+  auto got =
+      server.Retrieve({s.QueryDx(s.query_ids[0]), RetrievalOptions(1, 5)});
   ASSERT_FALSE(got.ok());
   EXPECT_EQ(got.status().code(), StatusCode::kFailedPrecondition);
   server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
@@ -551,21 +758,17 @@ TEST(AsyncServerTest, StatsInvariantsHoldAfterMixedTraffic) {
   options.queue_capacity = 16;  // Roomy: only the invalid submit rejects.
   options.max_batch = 2;
   AsyncRetrievalServer server(&s.mono, options);
-  SubmitOptions ok;
-  ok.k = 1;
-  ok.p = 5;
-  SubmitOptions dead = ok;
-  dead.deadline = ServerClock::now() - 1ms;
-  SubmitOptions invalid;
-  invalid.k = 0;
-  invalid.p = 5;
+  RetrievalOptions ok(1, 5);
+  RetrievalOptions dead = ok;
+  dead.deadline = RetrievalClock::now() - 1ms;
+  RetrievalOptions invalid(0, 5);
 
-  std::vector<Future<StatusOr<RetrievalResult>>> futures;
+  std::vector<Future<StatusOr<RetrievalResponse>>> futures;
   for (size_t i = 0; i < 6; ++i) {
-    futures.push_back(server.Submit(s.QueryDx(s.query_ids[i % 4]),
-                                    i % 3 == 2 ? dead : ok));
+    futures.push_back(server.Submit(
+        {s.QueryDx(s.query_ids[i % 4]), i % 3 == 2 ? dead : ok}));
   }
-  futures.push_back(server.Submit(s.QueryDx(s.query_ids[0]), invalid));
+  futures.push_back(server.Submit({s.QueryDx(s.query_ids[0]), invalid}));
   for (const auto& f : futures) f.Wait();
   server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
 
@@ -573,10 +776,16 @@ TEST(AsyncServerTest, StatsInvariantsHoldAfterMixedTraffic) {
   EXPECT_EQ(stats.submitted, futures.size());
   EXPECT_EQ(stats.submitted, stats.admitted + stats.rejected);
   EXPECT_EQ(stats.admitted,
-            stats.completed + stats.expired + stats.cancelled);
+            stats.completed + stats.expired + stats.cancelled + stats.shed);
   EXPECT_EQ(stats.rejected, 1u);   // The invalid submit.
   EXPECT_EQ(stats.expired, 2u);    // i = 2 and i = 5.
   EXPECT_EQ(stats.queue_depth, 0u);
+  // The lane breakdown tiles the global counters (all traffic kNormal).
+  EXPECT_EQ(stats.lanes[1].submitted, futures.size() - 1);
+  EXPECT_EQ(stats.lanes[1].expired, 2u);
+  EXPECT_EQ(stats.lanes[1].completed, stats.completed);
+  EXPECT_EQ(stats.lanes[0].submitted, 0u);
+  EXPECT_EQ(stats.lanes[2].submitted, 0u);
 }
 
 }  // namespace

@@ -98,10 +98,11 @@ TEST(FilterRefineTest, FullCandidateSetIsExact) {
   Pipeline p = MakePipeline(11);
   QseEmbedderAdapter adapter(&p.model);
   QuerySensitiveScorer scorer(&p.model);
-  FilterRefineRetriever retriever(&adapter, &scorer, &p.db, p.db_ids);
+  RetrievalEngine retriever(&adapter, &scorer, &p.db, p.db_ids);
   for (size_t query_id = 70; query_id < 75; ++query_id) {
     auto dx = [&](size_t id) { return p.oracle.Distance(query_id, id); };
-    auto result = retriever.Retrieve(dx, 5, p.db_ids.size());
+    auto result =
+        retriever.Retrieve({dx, RetrievalOptions(5, p.db_ids.size())});
     ASSERT_TRUE(result.ok()) << result.status();
     auto exact = ExactKnn(p.oracle, query_id, p.db_ids, 5);
     ASSERT_EQ(result->neighbors.size(), 5u);
@@ -116,9 +117,9 @@ TEST(FilterRefineTest, CostAccounting) {
   Pipeline p = MakePipeline(12);
   QseEmbedderAdapter adapter(&p.model);
   QuerySensitiveScorer scorer(&p.model);
-  FilterRefineRetriever retriever(&adapter, &scorer, &p.db, p.db_ids);
+  RetrievalEngine retriever(&adapter, &scorer, &p.db, p.db_ids);
   auto dx = [&](size_t id) { return p.oracle.Distance(70, id); };
-  auto result = retriever.Retrieve(dx, 3, 17);
+  auto result = retriever.Retrieve({dx, RetrievalOptions(3, 17)});
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->embedding_distances, p.model.EmbeddingCost());
   EXPECT_EQ(result->exact_distances, result->embedding_distances + 17);
@@ -129,13 +130,13 @@ TEST(FilterRefineTest, LargerPImprovesOrKeepsAccuracy) {
   Pipeline p = MakePipeline(13);
   QseEmbedderAdapter adapter(&p.model);
   QuerySensitiveScorer scorer(&p.model);
-  FilterRefineRetriever retriever(&adapter, &scorer, &p.db, p.db_ids);
+  RetrievalEngine retriever(&adapter, &scorer, &p.db, p.db_ids);
   size_t hits_small = 0, hits_large = 0;
   for (size_t query_id = 65; query_id < 80; ++query_id) {
     auto dx = [&](size_t id) { return p.oracle.Distance(query_id, id); };
     auto exact = ExactKnn(p.oracle, query_id, p.db_ids, 1);
-    auto small = retriever.Retrieve(dx, 1, 3);
-    auto large = retriever.Retrieve(dx, 1, 30);
+    auto small = retriever.Retrieve({dx, RetrievalOptions(1, 3)});
+    auto large = retriever.Retrieve({dx, RetrievalOptions(1, 30)});
     ASSERT_TRUE(small.ok() && large.ok());
     if (!small->neighbors.empty() &&
         small->neighbors[0].index == exact[0].index) {
@@ -150,31 +151,8 @@ TEST(FilterRefineTest, LargerPImprovesOrKeepsAccuracy) {
   EXPECT_GE(hits_large, 13u);  // p = half the db on easy 2D data.
 }
 
-TEST(FilterRefineTest, PZeroIsAnExplicitError) {
-  // A filter that keeps no candidates is a caller bug; it used to be
-  // silently coerced to p = 1, which hid mis-wired parameter plumbing.
-  Pipeline p = MakePipeline(14);
-  QseEmbedderAdapter adapter(&p.model);
-  QuerySensitiveScorer scorer(&p.model);
-  FilterRefineRetriever retriever(&adapter, &scorer, &p.db, p.db_ids);
-  auto dx = [&](size_t id) { return p.oracle.Distance(70, id); };
-  auto result = retriever.Retrieve(dx, 1, 0);
-  ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
-}
-
-TEST(FilterRefineTest, POverDatabaseSizeIsClamped) {
-  Pipeline p = MakePipeline(14);
-  QseEmbedderAdapter adapter(&p.model);
-  QuerySensitiveScorer scorer(&p.model);
-  FilterRefineRetriever retriever(&adapter, &scorer, &p.db, p.db_ids);
-  auto dx = [&](size_t id) { return p.oracle.Distance(70, id); };
-  auto clamped = retriever.Retrieve(dx, 1, p.db_ids.size() * 10);
-  auto full = retriever.Retrieve(dx, 1, p.db_ids.size());
-  ASSERT_TRUE(clamped.ok() && full.ok());
-  EXPECT_EQ(clamped->exact_distances, full->exact_distances);
-  EXPECT_EQ(clamped->neighbors[0].index, full->neighbors[0].index);
-}
+// p = 0 / oversized-p validation for this pipeline lives in the
+// cross-surface parameterized suite: tests/request_validation_test.cc.
 
 TEST(ScorerTest, L2ScorerMatchesSquaredEuclidean) {
   EmbeddedDatabase db = EmbeddedDatabase::FromRows({{0, 0}, {1, 1}, {3, 4}});
@@ -216,12 +194,12 @@ TEST(FilterRefineTest, FastMapPipelineWorksToo) {
   FastMapModel model = BuildFastMap(oracle, db_ids, options);
   EmbeddedDatabase db = EmbedDatabase(model, oracle, db_ids);
   L2Scorer scorer;
-  FilterRefineRetriever retriever(&model, &scorer, &db, db_ids);
+  RetrievalEngine retriever(&model, &scorer, &db, db_ids);
   size_t hits = 0;
   for (size_t query_id = 50; query_id < 60; ++query_id) {
     auto dx = [&](size_t id) { return oracle.Distance(query_id, id); };
     auto exact = ExactKnn(oracle, query_id, db_ids, 1);
-    auto result = retriever.Retrieve(dx, 1, 10);
+    auto result = retriever.Retrieve({dx, RetrievalOptions(1, 10)});
     ASSERT_TRUE(result.ok()) << result.status();
     if (result->neighbors[0].index == exact[0].index) ++hits;
   }

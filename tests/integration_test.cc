@@ -117,7 +117,7 @@ TEST(IntegrationTest, EndToEndRetrievalFindsTrueNeighborsCheaply) {
   QseEmbedderAdapter adapter(&model);
   QuerySensitiveScorer scorer(&model);
   EmbeddedDatabase db = EmbedDatabase(adapter, w.oracle, w.db_ids);
-  FilterRefineRetriever retriever(&adapter, &scorer, &db, w.db_ids);
+  RetrievalEngine retriever(&adapter, &scorer, &db, w.db_ids);
 
   size_t hits = 0;
   size_t total_cost = 0;
@@ -125,7 +125,7 @@ TEST(IntegrationTest, EndToEndRetrievalFindsTrueNeighborsCheaply) {
   for (size_t qi = 0; qi < w.query_ids.size(); ++qi) {
     size_t query_id = w.query_ids[qi];
     auto dx = [&](size_t id) { return w.oracle.Distance(query_id, id); };
-    auto result = retriever.Retrieve(dx, 1, p);
+    auto result = retriever.Retrieve({dx, RetrievalOptions(1, p)});
     ASSERT_TRUE(result.ok()) << result.status();
     total_cost += result->exact_distances;
     if (result->neighbors[0].index == w.gt.knn[qi][0]) ++hits;

@@ -106,10 +106,10 @@ TEST(NonMetricPipelineTest, RetrievalExactWhenPCoversDatabase) {
   QseEmbedderAdapter embedder(&artifacts->model);
   QuerySensitiveScorer scorer(&artifacts->model);
   EmbeddedDatabase db = EmbedDatabase(embedder, b.oracle, b.db_ids);
-  FilterRefineRetriever retriever(&embedder, &scorer, &db, b.db_ids);
+  RetrievalEngine retriever(&embedder, &scorer, &db, b.db_ids);
   for (size_t q : b.query_ids) {
     auto dx = [&](size_t id) { return b.oracle.Distance(q, id); };
-    auto r = retriever.Retrieve(dx, 3, b.db_ids.size());
+    auto r = retriever.Retrieve({dx, RetrievalOptions(3, b.db_ids.size())});
     ASSERT_TRUE(r.ok()) << r.status();
     auto exact = ExactKnn(b.oracle, q, b.db_ids, 3);
     for (size_t i = 0; i < 3; ++i) {

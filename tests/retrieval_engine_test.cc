@@ -136,20 +136,20 @@ void ExpectBatchMatchesSingle(const Stack& s, const Embedder& embedder,
     });
   }
 
-  std::vector<RetrievalResult> singles;
+  std::vector<RetrievalResponse> singles;
   for (const auto& dx : queries) {
-    auto r = engine.Retrieve(dx, k, p);
+    auto r = engine.Retrieve({dx, RetrievalOptions(k, p)});
     ASSERT_TRUE(r.ok()) << r.status();
     singles.push_back(std::move(r).value());
   }
 
   for (size_t threads : {1u, 2u, 4u, 8u}) {
-    auto batch = engine.RetrieveBatch(queries, k, p, threads);
+    auto batch = engine.RetrieveBatch(queries, test::Opts(k, p, threads));
     ASSERT_TRUE(batch.ok()) << batch.status();
     ASSERT_EQ(batch->size(), singles.size());
     for (size_t qi = 0; qi < singles.size(); ++qi) {
-      const RetrievalResult& a = singles[qi];
-      const RetrievalResult& b = (*batch)[qi];
+      const RetrievalResponse& a = singles[qi];
+      const RetrievalResponse& b = (*batch)[qi];
       EXPECT_EQ(a.exact_distances, b.exact_distances)
           << "threads=" << threads << " qi=" << qi;
       EXPECT_EQ(a.embedding_distances, b.embedding_distances);
@@ -195,7 +195,9 @@ TEST(RetrieveBatchParityTest, L1ScorerWithLipschitz) {
   ExpectBatchMatchesSingle(s, model, scorer, 2, 12);
 }
 
-// --- Parameter validation -----------------------------------------------
+// Parameter validation (k = 0, p = 0, empty database, oversized p,
+// invalid priority) lives in the cross-surface parameterized suite:
+// tests/request_validation_test.cc.
 
 struct EngineFixture {
   Stack s = MakeStack(40, 4, 21);
@@ -221,41 +223,6 @@ struct EngineFixture {
     };
   }
 };
-
-TEST(RetrievalEngineTest, PZeroIsInvalidArgument) {
-  EngineFixture f;
-  auto r = f.engine.Retrieve(f.QueryDx(40), 1, 0);
-  ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
-  auto batch = f.engine.RetrieveBatch({f.QueryDx(40)}, 1, 0);
-  ASSERT_FALSE(batch.ok());
-  EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
-}
-
-TEST(RetrievalEngineTest, KZeroIsInvalidArgument) {
-  EngineFixture f;
-  auto r = f.engine.Retrieve(f.QueryDx(40), 0, 5);
-  ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
-}
-
-TEST(RetrievalEngineTest, PClampedToDatabaseSize) {
-  EngineFixture f;
-  auto huge = f.engine.Retrieve(f.QueryDx(41), 1, 1000000);
-  auto full = f.engine.Retrieve(f.QueryDx(41), 1, f.engine.size());
-  ASSERT_TRUE(huge.ok() && full.ok());
-  EXPECT_EQ(huge->exact_distances, full->exact_distances);
-  EXPECT_EQ(huge->neighbors[0].index, full->neighbors[0].index);
-}
-
-TEST(RetrievalEngineTest, EmptyDatabaseIsFailedPrecondition) {
-  EngineFixture f;
-  EmbeddedDatabase empty(f.db.dims());
-  RetrievalEngine engine(&f.model, &f.scorer, &empty, {});
-  auto r = engine.Retrieve(f.QueryDx(40), 1, 5);
-  ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
-}
 
 // --- Incremental Insert / Remove ----------------------------------------
 
@@ -289,8 +256,8 @@ TEST(RetrievalEngineTest, InsertMatchesOfflineEmbedding) {
 
   // Retrieval over the grown engine equals exact k-NN at p = n.
   auto r = engine.Retrieve(
-      [&](size_t id) { return s.oracle.Distance(42, id); }, 3,
-      engine.size());
+      {[&](size_t id) { return s.oracle.Distance(42, id); },
+       RetrievalOptions(3, engine.size())});
   ASSERT_TRUE(r.ok());
   auto exact = ExactKnn(s.oracle, 42, s.db_ids, 3);
   for (size_t i = 0; i < 3; ++i) {
@@ -339,8 +306,8 @@ TEST(RetrievalEngineTest, RemoveKeepsMappingConsistent) {
   // Retrieval at p = n equals exact k-NN over the surviving ids.
   std::vector<size_t> live_ids = engine.db_ids();
   auto r = engine.Retrieve(
-      [&](size_t id) { return s.oracle.Distance(20, id); }, 1,
-      engine.size());
+      {[&](size_t id) { return s.oracle.Distance(20, id); },
+       RetrievalOptions(1, engine.size())});
   ASSERT_TRUE(r.ok());
   auto exact = ExactKnnExternal(
       [&](size_t id) { return s.oracle.Distance(20, id); }, live_ids, 1);
@@ -401,7 +368,8 @@ TEST(RetrievalEngineTest, RemoveUntilEmptyThenFailsCleanly) {
   EXPECT_TRUE(engine.db_ids().empty());
 
   auto r = engine.Retrieve(
-      [&](size_t id) { return s.oracle.Distance(6, id); }, 1, 1);
+      {[&](size_t id) { return s.oracle.Distance(6, id); },
+       RetrievalOptions(1, 1)});
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
   Status again = engine.Remove(2);

@@ -41,8 +41,8 @@ DxToDatabaseFn QueryDx(const Stack& s, size_t query_id) {
 /// Asserts that a sharded result (neighbor indices = database ids) equals
 /// a monolithic result (neighbor indices = rows) on ids, scores and costs.
 void ExpectSameResult(const RetrievalEngine& mono,
-                      const RetrievalResult& expected,
-                      const RetrievalResult& sharded, const char* context) {
+                      const RetrievalResponse& expected,
+                      const RetrievalResponse& sharded, const char* context) {
   EXPECT_EQ(expected.exact_distances, sharded.exact_distances) << context;
   EXPECT_EQ(expected.embedding_distances, sharded.embedding_distances)
       << context;
@@ -80,8 +80,8 @@ void ExpectShardedMatchesMono(const Stack& s, const Embedder& embedder,
 
       for (size_t p : {size_t{1}, size_t{5}, size_t{20}, s.db_ids.size()}) {
         for (size_t qi = 0; qi < queries.size(); ++qi) {
-          auto want = mono.Retrieve(queries[qi], k, p);
-          auto got = sharded.Retrieve(queries[qi], k, p);
+          auto want = mono.Retrieve({queries[qi], RetrievalOptions(k, p)});
+          auto got = sharded.Retrieve({queries[qi], RetrievalOptions(k, p)});
           ASSERT_TRUE(want.ok() && got.ok());
           std::string context = "S=" + std::to_string(num_shards) +
                                 " threads=" + std::to_string(threads) +
@@ -90,11 +90,11 @@ void ExpectShardedMatchesMono(const Stack& s, const Embedder& embedder,
           ExpectSameResult(mono, *want, *got, context.c_str());
         }
         // Batch parity: each entry bit-identical to its single Retrieve.
-        auto batch = sharded.RetrieveBatch(queries, k, p, threads);
+        auto batch = sharded.RetrieveBatch(queries, test::Opts(k, p, threads));
         ASSERT_TRUE(batch.ok());
         ASSERT_EQ(batch->size(), queries.size());
         for (size_t qi = 0; qi < queries.size(); ++qi) {
-          auto want = mono.Retrieve(queries[qi], k, p);
+          auto want = mono.Retrieve({queries[qi], RetrievalOptions(k, p)});
           ASSERT_TRUE(want.ok());
           ExpectSameResult(mono, *want, (*batch)[qi], "batch");
         }
@@ -147,8 +147,8 @@ TEST(ShardedParityTest, LeastLoadedAssignmentAlsoExact) {
   EXPECT_LE(hi - lo, 1u);
 
   for (size_t p : {1u, 10u, 50u}) {
-    auto want = mono.Retrieve(QueryDx(s, 50), 2, p);
-    auto got = sharded.Retrieve(QueryDx(s, 50), 2, p);
+    auto want = mono.Retrieve({QueryDx(s, 50), RetrievalOptions(2, p)});
+    auto got = sharded.Retrieve({QueryDx(s, 50), RetrievalOptions(2, p)});
     ASSERT_TRUE(want.ok() && got.ok());
     ExpectSameResult(mono, *want, *got, "least-loaded");
   }
@@ -182,8 +182,8 @@ TEST(ShardedParityTest, ExactUnderTiedFilterScores) {
     options.num_shards = num_shards;
     ShardedRetrievalEngine sharded(&embedder, &scorer, db, ids, options);
     for (size_t p : {1u, 3u, 4u, 8u}) {
-      auto want = mono.Retrieve(dx, p, p);
-      auto got = sharded.Retrieve(dx, p, p);
+      auto want = mono.Retrieve({dx, RetrievalOptions(p, p)});
+      auto got = sharded.Retrieve({dx, RetrievalOptions(p, p)});
       ASSERT_TRUE(want.ok() && got.ok());
       std::string context =
           "S=" + std::to_string(num_shards) + " p=" + std::to_string(p);
@@ -234,8 +234,9 @@ TEST(ShardedParityTest, InterleavedInsertRemoveKeepsParity) {
   // though the monolithic engine's row order is now scrambled.
   for (size_t query_id : s.query_ids) {
     for (size_t p : {size_t{1}, size_t{7}, size_t{20}, mono.size()}) {
-      auto want = mono.Retrieve(QueryDx(s, query_id), 3, p);
-      auto got = sharded.Retrieve(QueryDx(s, query_id), 3, p);
+      auto want = mono.Retrieve({QueryDx(s, query_id), RetrievalOptions(3, p)});
+      auto got =
+          sharded.Retrieve({QueryDx(s, query_id), RetrievalOptions(3, p)});
       ASSERT_TRUE(want.ok() && got.ok());
       std::string context =
           "q=" + std::to_string(query_id) + " p=" + std::to_string(p);
@@ -288,27 +289,8 @@ TEST(ShardedRetrievalEngineTest, HashRoutingIsDeterministic) {
   EXPECT_LT(*unseen, a.engine.num_shards());
 }
 
-TEST(ShardedRetrievalEngineTest, ValidationMatchesMonolithicContract) {
-  ShardedFixture f;
-  auto dx = QueryDx(f.s, 40);
-  auto r = f.engine.Retrieve(dx, 0, 5);
-  ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
-  r = f.engine.Retrieve(dx, 1, 0);
-  ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
-  auto batch = f.engine.RetrieveBatch({dx}, 1, 0);
-  ASSERT_FALSE(batch.ok());
-  EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
-
-  // p beyond the database size is clamped, exactly like the monolithic
-  // engine.
-  auto huge = f.engine.Retrieve(dx, 1, 1000000);
-  auto full = f.engine.Retrieve(dx, 1, f.engine.size());
-  ASSERT_TRUE(huge.ok() && full.ok());
-  EXPECT_EQ(huge->exact_distances, full->exact_distances);
-  EXPECT_EQ(huge->neighbors[0].index, full->neighbors[0].index);
-}
+// Option validation and p clamping for both engines live in the
+// cross-surface parameterized suite: tests/request_validation_test.cc.
 
 TEST(ShardedRetrievalEngineTest, EmptyEngineFailsRetrieveAndDrainsEmpty) {
   ShardedFixture f;
@@ -316,7 +298,7 @@ TEST(ShardedRetrievalEngineTest, EmptyEngineFailsRetrieveAndDrainsEmpty) {
   options.num_shards = 3;
   ShardedRetrievalEngine empty(&f.model, &f.scorer, options);
   EXPECT_EQ(empty.size(), 0u);
-  auto r = empty.Retrieve(QueryDx(f.s, 40), 1, 5);
+  auto r = empty.Retrieve({QueryDx(f.s, 40), RetrievalOptions(1, 5)});
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
 
@@ -334,7 +316,7 @@ TEST(ShardedRetrievalEngineTest, EmptyEngineFailsRetrieveAndDrainsEmpty) {
   EXPECT_EQ(empty.size(), 3u);
   for (size_t id : {1u, 2u, 3u}) ASSERT_TRUE(empty.Remove(id).ok());
   EXPECT_EQ(empty.size(), 0u);
-  r = empty.Retrieve(QueryDx(f.s, 40), 1, 5);
+  r = empty.Retrieve({QueryDx(f.s, 40), RetrievalOptions(1, 5)});
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
 }
@@ -351,10 +333,12 @@ TEST(ShardedRetrievalEngineTest, DuplicateInsertAndUnknownRemove) {
 
 TEST(ShardedRetrievalEngineTest, StatsCoverEveryShardAndSumToP) {
   ShardedFixture f;
-  std::vector<ShardScanStats> stats;
   const size_t p = 15;
-  auto r = f.engine.RetrieveWithStats(QueryDx(f.s, 41), 3, p, &stats);
+  RetrievalOptions with_stats(3, p);
+  with_stats.want_stats = true;
+  auto r = f.engine.Retrieve({QueryDx(f.s, 41), with_stats});
   ASSERT_TRUE(r.ok());
+  const std::vector<ShardScanStats>& stats = r->shard_stats;
   ASSERT_EQ(stats.size(), f.engine.num_shards());
   size_t rows = 0, candidates = 0;
   std::vector<size_t> sizes = f.engine.shard_sizes();
@@ -377,7 +361,7 @@ TEST(ShardedRetrievalEngineTest, BackendInterfaceServesBothEngines) {
   ShardedFixture f;
   RetrievalEngine mono(&f.model, &f.scorer, &f.db, f.s.db_ids);
   auto serve = [&](const RetrievalBackend& backend) {
-    auto r = backend.Retrieve(QueryDx(f.s, 42), 3, 10);
+    auto r = backend.Retrieve({QueryDx(f.s, 42), RetrievalOptions(3, 10)});
     EXPECT_TRUE(r.ok());
     std::vector<size_t> ids;
     for (const ScoredIndex& n : r->neighbors) {

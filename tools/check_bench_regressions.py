@@ -138,6 +138,17 @@ RULES = [
         "adaptive micro-batching vs one-request-per-call (p99 tail)",
         "p99",
     ),
+    # Strict-priority admission: under the saturating mixed-priority
+    # burst, completed high-lane requests must see a clearly lower p99
+    # sojourn than the low lane they preempt.  Queueing-order driven, so
+    # the bound holds on any core count.
+    (
+        "SL_Lanes/mono/high",
+        "SL_Lanes/mono/low",
+        0.90,
+        "priority lanes: high-lane p99 under saturation vs low lane",
+        "p99",
+    ),
 ]
 
 
@@ -183,6 +194,15 @@ def main():
             print(msg)
             if args.strict:
                 failures.append(msg)
+            continue
+        if num <= 0 or den <= 0:
+            # A zero metric is a broken benchmark, not a passing ratio —
+            # e.g. a lane that completed nothing emits p99 = 0.  Fail
+            # loudly instead of dividing by zero or silently passing.
+            msg = (f"DEGENERATE  {label}: {metric} of {numerator} = {num}, "
+                   f"{denominator} = {den} (must be > 0)")
+            print(msg)
+            failures.append(msg)
             continue
         ratio = num / den
         status = "FAIL" if ratio > bound else "ok"

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Offline-friendly format gate for the C++ tree.
+
+clang-format is the authoritative style (see .clang-format); CI runs it
+with --dry-run --Werror.  This script enforces the objective subset that
+needs no LLVM install — useful on build boxes without clang-format and
+as a fast pre-commit check:
+
+  * no lines over 80 columns (counted in characters, so UTF-8 prose in
+    comments is not penalized for its byte length)
+  * no tab characters, no trailing whitespace, no CRLF line endings
+  * every file ends with exactly one newline
+
+Usage: check_format.py [file...]   (default: every tracked .h/.cc/.cpp
+under src/, tests/, bench/, examples/ of the repo root containing this
+script)
+
+Exit code 1 when any check fails, listing file:line for each violation.
+"""
+
+import pathlib
+import sys
+
+COLUMN_LIMIT = 80
+EXTENSIONS = {".h", ".cc", ".cpp", ".inc"}
+ROOTS = ["src", "tests", "bench", "examples"]
+
+
+def default_files():
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    files = []
+    for root in ROOTS:
+        for path in sorted((repo / root).rglob("*")):
+            if path.suffix in EXTENSIONS and path.is_file():
+                files.append(path)
+    return files
+
+
+def check_file(path):
+    violations = []
+    data = path.read_bytes()
+    if b"\r" in data:
+        violations.append(f"{path}: CRLF line endings")
+    if data and not data.endswith(b"\n"):
+        violations.append(f"{path}: missing final newline")
+    if data.endswith(b"\n\n"):
+        violations.append(f"{path}: trailing blank line at EOF")
+    text = data.decode("utf-8")
+    formatting_on = True  # Honor clang-format off/on markers (e.g. the
+    # generated golden tables), matching what clang-format itself skips.
+    for i, line in enumerate(text.split("\n")[:-1], start=1):
+        if "clang-format off" in line:
+            formatting_on = False
+        elif "clang-format on" in line:
+            formatting_on = True
+        if "\t" in line:
+            violations.append(f"{path}:{i}: tab character")
+        if line != line.rstrip():
+            violations.append(f"{path}:{i}: trailing whitespace")
+        if formatting_on and len(line) > COLUMN_LIMIT:
+            violations.append(
+                f"{path}:{i}: {len(line)} columns (limit {COLUMN_LIMIT})")
+    return violations
+
+
+def main():
+    files = [pathlib.Path(a) for a in sys.argv[1:]] or default_files()
+    violations = []
+    for path in files:
+        violations.extend(check_file(path))
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"\n{len(violations)} format violation(s)", file=sys.stderr)
+        return 1
+    print(f"{len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
