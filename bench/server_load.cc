@@ -511,6 +511,62 @@ int main(int argc, char** argv) {
   RunPriorityLanes(stack.mono.get(), k, p, stack.queries,
                    std::max<size_t>(requests / 4, 64), &json);
 
+  // Mutation under load: the same closed-loop adaptive configuration as
+  // SL_Closed/mono/async_adaptive, with a background thread removing and
+  // re-inserting database objects through the server at a fixed rate —
+  // the epoch/RCU concurrent-mutation path.  The regression gate
+  // compares this run's p99 against the mutation-free closed loop:
+  // mutation must not blow the query tail.
+  {
+    const auto mutate_interval = std::chrono::microseconds(
+        flags.GetSize("mutate_interval_us", 5000));
+    std::printf("--- mutation under load (mono, adaptive, one remove+insert "
+                "per %lld us) ---\n",
+                static_cast<long long>(mutate_interval.count()));
+    AsyncServerOptions options;
+    options.queue_capacity = 4096;
+    options.max_batch = max_batch;
+    options.num_workers = 1;
+    options.retrieve_threads = 0;
+    AsyncRetrievalServer server(stack.mono.get(), options);
+
+    std::atomic<bool> stop{false};
+    std::atomic<size_t> mutations{0};
+    std::thread mutator([&] {
+      Rng rng(909);
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Remove a random object and re-insert it (re-embedding is
+        // deterministic, so the quiescent content is unchanged; the
+        // interior remove exercises the copy-on-write path).
+        size_t id = rng.Index(n);
+        if (server.Remove(id).ok()) {
+          mutations.fetch_add(1, std::memory_order_relaxed);
+          auto dx = [&stack, id](size_t other) {
+            return id == other ? 0.0 : stack.oracle.Distance(id, other);
+          };
+          Status st = server.Insert(id, dx);
+          QSE_CHECK_MSG(st.ok(), st.ToString());
+          mutations.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(mutate_interval);
+      }
+    });
+    RunResult res = RunClosedLoop(
+        clients, requests, stack.queries, [&](const DxToDatabaseFn& dx) {
+          Future<StatusOr<RetrievalResponse>> f =
+              server.Submit({dx, base_options});
+          const auto& r = f.Get();
+          QSE_CHECK_MSG(r.ok(), r.status().ToString());
+        });
+    stop.store(true, std::memory_order_relaxed);
+    mutator.join();
+    server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+    QSE_CHECK_MSG(stack.mono->size() == n,
+                  "mutation loop did not restore the database");
+    Report("SL_Mutate/mono/async_adaptive", res, &json,
+           {{"mutations", static_cast<double>(mutations.load())}});
+  }
+
   Status s = bench::WriteBenchJson(out, json);
   QSE_CHECK_MSG(s.ok(), s.ToString());
   std::printf("\nwrote %s (%zu benchmark entries)\n", out.c_str(),

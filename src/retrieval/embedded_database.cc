@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
 
 #ifdef __linux__
 #include <sys/mman.h>
@@ -16,19 +15,25 @@ namespace qse {
 namespace {
 /// Buffers below this size are not worth a madvise syscall.
 constexpr size_t kHugePageAdviseBytes = 8u << 20;
-}  // namespace
+/// Smallest row capacity a copy-on-write growth allocates.
+constexpr size_t kMinCapacityRows = 4;
 
-void EmbeddedDatabase::MaybeAdviseHugePages() {
+/// Asks the kernel to back `bytes` at `p` with transparent huge pages
+/// once the buffer is large enough to care (Linux, THP=madvise systems;
+/// no-op elsewhere).  A multi-hundred-MB scan through 4 KiB pages pays a
+/// TLB walk every two rows at d = 256 — measured ~8% of the whole filter
+/// step.  Version buffers never move after allocation, so advising once
+/// at construction covers their lifetime.
+void MaybeAdviseHugePages(const void* p, size_t bytes) {
 #ifdef __linux__
-  if (data_.data() == advised_) return;
-  if (data_.capacity() * sizeof(double) < kHugePageAdviseBytes) return;
+  if (bytes < kHugePageAdviseBytes) return;
   // madvise wants page-aligned addresses; round the buffer inward.  Ask
   // the OS for the page size — arm64 kernels commonly run 16K/64K pages
   // and a hardcoded 4096 would make every madvise fail with EINVAL.
   static const uintptr_t kPage =
       static_cast<uintptr_t>(sysconf(_SC_PAGESIZE));
-  uintptr_t begin = reinterpret_cast<uintptr_t>(data_.data());
-  uintptr_t end = begin + data_.capacity() * sizeof(double);
+  uintptr_t begin = reinterpret_cast<uintptr_t>(p);
+  uintptr_t end = begin + bytes;
   uintptr_t aligned_begin = (begin + kPage - 1) & ~(kPage - 1);
   uintptr_t aligned_end = end & ~(kPage - 1);
   if (aligned_end > aligned_begin) {
@@ -36,74 +41,259 @@ void EmbeddedDatabase::MaybeAdviseHugePages() {
     (void)madvise(reinterpret_cast<void*>(aligned_begin),
                   aligned_end - aligned_begin, MADV_HUGEPAGE);
   }
-  advised_ = data_.data();
+#else
+  (void)p;
+  (void)bytes;
 #endif
 }
+}  // namespace
 
-void EmbeddedDatabase::Reserve(size_t rows) {
-  if (dims_ == 0) return;
-  if (rows * dims_ <= data_.capacity()) return;
-  data_.reserve(rows * dims_);
-  MaybeAdviseHugePages();
+EmbeddedDatabase::Version::Version(size_t dims, size_t capacity)
+    : capacity_rows(capacity) {
+  // Capacity is reserved up front and never exceeded, so data()/ids()
+  // pointers handed to pinned readers stay stable for the version's
+  // whole lifetime.
+  data.reserve(capacity * dims);
+  ids.reserve(capacity);
+}
+
+EmbeddedDatabase::EmbeddedDatabase(size_t dims) : dims_(dims) {
+  current_.store(NewVersion(0), std::memory_order_relaxed);
+}
+
+EmbeddedDatabase::~EmbeddedDatabase() {
+  delete current_.load(std::memory_order_relaxed);
+  // epoch_'s destructor drains retired versions (and checks that no
+  // reader is still pinned).
+}
+
+EmbeddedDatabase::EmbeddedDatabase(const EmbeddedDatabase& other)
+    : dims_(other.dims_) {
+  View view = other.PeekView();
+  Version* v = NewVersion(view.size());
+  v->data.assign(view.data(), view.data() + view.size() * dims_);
+  v->ids.assign(view.ids_, view.ids_ + view.size());
+  v->size.store(view.size(), std::memory_order_relaxed);
+  v->high_water = view.size();
+  current_.store(v, std::memory_order_relaxed);
+  rows_.store(view.size(), std::memory_order_relaxed);
+}
+
+EmbeddedDatabase& EmbeddedDatabase::operator=(const EmbeddedDatabase& other) {
+  if (this == &other) return *this;
+  EmbeddedDatabase copy(other);
+  return *this = std::move(copy);
+}
+
+EmbeddedDatabase::EmbeddedDatabase(EmbeddedDatabase&& other) noexcept
+    : dims_(other.dims_) {
+  current_.store(other.current_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  rows_.store(other.rows_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  // Leave the source valid (and destructible): fresh empty version.
+  // Versions it already retired stay in its own epoch manager.
+  other.current_.store(other.NewVersion(0), std::memory_order_relaxed);
+  other.rows_.store(0, std::memory_order_relaxed);
+}
+
+EmbeddedDatabase& EmbeddedDatabase::operator=(
+    EmbeddedDatabase&& other) noexcept {
+  if (this == &other) return *this;
+  dims_ = other.dims_;
+  PublishAndRetire(other.current_.load(std::memory_order_relaxed));
+  rows_.store(other.rows_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  other.current_.store(other.NewVersion(0), std::memory_order_relaxed);
+  other.rows_.store(0, std::memory_order_relaxed);
+  epoch_.ReclaimDrained();
+  return *this;
+}
+
+EmbeddedDatabase::Snapshot EmbeddedDatabase::snapshot() const {
+  // Pin first, then load: a version observed after the pin cannot be
+  // reclaimed until the guard is released (see EpochManager's protocol
+  // note for why the writer cannot miss this pin and free early).
+  EpochManager::Guard guard = epoch_.Pin();
+  const Version* v = current();
+  size_t rows = v->size.load(std::memory_order_acquire);
+  return Snapshot(View(v->data.data(), v->ids.data(), rows, dims_),
+                  std::move(guard));
+}
+
+EmbeddedDatabase::View EmbeddedDatabase::PeekView() const {
+  const Version* v = current();
+  return View(v->data.data(), v->ids.data(),
+              v->size.load(std::memory_order_acquire), dims_);
+}
+
+EmbeddedDatabase::Version* EmbeddedDatabase::NewVersion(
+    size_t capacity_rows) const {
+  Version* v = new Version(dims_, capacity_rows);
+  MaybeAdviseHugePages(v->data.data(),
+                       capacity_rows * dims_ * sizeof(double));
+  return v;
+}
+
+void EmbeddedDatabase::PublishAndRetire(Version* next) {
+  Version* old = current_.load(std::memory_order_relaxed);
+  current_.store(next, std::memory_order_seq_cst);
+  epoch_.Retire([old] { delete old; });
 }
 
 Vector EmbeddedDatabase::RowVector(size_t i) const {
-  QSE_CHECK(i < size_);
+  QSE_CHECK(i < size());
   const double* r = row(i);
   return Vector(r, r + dims_);
 }
 
+size_t EmbeddedDatabase::id_of(size_t i) const {
+  QSE_CHECK(i < size());
+  return current()->ids[i];
+}
+
+std::vector<size_t> EmbeddedDatabase::ids() const {
+  const Version* v = current();
+  return v->ids;
+}
+
+void EmbeddedDatabase::Reserve(size_t rows) {
+  if (dims_ == 0) return;
+  Version* v = current();
+  if (rows <= v->capacity_rows) return;
+  size_t n = v->size.load(std::memory_order_relaxed);
+  Version* next = NewVersion(rows);
+  next->data.assign(v->data.begin(), v->data.end());
+  next->ids.assign(v->ids.begin(), v->ids.end());
+  next->size.store(n, std::memory_order_relaxed);
+  next->high_water = n;
+  PublishAndRetire(next);
+}
+
 void EmbeddedDatabase::Resize(size_t rows) {
-  // Advise between allocation and first touch: MADV_HUGEPAGE only
-  // affects pages not yet faulted in, and resize's value-initialization
-  // touches everything.
-  if (rows * dims_ > data_.capacity()) {
-    data_.reserve(rows * dims_);
-    MaybeAdviseHugePages();
+  Version* v = current();
+  size_t n = v->size.load(std::memory_order_relaxed);
+  if (rows > v->capacity_rows) {
+    Version* next = NewVersion(rows);
+    next->data.assign(v->data.begin(), v->data.end());
+    next->data.resize(rows * dims_, 0.0);
+    next->ids.assign(v->ids.begin(), v->ids.end());
+    for (size_t i = n; i < rows; ++i) next->ids.push_back(i);
+    next->size.store(rows, std::memory_order_relaxed);
+    next->high_water = rows;
+    PublishAndRetire(next);
+    rows_.store(rows, std::memory_order_release);
+    return;
   }
-  data_.resize(rows * dims_, 0.0);
-  size_ = rows;
+  // Quiescent in-place resize within capacity: shrink, or grow into
+  // slots no pinned reader can be scanning (the API contract).
+  v->data.resize(rows * dims_, 0.0);
+  size_t old_ids = v->ids.size();
+  v->ids.resize(rows);
+  for (size_t i = old_ids; i < rows; ++i) v->ids[i] = i;
+  v->size.store(rows, std::memory_order_release);
+  v->high_water = std::max(v->high_water, rows);
+  rows_.store(rows, std::memory_order_release);
+}
+
+size_t EmbeddedDatabase::Append(const Vector& row, size_t id) {
+  QSE_CHECK_MSG(row.size() == dims_,
+                "row has " << row.size() << " dims, database has " << dims_);
+  return Append(row.data(), id);
 }
 
 size_t EmbeddedDatabase::Append(const Vector& row) {
   QSE_CHECK_MSG(row.size() == dims_,
                 "row has " << row.size() << " dims, database has " << dims_);
-  return Append(row.data());
+  return Append(row.data(), size());
 }
 
 size_t EmbeddedDatabase::Append(const double* row) {
-  // The borrowed row may point into this database's own buffer (e.g.
-  // duplicating a row); growth would invalidate it mid-copy, so in that
-  // case reallocate first — preserving amortized doubling — and rebase
-  // the pointer onto the new buffer.
-  std::less<const double*> lt;
-  bool aliases_self = !data_.empty() && !lt(row, data_.data()) &&
-                      lt(row, data_.data() + data_.size());
-  if (aliases_self && data_.size() + dims_ > data_.capacity()) {
-    size_t offset = static_cast<size_t>(row - data_.data());
-    data_.reserve(std::max(data_.capacity() * 2, data_.size() + dims_));
-    row = data_.data() + offset;
+  return Append(row, size());
+}
+
+size_t EmbeddedDatabase::Append(const double* row, size_t id) {
+  Version* v = current();
+  size_t n = v->size.load(std::memory_order_relaxed);
+  // In-place fast path: the target slot has never been published from
+  // this version (n == high_water) and capacity remains.  A slot below
+  // high_water may still be visible to a reader pinned at the old count
+  // — SwapRemove defers that physical reuse to a fresh version instead
+  // of overwriting under the reader.
+  if (n < v->capacity_rows && n == v->high_water) {
+    v->data.resize((n + 1) * dims_);  // Within capacity: never moves.
+    std::copy(row, row + dims_, v->data.data() + n * dims_);
+    v->ids.push_back(id);
+    // Release: a reader that acquires the grown count sees the whole
+    // row; one that reads the old count ignores the slot entirely.
+    v->size.store(n + 1, std::memory_order_release);
+    v->high_water = n + 1;
+    rows_.store(n + 1, std::memory_order_release);
+    return n;
   }
-  data_.insert(data_.end(), row, row + dims_);
-  MaybeAdviseHugePages();  // Re-advise only after a reallocation.
-  return size_++;
+  // Copy-on-write growth (amortized doubling).  `row` may point into
+  // the current version's own buffer (duplicating a row); that buffer
+  // stays intact until retirement, so the copy below is safe.
+  size_t capacity = std::max(
+      {v->capacity_rows * 2, n + 1, kMinCapacityRows});
+  Version* next = NewVersion(capacity);
+  next->data.resize((n + 1) * dims_);
+  std::copy(v->data.data(), v->data.data() + n * dims_, next->data.data());
+  std::copy(row, row + dims_, next->data.data() + n * dims_);
+  next->ids.assign(v->ids.begin(), v->ids.begin() + n);
+  next->ids.push_back(id);
+  next->size.store(n + 1, std::memory_order_relaxed);
+  next->high_water = n + 1;
+  PublishAndRetire(next);
+  rows_.store(n + 1, std::memory_order_release);
+  return n;
 }
 
 void EmbeddedDatabase::SetRow(size_t i, const Vector& row) {
-  QSE_CHECK(i < size_);
+  QSE_CHECK(i < size());
   QSE_CHECK_MSG(row.size() == dims_,
                 "row has " << row.size() << " dims, database has " << dims_);
   std::copy(row.begin(), row.end(), mutable_row(i));
 }
 
+void EmbeddedDatabase::AssignIds(const std::vector<size_t>& ids) {
+  Version* v = current();
+  QSE_CHECK_MSG(ids.size() == v->size.load(std::memory_order_relaxed),
+                "got " << ids.size() << " ids for " << size() << " rows");
+  std::copy(ids.begin(), ids.end(), v->ids.begin());
+}
+
 size_t EmbeddedDatabase::SwapRemove(size_t i) {
-  QSE_CHECK(i < size_);
-  size_t last = size_ - 1;
-  if (i != last) {
-    std::copy(row(last), row(last) + dims_, mutable_row(i));
+  Version* v = current();
+  size_t n = v->size.load(std::memory_order_relaxed);
+  QSE_CHECK(i < n);
+  size_t last = n - 1;
+  if (i == last) {
+    // Removing the last row moves nothing: shrink the published count
+    // and stop.  The vacated slot stays below high_water, so it is
+    // never rewritten in place while a reader pinned at the old count
+    // could still be scanning it.
+    v->size.store(last, std::memory_order_release);
+    v->data.resize(last * dims_);
+    v->ids.resize(last);
+    rows_.store(last, std::memory_order_release);
+    return last;
   }
-  data_.resize(last * dims_);
-  size_ = last;
+  // Interior removal: copy-on-write with the last row moved into the
+  // gap — same layout an in-place swap would produce, but readers
+  // pinned on the old version keep scanning untouched memory.
+  Version* next = NewVersion(std::max(v->capacity_rows, last));
+  next->data.resize(last * dims_);
+  std::copy(v->data.data(), v->data.data() + last * dims_,
+            next->data.data());
+  std::copy(v->data.data() + last * dims_, v->data.data() + n * dims_,
+            next->data.data() + i * dims_);
+  next->ids.assign(v->ids.begin(), v->ids.begin() + last);
+  next->ids[i] = v->ids[last];
+  next->size.store(last, std::memory_order_relaxed);
+  next->high_water = last;
+  PublishAndRetire(next);
+  rows_.store(last, std::memory_order_release);
   return last;
 }
 

@@ -1,17 +1,19 @@
 #ifndef QSE_RETRIEVAL_EMBEDDED_DATABASE_H_
 #define QSE_RETRIEVAL_EMBEDDED_DATABASE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
 #include "src/distance/distance.h"
+#include "src/util/epoch.h"
 
 namespace qse {
 
 /// The embedded database: one d-dimensional vector per database object, in
-/// db-position order.  Computed once offline (the paper's "offline
-/// preprocessing step, in which we compute and store vector F(x) for every
-/// database object").
+/// db-position order, plus the database id of every row.  Computed once
+/// offline (the paper's "offline preprocessing step, in which we compute
+/// and store vector F(x) for every database object").
 ///
 /// Storage is a single contiguous row-major buffer rather than a
 /// vector-of-vectors: the filter step is a linear scan over all rows, and
@@ -19,78 +21,227 @@ namespace qse {
 /// stream through memory without chasing one heap pointer per row.  Rows
 /// are exposed as raw `const double*` views into the buffer.
 ///
-/// Supports incremental Append/SwapRemove so dynamic datasets (paper
-/// Sec. 7.1: adding an object online costs only its embedding) can grow
-/// and shrink without re-embedding everything.  Mutation is not
-/// thread-safe against concurrent scans.
+/// Concurrency model (epoch/RCU — ROADMAP "concurrent mutation"):
+/// the (rows, ids, row count) triple lives in an atomically published
+/// Version.  Readers take a snapshot() — an epoch-pinned, immutable view —
+/// and scan it without locks while mutations proceed:
+///
+///  * Append writes the new row into a never-published slot of the
+///    current version and then publishes the grown row count, so pinned
+///    readers either see the whole row or none of it.  When capacity is
+///    exhausted (or a freed slot would be reused under a live pin), the
+///    version is copied to a larger buffer and republished.
+///  * SwapRemove of an interior row copy-on-writes a new version with the
+///    last row moved into the gap — it never overwrites a row a pinned
+///    reader may be scanning.  Removing the last row just shrinks the
+///    published count (O(1)); the vacated slot is not reused in place,
+///    so readers pinned at the old count still scan intact data.
+///  * Replaced versions are retired to an EpochManager; their memory is
+///    physically reused only after every reader pinned early enough to
+///    have seen them has unpinned.
+///
+/// Every (version, count) pair a snapshot can observe equals the database
+/// state after some prefix-closed sequence of the applied mutations — a
+/// serializable snapshot — because published rows are immutable and the
+/// count moves only between states that actually existed.
+///
+/// Mutations (Append/SwapRemove) must be serialized by the caller (the
+/// engines hold a mutation mutex) but run concurrently with any number of
+/// snapshot readers.  The quiescent bulk-load API (Resize, SetRow,
+/// mutable_row, AssignIds, data(), row()) additionally requires that no
+/// reader is active, exactly like the pre-epoch contract.
 class EmbeddedDatabase {
  public:
-  EmbeddedDatabase() = default;
-  explicit EmbeddedDatabase(size_t dims) : dims_(dims) {}
+  /// Borrowed, immutable view of one published version.  Valid while the
+  /// originating Snapshot is alive, or — for unpinned peeks via the
+  /// implicit conversion — while the database is quiescent.
+  class View {
+   public:
+    View() = default;
 
-  /// Number of rows (database objects).
-  size_t size() const { return size_; }
+    size_t size() const { return rows_; }
+    size_t dims() const { return dims_; }
+    bool empty() const { return rows_ == 0; }
+    /// The flat buffer, row-major, size() * dims() doubles.
+    const double* data() const { return data_; }
+    /// Row i: dims() contiguous doubles.
+    const double* row(size_t i) const { return data_ + i * dims_; }
+    /// Database id of row i.
+    size_t id_of(size_t i) const { return ids_[i]; }
+
+   private:
+    friend class EmbeddedDatabase;
+    View(const double* data, const size_t* ids, size_t rows, size_t dims)
+        : data_(data), ids_(ids), rows_(rows), dims_(dims) {}
+
+    const double* data_ = nullptr;
+    const size_t* ids_ = nullptr;
+    size_t rows_ = 0;
+    size_t dims_ = 0;
+  };
+
+  /// An epoch-pinned View: the rows, ids and count it exposes stay valid
+  /// and immutable until it is destroyed, whatever mutations land in the
+  /// meantime.  Movable; keep it only as long as the scan needs it —
+  /// retired versions cannot be reclaimed while pins are live.
+  class Snapshot {
+   public:
+    const View& view() const { return view_; }
+    const View* operator->() const { return &view_; }
+
+   private:
+    friend class EmbeddedDatabase;
+    Snapshot(View view, EpochManager::Guard guard)
+        : view_(view), guard_(std::move(guard)) {}
+
+    View view_;
+    EpochManager::Guard guard_;
+  };
+
+  EmbeddedDatabase() : EmbeddedDatabase(0) {}
+  explicit EmbeddedDatabase(size_t dims);
+  ~EmbeddedDatabase();
+
+  /// Copying deep-copies the current version (quiescent operation, used
+  /// by tests to keep a pre-mutation reference).
+  EmbeddedDatabase(const EmbeddedDatabase& other);
+  EmbeddedDatabase& operator=(const EmbeddedDatabase& other);
+  EmbeddedDatabase(EmbeddedDatabase&& other) noexcept;
+  EmbeddedDatabase& operator=(EmbeddedDatabase&& other) noexcept;
+
+  /// Pins the calling context and returns a consistent (rows, ids,
+  /// count) view.  Safe to call concurrently with mutations from any
+  /// thread; the view never changes underneath the caller.
+  Snapshot snapshot() const;
+
+  /// Unpinned peek at the current version, for quiescent callers
+  /// (evaluation drivers, tests, benches) that score a database nobody
+  /// is mutating.
+  operator View() const { return PeekView(); }
+
+  /// Number of rows (database objects).  Safe to read concurrently with
+  /// mutations — the count lives outside the versions, so this never
+  /// touches memory that deferred reclamation could free.  Under
+  /// concurrent mutation it is a momentary value; consistent reads go
+  /// through snapshot().
+  size_t size() const { return rows_.load(std::memory_order_acquire); }
   /// Dimensionality d of every row.
   size_t dims() const { return dims_; }
-  bool empty() const { return size_ == 0; }
+  bool empty() const { return size() == 0; }
 
-  /// Borrowed view of row i: `dims()` contiguous doubles.  Invalidated by
-  /// any mutation.
-  const double* row(size_t i) const { return data_.data() + i * dims_; }
-  double* mutable_row(size_t i) { return data_.data() + i * dims_; }
+  /// Borrowed view of row i of the current version.  Quiescent API:
+  /// invalidated by mutation.
+  const double* row(size_t i) const {
+    return current()->data.data() + i * dims_;
+  }
+  double* mutable_row(size_t i) { return current()->data.data() + i * dims_; }
 
-  /// The whole flat buffer, row-major, size() * dims() doubles.
-  const std::vector<double>& data() const { return data_; }
+  /// The whole flat buffer of the current version, row-major,
+  /// size() * dims() doubles.  Quiescent API.
+  const std::vector<double>& data() const { return current()->data; }
+
+  /// Database id of row i of the current version.
+  size_t id_of(size_t i) const;
+
+  /// Copy of the current version's ids, in row order.
+  std::vector<size_t> ids() const;
 
   /// Copy of row i as an owning Vector (convenience; prefer row() in hot
   /// loops).
   Vector RowVector(size_t i) const;
 
-  /// Pre-allocates capacity for `rows` rows.  No-op on a dimensionless
-  /// database (dims() == 0: rows * 0 doubles is nothing to reserve, and
-  /// advising the kernel about an empty buffer is pointless) and when the
-  /// current capacity already suffices.
+  /// Pre-allocates capacity for `rows` rows (copy-on-write when the
+  /// current version is smaller).  No-op on a dimensionless database
+  /// (dims() == 0) and when the capacity already suffices.
   void Reserve(size_t rows);
 
-  /// Grows/shrinks to `rows` rows; new rows are zero-filled.  Used with
-  /// mutable_row() to fill the database in parallel.
+  /// Grows/shrinks to `rows` rows; new rows are zero-filled with ids
+  /// equal to their row index.  Used with mutable_row() to fill the
+  /// database in parallel.  Quiescent API.
   void Resize(size_t rows);
 
-  /// Appends a row; `row.size()` must equal dims().  Returns the new row's
-  /// index.  O(d) amortized — the incremental insert of the dynamic
-  /// dataset scenario.
+  /// Appends a row under database id `id` (`row.size()` must equal
+  /// dims()).  Returns the new row's index.  O(d) amortized — the
+  /// incremental insert of the dynamic dataset scenario — and safe
+  /// against concurrent pinned readers.
+  size_t Append(const Vector& row, size_t id);
+  /// Appends a row with id defaulting to the new row's index (bulk-load
+  /// call sites that assign real ids later via AssignIds).
   size_t Append(const Vector& row);
 
   /// Appends a borrowed row of dims() contiguous doubles (e.g. a row()
   /// view, even of this database) without materializing a temporary
   /// Vector.
+  size_t Append(const double* row, size_t id);
   size_t Append(const double* row);
 
-  /// Overwrites row i.
+  /// Overwrites row i.  Quiescent API (mutating a published row under a
+  /// live pin would tear a concurrent scan).
   void SetRow(size_t i, const Vector& row);
+
+  /// Installs `ids[i]` as the database id of row i (ids.size() must
+  /// equal size()).  Quiescent API; engines call it at construction.
+  void AssignIds(const std::vector<size_t>& ids);
 
   /// Removes row i in O(d) by moving the last row into slot i and
   /// shrinking.  Returns the former index of the row that now occupies
-  /// slot i (== i when removing the last row, i.e. nothing moved).
-  /// Callers tracking row -> object-id mappings must apply the same swap.
+  /// slot i (== i when removing the last row, i.e. nothing moved — that
+  /// case only shrinks the published count, no copy at all).  Callers
+  /// tracking row -> object-id mappings must apply the same swap; the
+  /// internal id column follows it automatically.  Interior removals
+  /// copy-on-write the version so concurrent pinned readers keep
+  /// scanning the old one.
   size_t SwapRemove(size_t i);
 
+  /// Runs deferred reclamation for versions whose readers have drained.
+  /// Mutations do this opportunistically; call directly to bound memory
+  /// during read-only phases.
+  void ReclaimDrained() const { epoch_.ReclaimDrained(); }
+
+  /// The epoch manager guarding this database's versions (tests).
+  EpochManager& epoch_manager() const { return epoch_; }
+
   /// Builds a flat database from rows-of-vectors (all rows must share one
-  /// dimensionality).  Bridge from AoS call sites and tests.
+  /// dimensionality); row i gets id i.  Bridge from AoS call sites and
+  /// tests.
   static EmbeddedDatabase FromRows(const std::vector<Vector>& rows);
 
  private:
-  /// Asks the kernel to back the buffer with transparent huge pages once
-  /// it is large enough to care (Linux, THP=madvise systems; no-op
-  /// elsewhere).  A multi-hundred-MB scan through 4 KiB pages pays a TLB
-  /// walk every two rows at d = 256 — measured ~8% of the whole filter
-  /// step — so re-advise whenever the buffer moves or grows.
-  void MaybeAdviseHugePages();
+  /// One published generation of the database.  `data`/`ids` never
+  /// reallocate after construction (capacity is fixed), so raw pointers
+  /// handed to readers stay valid for the version's lifetime; `size` is
+  /// the published row count.  `high_water` is the largest row count
+  /// ever published from this version: slots below it may be visible to
+  /// pinned readers and are never rewritten in place.
+  struct Version {
+    Version(size_t dims, size_t capacity_rows);
+
+    std::vector<double> data;  // Row-major, exactly size * dims doubles.
+    std::vector<size_t> ids;   // ids[i] = database id of row i.
+    std::atomic<size_t> size{0};
+    size_t high_water = 0;     // Mutator-only.
+    size_t capacity_rows = 0;
+  };
+
+  Version* current() const {
+    return current_.load(std::memory_order_seq_cst);
+  }
+  View PeekView() const;
+
+  /// Allocates a version and huge-page-advises its buffer when large.
+  Version* NewVersion(size_t capacity_rows) const;
+  /// Publishes `next` and retires the previous version to the epoch
+  /// manager.
+  void PublishAndRetire(Version* next);
 
   size_t dims_ = 0;
-  size_t size_ = 0;
-  std::vector<double> data_;  // Row-major, size_ * dims_ doubles.
-  const double* advised_ = nullptr;  // data_.data() at last madvise.
+  std::atomic<Version*> current_{nullptr};
+  /// Mirror of the current version's published row count, kept outside
+  /// the versions so size()/empty() peeks are safe under concurrent
+  /// mutation (a version pointer chased without a pin could already be
+  /// reclaimed).
+  std::atomic<size_t> rows_{0};
+  mutable EpochManager epoch_;
 };
 
 }  // namespace qse

@@ -26,7 +26,7 @@ constexpr size_t kAbandonBlock = 64;
 /// Score()'s (same lane discipline as the span kernels, see lp.cc), and
 /// BoundedTopK breaks ties by row index exactly like SmallestK.
 template <typename RowScoreFn>
-std::vector<ScoredIndex> TopPScan(const EmbeddedDatabase& db, size_t p,
+std::vector<ScoredIndex> TopPScan(const EmbeddedDatabase::View& db, size_t p,
                                   const RowScoreFn& row_score) {
   const size_t n = db.size();
   const size_t d = db.dims();
@@ -73,9 +73,9 @@ double RowScoreEarlyAbandon(const double* x, size_t d, double threshold,
 
 }  // namespace
 
-std::vector<ScoredIndex> FilterScorer::ScoreTopP(const Vector& embedded_query,
-                                                 const EmbeddedDatabase& db,
-                                                 size_t p) const {
+std::vector<ScoredIndex> FilterScorer::ScoreTopP(
+    const Vector& embedded_query, const EmbeddedDatabase::View& db,
+    size_t p) const {
   std::vector<double> scores;
   Score(embedded_query, db, &scores);
   return SmallestK(scores, p);
@@ -83,7 +83,7 @@ std::vector<ScoredIndex> FilterScorer::ScoreTopP(const Vector& embedded_query,
 
 void QuerySensitiveScorer::ScoreWithWeights(const Vector& weights,
                                             const Vector& embedded_query,
-                                            const EmbeddedDatabase& db,
+                                            const EmbeddedDatabase::View& db,
                                             std::vector<double>* scores) {
   const size_t d = db.dims();
   QSE_CHECK(embedded_query.size() == d);
@@ -95,14 +95,14 @@ void QuerySensitiveScorer::ScoreWithWeights(const Vector& weights,
 }
 
 void QuerySensitiveScorer::Score(const Vector& embedded_query,
-                                 const EmbeddedDatabase& db,
+                                 const EmbeddedDatabase::View& db,
                                  std::vector<double>* scores) const {
   ScoreWithWeights(model_->QueryWeights(embedded_query), embedded_query, db,
                    scores);
 }
 
 std::vector<ScoredIndex> QuerySensitiveScorer::ScoreTopP(
-    const Vector& embedded_query, const EmbeddedDatabase& db,
+    const Vector& embedded_query, const EmbeddedDatabase::View& db,
     size_t p) const {
   Vector weights = model_->QueryWeights(embedded_query);
   const size_t d = db.dims();
@@ -134,7 +134,8 @@ std::vector<ScoredIndex> QuerySensitiveScorer::ScoreTopP(
   });
 }
 
-void L2Scorer::Score(const Vector& embedded_query, const EmbeddedDatabase& db,
+void L2Scorer::Score(const Vector& embedded_query,
+                     const EmbeddedDatabase::View& db,
                      std::vector<double>* scores) const {
   const size_t d = db.dims();
   QSE_CHECK(embedded_query.size() == d);
@@ -145,7 +146,7 @@ void L2Scorer::Score(const Vector& embedded_query, const EmbeddedDatabase& db,
 }
 
 std::vector<ScoredIndex> L2Scorer::ScoreTopP(const Vector& embedded_query,
-                                             const EmbeddedDatabase& db,
+                                             const EmbeddedDatabase::View& db,
                                              size_t p) const {
   QSE_CHECK(embedded_query.size() == db.dims());
   const double* q = embedded_query.data();
@@ -158,7 +159,8 @@ std::vector<ScoredIndex> L2Scorer::ScoreTopP(const Vector& embedded_query,
   });
 }
 
-void L1Scorer::Score(const Vector& embedded_query, const EmbeddedDatabase& db,
+void L1Scorer::Score(const Vector& embedded_query,
+                     const EmbeddedDatabase::View& db,
                      std::vector<double>* scores) const {
   const size_t d = db.dims();
   QSE_CHECK(embedded_query.size() == d);
@@ -169,7 +171,7 @@ void L1Scorer::Score(const Vector& embedded_query, const EmbeddedDatabase& db,
 }
 
 std::vector<ScoredIndex> L1Scorer::ScoreTopP(const Vector& embedded_query,
-                                             const EmbeddedDatabase& db,
+                                             const EmbeddedDatabase::View& db,
                                              size_t p) const {
   QSE_CHECK(embedded_query.size() == db.dims());
   const double* q = embedded_query.data();

@@ -12,6 +12,12 @@ namespace qse {
 /// Scores an embedded query against every database row; the filter step's
 /// ranking function.  Implementations: the query-sensitive D_out for
 /// BoostMap models, plain L2 for FastMap, plain L1 for Lipschitz.
+///
+/// Scorers consume an EmbeddedDatabase::View — an immutable (rows, count)
+/// view of one published database version.  The engines pass their
+/// epoch-pinned snapshot's view so scans stay consistent under concurrent
+/// mutation; quiescent callers (tests, evaluation drivers, benches) can
+/// pass an EmbeddedDatabase directly via its implicit View conversion.
 class FilterScorer {
  public:
   virtual ~FilterScorer() = default;
@@ -20,7 +26,7 @@ class FilterScorer {
   /// similar.  `scores` is resized by the callee.  Used where the full
   /// ranking is needed (the evaluation protocol's required-p statistics).
   virtual void Score(const Vector& embedded_query,
-                     const EmbeddedDatabase& db,
+                     const EmbeddedDatabase::View& db,
                      std::vector<double>* scores) const = 0;
 
   /// The p best rows, ascending by (score, row) — exactly
@@ -34,7 +40,7 @@ class FilterScorer {
   /// The base implementation is the unpruned fallback (full Score +
   /// SmallestK); subclasses override with the fused kernel.
   virtual std::vector<ScoredIndex> ScoreTopP(const Vector& embedded_query,
-                                             const EmbeddedDatabase& db,
+                                             const EmbeddedDatabase::View& db,
                                              size_t p) const;
 };
 
@@ -44,10 +50,10 @@ class QuerySensitiveScorer : public FilterScorer {
  public:
   explicit QuerySensitiveScorer(const QuerySensitiveEmbedding* model)
       : model_(model) {}
-  void Score(const Vector& embedded_query, const EmbeddedDatabase& db,
+  void Score(const Vector& embedded_query, const EmbeddedDatabase::View& db,
              std::vector<double>* scores) const override;
   std::vector<ScoredIndex> ScoreTopP(const Vector& embedded_query,
-                                     const EmbeddedDatabase& db,
+                                     const EmbeddedDatabase::View& db,
                                      size_t p) const override;
 
  private:
@@ -55,7 +61,7 @@ class QuerySensitiveScorer : public FilterScorer {
   /// funnel here so the weights are computed exactly once per query.
   static void ScoreWithWeights(const Vector& weights,
                                const Vector& embedded_query,
-                               const EmbeddedDatabase& db,
+                               const EmbeddedDatabase::View& db,
                                std::vector<double>* scores);
 
   const QuerySensitiveEmbedding* model_;
@@ -65,20 +71,20 @@ class QuerySensitiveScorer : public FilterScorer {
 /// Euclidean distances (monotone in L2, sqrt-free).
 class L2Scorer : public FilterScorer {
  public:
-  void Score(const Vector& embedded_query, const EmbeddedDatabase& db,
+  void Score(const Vector& embedded_query, const EmbeddedDatabase::View& db,
              std::vector<double>* scores) const override;
   std::vector<ScoredIndex> ScoreTopP(const Vector& embedded_query,
-                                     const EmbeddedDatabase& db,
+                                     const EmbeddedDatabase::View& db,
                                      size_t p) const override;
 };
 
 /// Unweighted L1 scorer (Lipschitz embeddings).
 class L1Scorer : public FilterScorer {
  public:
-  void Score(const Vector& embedded_query, const EmbeddedDatabase& db,
+  void Score(const Vector& embedded_query, const EmbeddedDatabase::View& db,
              std::vector<double>* scores) const override;
   std::vector<ScoredIndex> ScoreTopP(const Vector& embedded_query,
-                                     const EmbeddedDatabase& db,
+                                     const EmbeddedDatabase::View& db,
                                      size_t p) const override;
 };
 

@@ -143,8 +143,13 @@ struct RetrievalResponse {
 ///    Retrieve({queries[i], options}), whatever options.num_threads is.
 ///  * Insert fails with InvalidArgument on a duplicate id, Remove with
 ///    NotFound on an unknown one.
-///  * Retrieve/RetrieveBatch are const and safe to call concurrently;
-///    Insert/Remove must not run concurrently with anything else.
+///  * Retrieve/RetrieveBatch are const and safe to call concurrently.
+///    Insert/Remove are serialized internally and may run concurrently
+///    with retrievals: every retrieval serves one epoch-pinned snapshot
+///    of the database, consistent with some serializable prefix of the
+///    applied mutations — it reflects every mutation that completed
+///    before it started, no mutation that started after it finished,
+///    and any subset of the ones in flight while it ran.
 class RetrievalBackend {
  public:
   virtual ~RetrievalBackend() = default;

@@ -11,15 +11,13 @@ RetrievalEngine::RetrievalEngine(const Embedder* embedder,
                                  const FilterScorer* scorer,
                                  EmbeddedDatabase* db,
                                  std::vector<size_t> db_ids)
-    : embedder_(embedder),
-      scorer_(scorer),
-      db_(db),
-      db_ids_(std::move(db_ids)) {
-  QSE_CHECK(db_->size() == db_ids_.size());
-  row_of_.reserve(db_ids_.size());
-  for (size_t row = 0; row < db_ids_.size(); ++row) {
-    bool inserted = row_of_.emplace(db_ids_[row], row).second;
-    QSE_CHECK_MSG(inserted, "duplicate database id " << db_ids_[row]);
+    : embedder_(embedder), scorer_(scorer), db_(db) {
+  QSE_CHECK(db_->size() == db_ids.size());
+  db_->AssignIds(db_ids);
+  row_of_.reserve(db_ids.size());
+  for (size_t row = 0; row < db_ids.size(); ++row) {
+    bool inserted = row_of_.emplace(db_ids[row], row).second;
+    QSE_CHECK_MSG(inserted, "duplicate database id " << db_ids[row]);
   }
 }
 
@@ -31,33 +29,47 @@ StatusOr<RetrievalResponse> RetrievalEngine::Retrieve(
 StatusOr<RetrievalResponse> RetrievalEngine::RetrieveOne(
     const DxToDatabaseFn& dx, const RetrievalOptions& options) const {
   QSE_RETURN_IF_ERROR(ValidateRetrievalOptions(options));
+  // Fast-fail on an empty database before spending embedding distances
+  // on `dx` (cheap atomic peek; the pinned snapshot below re-checks
+  // authoritatively under concurrent mutation).
   if (db_->empty()) {
     return Status::FailedPrecondition("embedded database is empty");
   }
-  const size_t k = options.k;
-  const size_t p = std::min(options.p, db_->size());
 
   RetrievalResponse response;
-  // Embedding step.
+  // Embedding step: before the snapshot pin — it only talks to `dx`,
+  // and shorter pins let mutations reclaim retired versions sooner.
   size_t embed_cost = 0;
   Vector fq = embedder_->Embed(dx, &embed_cost);
   response.embedding_distances = embed_cost;
 
+  // Pin one consistent (rows, ids, count) snapshot for the whole query:
+  // filter and refine see the same database state however many
+  // mutations land meanwhile.
+  EmbeddedDatabase::Snapshot snap = db_->snapshot();
+  const EmbeddedDatabase::View& view = snap.view();
+  if (view.empty()) {
+    return Status::FailedPrecondition("embedded database is empty");
+  }
+  const size_t k = options.k;
+  const size_t p = std::min(options.p, view.size());
+
   // Filter step: one streaming early-abandon scan keeping the top p.
-  std::vector<ScoredIndex> candidates = scorer_->ScoreTopP(fq, *db_, p);
+  std::vector<ScoredIndex> candidates = scorer_->ScoreTopP(fq, view, p);
 
   // The monolithic engine is one pseudo-shard: every row scanned, every
   // candidate contributed — the same shape the sharded engine reports,
   // so stats consumers need no backend-specific cases.
   if (options.want_stats) {
-    response.shard_stats = {{db_->size(), candidates.size()}};
+    response.shard_stats = {{view.size(), candidates.size()}};
   }
 
-  // Refine step: exact distances on the p candidates only.
+  // Refine step: exact distances on the p candidates only, resolving
+  // rows to database ids through the pinned snapshot's id column.
   std::vector<ScoredIndex> refined;
   refined.reserve(candidates.size());
   for (const ScoredIndex& c : candidates) {
-    refined.push_back({c.index, dx(db_ids_[c.index])});
+    refined.push_back({c.index, dx(view.id_of(c.index))});
   }
   std::sort(refined.begin(), refined.end());
   if (refined.size() > k) refined.resize(k);
@@ -77,22 +89,31 @@ StatusOr<std::vector<RetrievalResponse>> RetrievalEngine::RetrieveBatch(
   }
 
   std::vector<RetrievalResponse> results(queries.size());
+  // Parameters were validated above, but a concurrent mutation stream
+  // can still empty the database mid-batch; collect the first such
+  // failure and fail the batch honestly instead of crashing.
+  std::mutex error_mu;
+  Status first_error = Status::OK();
   // Grain 2: one item is a whole filter-and-refine retrieval, expensive
   // enough to parallelize even a handful of queries.
   ParallelForGrain(
       0, queries.size(), 2,
       [&](size_t i) {
         StatusOr<RetrievalResponse> r = RetrieveOne(queries[i], options);
-        // Parameters were validated above; a failure here would be a
-        // programming error, not caller input.
-        QSE_CHECK_MSG(r.ok(), r.status().ToString());
+        if (!r.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = r.status();
+          return;
+        }
         results[i] = std::move(r).value();
       },
       options.num_threads);
+  QSE_RETURN_IF_ERROR(first_error);
   return results;
 }
 
 Status RetrievalEngine::Insert(size_t db_id, const DxToDatabaseFn& dx) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
   if (row_of_.count(db_id) != 0) {
     return Status::InvalidArgument("database id already present: " +
                                    std::to_string(db_id));
@@ -104,13 +125,13 @@ Status RetrievalEngine::Insert(size_t db_id, const DxToDatabaseFn& dx) {
                             " dims, database holds " +
                             std::to_string(db_->dims()));
   }
-  size_t row = db_->Append(embedded);
-  db_ids_.push_back(db_id);
+  size_t row = db_->Append(embedded, db_id);
   row_of_.emplace(db_id, row);
   return Status::OK();
 }
 
 Status RetrievalEngine::Remove(size_t db_id) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
   auto it = row_of_.find(db_id);
   if (it == row_of_.end()) {
     return Status::NotFound("database id not present: " +
@@ -120,12 +141,10 @@ Status RetrievalEngine::Remove(size_t db_id) {
   row_of_.erase(it);
   size_t moved_from = db_->SwapRemove(row);
   if (moved_from != row) {
-    // The former last row now lives at `row`; update both mappings.
-    size_t moved_id = db_ids_[moved_from];
-    db_ids_[row] = moved_id;
-    row_of_[moved_id] = row;
+    // The former last row now lives at `row`; the database already
+    // swapped its id column, so read the moved id back from it.
+    row_of_[db_->id_of(row)] = row;
   }
-  db_ids_.pop_back();
   return Status::OK();
 }
 

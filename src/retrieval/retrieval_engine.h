@@ -1,6 +1,7 @@
 #ifndef QSE_RETRIEVAL_RETRIEVAL_ENGINE_H_
 #define QSE_RETRIEVAL_RETRIEVAL_ENGINE_H_
 
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -20,20 +21,27 @@ namespace qse {
 ///
 /// Also owns the row <-> database-id bookkeeping needed for dynamic
 /// datasets (Sec. 7.1): Insert embeds and appends a new object in O(d)
-/// exact distances, Remove drops one in O(d) memory traffic.
+/// exact distances, Remove drops one via the database's swap-with-last.
 ///
 /// Thread-safety: Retrieve/RetrieveBatch are const and safe to call
-/// concurrently as long as the embedder, scorer and `dx` callbacks are;
-/// Insert/Remove must not run concurrently with anything else.
+/// concurrently as long as the embedder, scorer and `dx` callbacks are.
+/// Insert/Remove are serialized internally and may run concurrently with
+/// retrievals: each retrieval pins one epoch snapshot of the database
+/// (rows + ids + count) and serves it consistently, while mutations
+/// publish new versions the next retrieval picks up.  A retrieval
+/// observes every mutation that completed before it started, never one
+/// that started after it finished, and any subset of concurrent ones.
 class RetrievalEngine : public RetrievalBackend {
  public:
   /// Does not own its arguments; `db_ids[i]` is the database id of row i
-  /// of `db`.  The engine mutates `db` only through Insert/Remove.
+  /// of `db` (installed into the database's id column).  The engine
+  /// mutates `db` only through Insert/Remove.
   RetrievalEngine(const Embedder* embedder, const FilterScorer* scorer,
                   EmbeddedDatabase* db, std::vector<size_t> db_ids);
 
   /// Retrieves the k best matches among the top-p filter candidates;
-  /// neighbor indices are db positions (rows of the embedded database).
+  /// neighbor indices are db positions (rows of the snapshot served,
+  /// which is the current layout once the engine is quiescent).
   ///
   /// Options are validated by ValidateRetrievalOptions; an empty
   /// database is FailedPrecondition.  p is clamped to the database size
@@ -52,20 +60,23 @@ class RetrievalEngine : public RetrievalBackend {
 
   /// Embeds a new object (<= 2d exact distances via `dx`) and appends it
   /// to the database under `db_id`.  Fails with InvalidArgument when the
-  /// id is already present.
+  /// id is already present.  Safe concurrently with retrievals.
   Status Insert(size_t db_id, const DxToDatabaseFn& dx) override;
 
-  /// Removes the object with id `db_id` (swap-with-last, O(d)).  Row
-  /// positions of the swapped row change; neighbors are always reported
-  /// against the current layout.  Fails with NotFound for unknown ids.
+  /// Removes the object with id `db_id` (swap-with-last).  Row positions
+  /// of the swapped row change; neighbors are always reported against
+  /// the snapshot a retrieval pinned.  Fails with NotFound for unknown
+  /// ids.  Safe concurrently with retrievals.
   Status Remove(size_t db_id) override;
 
   /// Number of database objects currently live.
   size_t size() const override { return db_->size(); }
 
-  /// Database id of row `row`.
-  size_t db_id_of(size_t row) const override { return db_ids_[row]; }
-  const std::vector<size_t>& db_ids() const { return db_ids_; }
+  /// Database id of row `row` in the current version (quiescent peek;
+  /// concurrent retrievals resolve ids against their own snapshot).
+  size_t db_id_of(size_t row) const override { return db_->id_of(row); }
+  /// Copy of the current row -> id mapping, in row order.
+  std::vector<size_t> db_ids() const { return db_->ids(); }
   const EmbeddedDatabase& db() const { return *db_; }
 
  private:
@@ -78,8 +89,12 @@ class RetrievalEngine : public RetrievalBackend {
   const Embedder* embedder_;
   const FilterScorer* scorer_;
   EmbeddedDatabase* db_;
-  std::vector<size_t> db_ids_;                 // row -> database id
-  std::unordered_map<size_t, size_t> row_of_;  // database id -> row
+  /// Serializes Insert/Remove against each other (retrievals never take
+  /// it — they pin snapshots instead).
+  std::mutex mutation_mu_;
+  /// database id -> row, maintained only under mutation_mu_; readers
+  /// resolve ids through their snapshot's id column instead.
+  std::unordered_map<size_t, size_t> row_of_;
 };
 
 }  // namespace qse

@@ -66,7 +66,30 @@ AsyncRetrievalServer::AsyncRetrievalServer(const RetrievalBackend* backend,
   }
 }
 
+AsyncRetrievalServer::AsyncRetrievalServer(RetrievalBackend* backend,
+                                           AsyncServerOptions options)
+    : AsyncRetrievalServer(static_cast<const RetrievalBackend*>(backend),
+                           std::move(options)) {
+  mutable_backend_ = backend;
+}
+
 AsyncRetrievalServer::~AsyncRetrievalServer() { Shutdown(DrainMode::kDrain); }
+
+Status AsyncRetrievalServer::Insert(size_t db_id, const DxToDatabaseFn& dx) {
+  if (mutable_backend_ == nullptr) {
+    return Status::FailedPrecondition(
+        "server was built over a read-only backend");
+  }
+  return mutable_backend_->Insert(db_id, dx);
+}
+
+Status AsyncRetrievalServer::Remove(size_t db_id) {
+  if (mutable_backend_ == nullptr) {
+    return Status::FailedPrecondition(
+        "server was built over a read-only backend");
+  }
+  return mutable_backend_->Remove(db_id);
+}
 
 Future<StatusOr<RetrievalResponse>> AsyncRetrievalServer::Submit(
     RetrievalRequest request) {

@@ -144,8 +144,12 @@ struct ServerStats {
 ///
 /// Thread-safety: Submit/Retrieve/stats are safe from any thread.
 /// Shutdown is idempotent but must not race itself from two threads.  The
-/// backend must stay alive and unmutated (no Insert/Remove) while the
-/// server is running, matching RetrievalBackend's concurrency contract.
+/// backend must stay alive while the server is running.  Mutation under
+/// serving is supported: a server built over a mutable backend forwards
+/// Insert/Remove to it, and the engines' epoch snapshots keep every
+/// concurrently executing retrieval consistent (RetrievalBackend's
+/// concurrency contract) — Submit traffic keeps flowing while the
+/// database changes.
 class AsyncRetrievalServer {
  public:
   enum class DrainMode {
@@ -155,7 +159,12 @@ class AsyncRetrievalServer {
               ///< still finish normally.
   };
 
+  /// Read-only server: retrieval only, Insert/Remove refused.
   explicit AsyncRetrievalServer(const RetrievalBackend* backend,
+                                AsyncServerOptions options = {});
+  /// Mutable server: additionally forwards Insert/Remove to `backend`
+  /// while Submit traffic keeps being served.
+  explicit AsyncRetrievalServer(RetrievalBackend* backend,
                                 AsyncServerOptions options = {});
   /// Shutdown(kDrain) if still running.
   ~AsyncRetrievalServer();
@@ -172,6 +181,17 @@ class AsyncRetrievalServer {
 
   /// Blocking convenience: Submit + Get.
   StatusOr<RetrievalResponse> Retrieve(RetrievalRequest request);
+
+  /// Inserts a new object into the backing database while the server
+  /// keeps serving: concurrently executing retrievals each observe a
+  /// consistent pre- or post-insert snapshot.  FailedPrecondition when
+  /// the server was built over a read-only backend; otherwise forwards
+  /// the backend's status.  Mutations are serialized by the backend.
+  Status Insert(size_t db_id, const DxToDatabaseFn& dx);
+
+  /// Removes an object while the server keeps serving; same contract as
+  /// Insert.
+  Status Remove(size_t db_id);
 
   /// Stops the server: closes admission, drains or cancels queued work,
   /// joins all threads.  On return every submitted future is ready.
@@ -207,6 +227,9 @@ class AsyncRetrievalServer {
   void CompleteShed(Request* r);
 
   const RetrievalBackend* backend_;
+  /// Non-null iff constructed over a mutable backend; the Insert/Remove
+  /// forwarding target.
+  RetrievalBackend* mutable_backend_ = nullptr;
   AsyncServerOptions options_;
   std::unordered_map<std::string, size_t> tenant_slots_;  // id -> slot
   /// tenant_limits_[slot] — the one place quota shares become slots;

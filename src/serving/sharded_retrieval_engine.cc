@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <unordered_set>
 
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
@@ -75,6 +76,7 @@ ShardedRetrievalEngine::ShardedRetrievalEngine(
         embedder_, scorer_, shards_[s].db.get(),
         std::move(ids_per_shard[s]));
   }
+  total_size_.store(db.size(), std::memory_order_relaxed);
 }
 
 size_t ShardedRetrievalEngine::AssignShard(size_t db_id) const {
@@ -110,35 +112,58 @@ StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
   response.embedding_distances = embed_cost;
 
   // Scatter: each shard's filter step keeps its local top p (the global
-  // top p could in the worst case live entirely in one shard).  Grain 2:
-  // one item is a whole shard scan; a single shard stays serial.
+  // top p could in the worst case live entirely in one shard), over its
+  // own pinned epoch snapshot so a concurrent mutation of the shard
+  // never tears the scan.  Grain 2: one item is a whole shard scan; a
+  // single shard stays serial.
   const size_t num_shards = shards_.size();
   std::vector<std::vector<ScoredIndex>> per_shard(num_shards);
+  std::vector<size_t> rows_scanned(num_shards, 0);
   ParallelForGrain(
       0, num_shards, 2,
       [&](size_t s) {
-        const Shard& shard = shards_[s];
-        if (shard.db->empty()) return;
-        std::vector<ScoredIndex> local = scorer_->ScoreTopP(fq, *shard.db, p);
-        // Translate shard-local rows to database ids, then re-sort: the
-        // shard's (score, row) tie order need not survive the translation,
-        // and the k-way merge requires every list in (score, id) order.
-        for (ScoredIndex& c : local) c.index = shard.engine->db_id_of(c.index);
+        EmbeddedDatabase::Snapshot snap = shards_[s].db->snapshot();
+        const EmbeddedDatabase::View& view = snap.view();
+        if (view.empty()) return;
+        rows_scanned[s] = view.size();
+        std::vector<ScoredIndex> local = scorer_->ScoreTopP(fq, view, p);
+        // Translate shard-local rows to database ids through the same
+        // snapshot, then re-sort: the shard's (score, row) tie order
+        // need not survive the translation, and the k-way merge
+        // requires every list in (score, id) order.
+        for (ScoredIndex& c : local) c.index = view.id_of(c.index);
         std::sort(local.begin(), local.end());
         per_shard[s] = std::move(local);
       },
       scatter_threads);
 
+  // The size() pre-check above is a momentary peek: concurrent removals
+  // can empty every shard before the snapshots pin.  The pinned views
+  // are authoritative — match the monolithic engine's contract.
+  size_t total_rows = 0;
+  for (size_t rows : rows_scanned) total_rows += rows;
+  if (total_rows == 0) {
+    return Status::FailedPrecondition("embedded database is empty");
+  }
+
   // Gather: k-way heap merge down to the global top p.
   std::vector<ScoredIndex> candidates = MergeSortedTopK(per_shard, p);
 
   if (options.want_stats) {
+    // Attribute merged candidates to shards from the per-shard lists
+    // themselves (ids are disjoint across shards), not from the routing
+    // table — the table is mutator state this read path must not touch.
+    std::unordered_set<size_t> merged;
+    merged.reserve(candidates.size());
+    for (const ScoredIndex& c : candidates) merged.insert(c.index);
     response.shard_stats.assign(num_shards, ShardScanStats{});
     for (size_t s = 0; s < num_shards; ++s) {
-      response.shard_stats[s].rows = shards_[s].db->size();
-    }
-    for (const ScoredIndex& c : candidates) {
-      ++response.shard_stats[shard_of_.at(c.index)].candidates;
+      response.shard_stats[s].rows = rows_scanned[s];
+      for (const ScoredIndex& c : per_shard[s]) {
+        if (merged.count(c.index) != 0) {
+          ++response.shard_stats[s].candidates;
+        }
+      }
     }
   }
 
@@ -172,6 +197,10 @@ StatusOr<std::vector<RetrievalResponse>> ShardedRetrievalEngine::RetrieveBatch(
   }
 
   std::vector<RetrievalResponse> results(queries.size());
+  // Concurrent mutation can still empty the engine mid-batch; collect
+  // the first such failure and fail the batch honestly.
+  std::mutex error_mu;
+  Status first_error = Status::OK();
   // Parallelize across queries and scan each query's shards serially
   // (scatter_threads = 1): one level of parallelism, no nested thread
   // fan-out, and per-query results identical to Retrieve's.
@@ -180,14 +209,20 @@ StatusOr<std::vector<RetrievalResponse>> ShardedRetrievalEngine::RetrieveBatch(
       [&](size_t i) {
         StatusOr<RetrievalResponse> r =
             ScatterGather(queries[i], options, /*scatter_threads=*/1);
-        QSE_CHECK_MSG(r.ok(), r.status().ToString());
+        if (!r.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = r.status();
+          return;
+        }
         results[i] = std::move(r).value();
       },
       options.num_threads);
+  QSE_RETURN_IF_ERROR(first_error);
   return results;
 }
 
 Status ShardedRetrievalEngine::Insert(size_t db_id, const DxToDatabaseFn& dx) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
   if (shard_of_.count(db_id) != 0) {
     return Status::InvalidArgument("database id already present: " +
                                    std::to_string(db_id));
@@ -196,10 +231,12 @@ Status ShardedRetrievalEngine::Insert(size_t db_id, const DxToDatabaseFn& dx) {
   Status status = shards_[s].engine->Insert(db_id, dx);
   if (!status.ok()) return status;
   shard_of_.emplace(db_id, s);
+  total_size_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
 Status ShardedRetrievalEngine::Remove(size_t db_id) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
   auto it = shard_of_.find(db_id);
   if (it == shard_of_.end()) {
     return Status::NotFound("database id not present: " +
@@ -208,6 +245,7 @@ Status ShardedRetrievalEngine::Remove(size_t db_id) {
   Status status = shards_[it->second].engine->Remove(db_id);
   if (!status.ok()) return status;
   shard_of_.erase(it);
+  total_size_.fetch_sub(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -219,6 +257,7 @@ std::vector<size_t> ShardedRetrievalEngine::shard_sizes() const {
 }
 
 StatusOr<size_t> ShardedRetrievalEngine::ShardOf(size_t db_id) const {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
   auto it = shard_of_.find(db_id);
   if (it != shard_of_.end()) return it->second;
   if (options_.assignment == ShardAssignment::kHashId) {

@@ -1,7 +1,9 @@
 #ifndef QSE_SERVING_SHARDED_RETRIEVAL_ENGINE_H_
 #define QSE_SERVING_SHARDED_RETRIEVAL_ENGINE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -63,7 +65,12 @@ struct ShardedEngineOptions {
 /// positions are meaningless to callers, so db_id_of() is the identity.
 ///
 /// Thread-safety matches RetrievalEngine: Retrieve/RetrieveBatch are const
-/// and safe concurrently, Insert/Remove must be exclusive.
+/// and safe concurrently; Insert/Remove are serialized internally and may
+/// run concurrently with retrievals.  Each retrieval pins one epoch
+/// snapshot per shard it scans, so per-shard results are each consistent;
+/// a mutation only ever touches one shard, and a retrieval observes every
+/// mutation that completed before it started, never one that started
+/// after it finished, and any subset of concurrent ones.
 class ShardedRetrievalEngine : public RetrievalBackend {
  public:
   /// An empty engine with S empty shards of dimensionality
@@ -92,14 +99,18 @@ class ShardedRetrievalEngine : public RetrievalBackend {
       const RetrievalOptions& options) const override;
 
   /// Embeds the new object once and appends it to the shard chosen by the
-  /// assignment policy.  InvalidArgument on a duplicate id.
+  /// assignment policy.  InvalidArgument on a duplicate id.  Safe
+  /// concurrently with retrievals.
   Status Insert(size_t db_id, const DxToDatabaseFn& dx) override;
 
   /// Removes from whichever shard holds the id.  NotFound when absent.
+  /// Safe concurrently with retrievals.
   Status Remove(size_t db_id) override;
 
   /// Total objects across all shards.
-  size_t size() const override { return shard_of_.size(); }
+  size_t size() const override {
+    return total_size_.load(std::memory_order_acquire);
+  }
 
   /// Sharded results already carry database ids; identity.
   size_t db_id_of(size_t neighbor_index) const override {
@@ -110,6 +121,7 @@ class ShardedRetrievalEngine : public RetrievalBackend {
   /// Current per-shard sizes (the static half of the load picture).
   std::vector<size_t> shard_sizes() const;
   /// Shard an id would route to under kHashId, or currently lives in.
+  /// Serialized with mutations (it reads the routing table).
   StatusOr<size_t> ShardOf(size_t db_id) const;
   const RetrievalEngine& shard(size_t s) const { return *shards_[s].engine; }
 
@@ -135,7 +147,15 @@ class ShardedRetrievalEngine : public RetrievalBackend {
   const FilterScorer* scorer_;
   ShardedEngineOptions options_;
   std::vector<Shard> shards_;
-  std::unordered_map<size_t, size_t> shard_of_;  // database id -> shard
+  /// Serializes Insert/Remove (and ShardOf's routing-table read) against
+  /// each other; retrievals never take it — they pin shard snapshots.
+  mutable std::mutex mutation_mu_;
+  /// database id -> shard, maintained only under mutation_mu_; the
+  /// retrieval path resolves shard attribution from its own per-shard
+  /// candidate lists instead.
+  std::unordered_map<size_t, size_t> shard_of_;
+  /// Total objects across shards; read lock-free by the retrieval path.
+  std::atomic<size_t> total_size_{0};
 };
 
 }  // namespace qse

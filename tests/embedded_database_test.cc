@@ -119,5 +119,93 @@ TEST(EmbeddedDatabaseTest, AppendAfterResizeKeepsData) {
   EXPECT_EQ(db.data(), (std::vector<double>{1, 2, 3, 4}));
 }
 
+// --- Epoch snapshots: what pinned readers observe under mutation --------
+
+TEST(EmbeddedDatabaseTest, SnapshotIsImmuneToAppend) {
+  EmbeddedDatabase db = EmbeddedDatabase::FromRows({{1, 1}, {2, 2}});
+  EmbeddedDatabase::Snapshot snap = db.snapshot();
+  // Append enough to force a copy-on-write reallocation.
+  for (int i = 0; i < 64; ++i) db.Append({9, 9});
+  EXPECT_EQ(snap->size(), 2u);
+  EXPECT_EQ(snap->row(0)[0], 1.0);
+  EXPECT_EQ(snap->row(1)[1], 2.0);
+  EXPECT_EQ(db.size(), 66u);
+  // A fresh snapshot sees the appended state.
+  EXPECT_EQ(db.snapshot()->size(), 66u);
+}
+
+TEST(EmbeddedDatabaseTest, SnapshotIsImmuneToInteriorRemove) {
+  EmbeddedDatabase db =
+      EmbeddedDatabase::FromRows({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  EmbeddedDatabase::Snapshot snap = db.snapshot();
+  db.SwapRemove(1);  // Interior: swaps {3,3} into slot 1 via CoW.
+  // The pinned reader still sees the pre-remove layout, untouched.
+  ASSERT_EQ(snap->size(), 4u);
+  EXPECT_EQ(snap->row(1)[0], 1.0);
+  EXPECT_EQ(snap->row(3)[0], 3.0);
+  // The current state has the swapped layout.
+  EXPECT_EQ(db.RowVector(1), (Vector{3, 3}));
+  EXPECT_EQ(db.size(), 3u);
+}
+
+TEST(EmbeddedDatabaseTest, SwapRemoveLastShortCircuitsWithoutCopy) {
+  EmbeddedDatabase db =
+      EmbeddedDatabase::FromRows({{0, 0}, {1, 1}, {2, 2}});
+  const double* before = db.snapshot()->data();
+  size_t moved_from = db.SwapRemove(2);
+  EXPECT_EQ(moved_from, 2u);  // Nothing moved.
+  // Same buffer republished with a smaller count: the O(1) fast path,
+  // not a copy-on-write (an interior remove would swap buffers).
+  EXPECT_EQ(db.snapshot()->data(), before);
+  EXPECT_EQ(db.size(), 2u);
+  size_t interior = db.SwapRemove(0);
+  EXPECT_EQ(interior, 1u);
+  EXPECT_NE(db.snapshot()->data(), before);
+  EXPECT_EQ(db.RowVector(0), (Vector{1, 1}));
+}
+
+TEST(EmbeddedDatabaseTest, VacatedLastSlotIsNotRewrittenUnderAPin) {
+  EmbeddedDatabase db = EmbeddedDatabase::FromRows({{0, 0}, {1, 1}});
+  db.Reserve(8);  // Plenty of capacity: only the pin forces the copy.
+  EmbeddedDatabase::Snapshot snap = db.snapshot();
+  ASSERT_EQ(snap->size(), 2u);
+  db.SwapRemove(1);      // O(1) shrink; slot 1 still pinned by `snap`.
+  db.Append({7, 7}, 7);  // Would land in slot 1 — must copy instead.
+  // The pinned reader's row 1 is intact...
+  EXPECT_EQ(snap->row(1)[0], 1.0);
+  EXPECT_EQ(snap->row(1)[1], 1.0);
+  // ...and the new state has the fresh row.
+  EXPECT_EQ(db.RowVector(1), (Vector{7, 7}));
+  EXPECT_EQ(db.id_of(1), 7u);
+}
+
+TEST(EmbeddedDatabaseTest, IdColumnFollowsMutations) {
+  EmbeddedDatabase db(1);
+  db.Append({0.5}, 10);
+  db.Append({1.5}, 11);
+  db.Append({2.5}, 12);
+  EXPECT_EQ(db.id_of(0), 10u);
+  EXPECT_EQ(db.id_of(2), 12u);
+  db.SwapRemove(0);  // id 12's row swaps into slot 0.
+  EXPECT_EQ(db.id_of(0), 12u);
+  EXPECT_EQ(db.id_of(1), 11u);
+  EXPECT_EQ(db.ids(), (std::vector<size_t>{12, 11}));
+  EmbeddedDatabase::Snapshot snap = db.snapshot();
+  EXPECT_EQ(snap->id_of(0), 12u);
+  db.AssignIds({20, 21});
+  EXPECT_EQ(db.id_of(0), 20u);
+}
+
+TEST(EmbeddedDatabaseTest, CopyIsDeepAndIndependent) {
+  EmbeddedDatabase db = EmbeddedDatabase::FromRows({{1, 2}, {3, 4}});
+  db.AssignIds({5, 6});
+  EmbeddedDatabase copy = db;
+  db.SwapRemove(0);
+  ASSERT_EQ(copy.size(), 2u);
+  EXPECT_EQ(copy.RowVector(0), (Vector{1, 2}));
+  EXPECT_EQ(copy.id_of(0), 5u);
+  EXPECT_EQ(copy.id_of(1), 6u);
+}
+
 }  // namespace
 }  // namespace qse
