@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/distance/simd/dispatch.h"
 #include "src/distance/weighted_l1.h"
 #include "src/retrieval/filter_refine.h"
 #include "src/serving/sharded_retrieval_engine.h"
@@ -326,6 +327,116 @@ BENCHMARK(BM_RetrieveShardedSingleQuery)
     ->Args({100000, 256, 8})
     ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
+
+// --- Mixed-precision filter scan: the SIMD-dispatch PR's gate. ----------
+//
+// One fixed workload — n = 1M rows, d = 256, top p = 500 — scanned four
+// ways: the seed's scalar float64 path (via the scalar kernel table,
+// which is bit-identical to the pre-dispatch code), the dispatched
+// float64 path, and the float32 / int8 shadow paths.  The CI threshold
+// check (tools/check_bench_regressions.py) gates int8 at >= 3x the
+// scalar seed throughput, and gates each reduced mode's recall counters:
+// recall_at_k = |true top-k  (by exact float64 filter score)  kept by
+// the reduced top-p cut| / k, the only quantity reduced precision can
+// degrade (refine re-scores exactly).
+
+constexpr size_t kPrecN = 1000000;
+constexpr size_t kPrecD = 256;
+constexpr size_t kPrecP = 500;
+
+struct PrecisionFixture {
+  EmbeddedDatabase db;
+  Vector q, w;
+  L2Scorer scorer;
+  // True top-100 rows by exact float64 filter score, ascending.
+  std::vector<ScoredIndex> truth;
+
+  static const PrecisionFixture& Get() {
+    static PrecisionFixture f;
+    return f;
+  }
+
+  PrecisionFixture() : db(MakeSoaDb(kPrecN, kPrecD, 1)) {
+    FillQueryAndWeights(kPrecD, &q, &w);
+    db.EnableFilterShadows(kShadowFloat32 | kShadowInt8);
+    std::vector<double> scores;
+    scorer.Score(q, db, &scores);
+    truth = SmallestK(scores, 100);
+  }
+
+  /// Fraction of the true top-k that survives this candidate cut.
+  double RecallAtK(const std::vector<ScoredIndex>& candidates,
+                   size_t k) const {
+    size_t hit = 0;
+    for (size_t i = 0; i < k; ++i) {
+      for (const ScoredIndex& c : candidates) {
+        if (c.index == truth[i].index) {
+          ++hit;
+          break;
+        }
+      }
+    }
+    return static_cast<double>(hit) / static_cast<double>(k);
+  }
+};
+
+void ReportRecall(benchmark::State& state, const PrecisionFixture& f,
+                  const std::vector<ScoredIndex>& candidates) {
+  state.counters["recall_at_1"] = f.RecallAtK(candidates, 1);
+  state.counters["recall_at_10"] = f.RecallAtK(candidates, 10);
+  state.counters["recall_at_100"] = f.RecallAtK(candidates, 100);
+}
+
+/// The seed's filter scan, reproduced through the scalar kernel table
+/// (bit-identical to the pre-dispatch four-lane code): the denominator
+/// of the PR's speedup gate.
+void BM_FilterScanPrecision_SeedScalar(benchmark::State& state) {
+  const PrecisionFixture& f = PrecisionFixture::Get();
+  const EmbeddedDatabase::View view = f.db;
+  const simd::KernelTable* k = simd::ScalarKernels();
+  std::vector<ScoredIndex> out;
+  for (auto _ : state) {
+    BoundedTopK top(kPrecP);
+    for (size_t i = 0; i < view.size(); ++i) {
+      top.Offer({i, k->l2_f64(f.q.data(), view.row(i), kPrecD,
+                              top.threshold())});
+    }
+    out = top.TakeSortedAscending();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kPrecN));
+  ReportRecall(state, f, out);
+}
+BENCHMARK(BM_FilterScanPrecision_SeedScalar)->Unit(benchmark::kMillisecond);
+
+void RunPrecisionScan(benchmark::State& state, FilterPrecision precision) {
+  const PrecisionFixture& f = PrecisionFixture::Get();
+  const EmbeddedDatabase::View view = f.db;
+  std::vector<ScoredIndex> out;
+  for (auto _ : state) {
+    out = f.scorer.ScoreTopP(f.q, view, kPrecP, precision);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kPrecN));
+  ReportRecall(state, f, out);
+}
+
+void BM_FilterScanPrecision_Exact64(benchmark::State& state) {
+  RunPrecisionScan(state, FilterPrecision::kExact64);
+}
+BENCHMARK(BM_FilterScanPrecision_Exact64)->Unit(benchmark::kMillisecond);
+
+void BM_FilterScanPrecision_Filter32(benchmark::State& state) {
+  RunPrecisionScan(state, FilterPrecision::kFilter32);
+}
+BENCHMARK(BM_FilterScanPrecision_Filter32)->Unit(benchmark::kMillisecond);
+
+void BM_FilterScanPrecision_Filter8(benchmark::State& state) {
+  RunPrecisionScan(state, FilterPrecision::kFilter8);
+}
+BENCHMARK(BM_FilterScanPrecision_Filter8)->Unit(benchmark::kMillisecond);
 
 // --- A_i(q) evaluation cost (unchanged from the seed). ------------------
 

@@ -1,49 +1,30 @@
 #include "src/distance/lp.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
+
+#include "src/distance/simd/dispatch.h"
 
 namespace qse {
 
 // The span kernels accumulate in four independent lanes (i % 4) and
-// combine as (l0 + l1) + (l2 + l3).  A single running sum serializes on
-// the ~4-cycle FP add latency — at d = 256 that is ~1024 stall cycles per
-// row, slower than the memory stream itself; four lanes keep the adders
-// busy and let the compiler use SIMD.  The early-abandon scan
-// (filter_scorer.cc) replicates exactly this lane discipline so its kept
-// scores are bit-identical to these kernels'.
+// combine as (l0 + l1) + (l2 + l3); since the SIMD-dispatch PR they
+// forward to the runtime-selected kernel table, whose every backend
+// (scalar, AVX2, AVX-512) holds exactly that lane discipline — see
+// src/distance/simd/kernels.h for the bit-identity contract.  The
+// early-abandon scan (filter_scorer.cc) uses the same kernels, so kept
+// scores stay bit-identical to these full scans.
 
 double L1DistanceSpan(const double* a, const double* b, size_t n) {
-  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    l0 += std::fabs(a[i] - b[i]);
-    l1 += std::fabs(a[i + 1] - b[i + 1]);
-    l2 += std::fabs(a[i + 2] - b[i + 2]);
-    l3 += std::fabs(a[i + 3] - b[i + 3]);
-  }
-  for (; i < n; ++i) l0 += std::fabs(a[i] - b[i]);
-  return (l0 + l1) + (l2 + l3);
+  return simd::ActiveKernels()->l1_f64(
+      a, b, n, std::numeric_limits<double>::infinity());
 }
 
 double SquaredL2DistanceSpan(const double* a, const double* b, size_t n) {
-  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    double d0 = a[i] - b[i];
-    double d1 = a[i + 1] - b[i + 1];
-    double d2 = a[i + 2] - b[i + 2];
-    double d3 = a[i + 3] - b[i + 3];
-    l0 += d0 * d0;
-    l1 += d1 * d1;
-    l2 += d2 * d2;
-    l3 += d3 * d3;
-  }
-  for (; i < n; ++i) {
-    double d = a[i] - b[i];
-    l0 += d * d;
-  }
-  return (l0 + l1) + (l2 + l3);
+  return simd::ActiveKernels()->l2_f64(
+      a, b, n, std::numeric_limits<double>::infinity());
 }
 
 double L1Distance(const Vector& a, const Vector& b) {
@@ -62,22 +43,41 @@ double L2Distance(const Vector& a, const Vector& b) {
 
 double LInfDistance(const Vector& a, const Vector& b) {
   assert(a.size() == b.size());
-  double worst = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    double d = std::fabs(a[i] - b[i]);
-    if (d > worst) worst = d;
+  // Four-lane discipline like the other kernels.  max carries no
+  // rounding, so lane order cannot change the result — the unroll is
+  // purely to break the serial compare dependence and open the loop to
+  // vectorization.
+  const size_t n = a.size();
+  double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    m0 = std::max(m0, std::fabs(a[i] - b[i]));
+    m1 = std::max(m1, std::fabs(a[i + 1] - b[i + 1]));
+    m2 = std::max(m2, std::fabs(a[i + 2] - b[i + 2]));
+    m3 = std::max(m3, std::fabs(a[i + 3] - b[i + 3]));
   }
-  return worst;
+  for (; i < n; ++i) m0 = std::max(m0, std::fabs(a[i] - b[i]));
+  return std::max(std::max(m0, m1), std::max(m2, m3));
 }
 
 double LpDistance(const Vector& a, const Vector& b, double p) {
   assert(a.size() == b.size());
   assert(p >= 1.0);
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    sum += std::pow(std::fabs(a[i] - b[i]), p);
+  // Four-lane accumulation with the (l0+l1)+(l2+l3) reduction of the
+  // other kernels.  std::pow dominates the cost, but the serial
+  // sum dependence used to stall even that; independent lanes let the
+  // pow calls pipeline.
+  const size_t n = a.size();
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += std::pow(std::fabs(a[i] - b[i]), p);
+    l1 += std::pow(std::fabs(a[i + 1] - b[i + 1]), p);
+    l2 += std::pow(std::fabs(a[i + 2] - b[i + 2]), p);
+    l3 += std::pow(std::fabs(a[i + 3] - b[i + 3]), p);
   }
-  return std::pow(sum, 1.0 / p);
+  for (; i < n; ++i) l0 += std::pow(std::fabs(a[i] - b[i]), p);
+  return std::pow((l0 + l1) + (l2 + l3), 1.0 / p);
 }
 
 }  // namespace qse

@@ -1,0 +1,100 @@
+#include "src/distance/simd/dispatch.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace qse {
+namespace simd {
+namespace {
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx512() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  // Everything the kernels use: foundation plus DQ/BW/VL, the Skylake-SP
+  // baseline every AVX-512 server part ships.
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512dq") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0 &&
+         __builtin_cpu_supports("avx512vl") != 0;
+#else
+  return false;
+#endif
+}
+
+/// Highest tier that is both compiled into this binary and supported by
+/// the running CPU.
+SimdLevel BestAvailableLevel() {
+  if (Avx512Kernels() != nullptr && CpuHasAvx512()) return SimdLevel::kAvx512;
+  if (Avx2Kernels() != nullptr && CpuHasAvx2()) return SimdLevel::kAvx2;
+  return SimdLevel::kScalar;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+SimdLevel ResolveSimdLevel(SimdLevel best, const char* force_scalar,
+                           const char* level_override) {
+  if (force_scalar != nullptr && force_scalar[0] != '\0') {
+    return SimdLevel::kScalar;
+  }
+  if (level_override != nullptr) {
+    SimdLevel requested = best;
+    if (std::strcmp(level_override, "scalar") == 0) {
+      requested = SimdLevel::kScalar;
+    } else if (std::strcmp(level_override, "avx2") == 0) {
+      requested = SimdLevel::kAvx2;
+    } else if (std::strcmp(level_override, "avx512") == 0) {
+      requested = SimdLevel::kAvx512;
+    }
+    // The override can only lower the tier: requesting more than the
+    // build + CPU offer silently clamps to `best` rather than crashing
+    // on an illegal instruction.
+    if (requested < best) return requested;
+  }
+  return best;
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = ResolveSimdLevel(
+      BestAvailableLevel(), std::getenv("QSE_FORCE_SCALAR"),
+      std::getenv("QSE_SIMD_LEVEL"));
+  return level;
+}
+
+const KernelTable* KernelsFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return ScalarKernels();
+    case SimdLevel::kAvx2:
+      return Avx2Kernels();
+    case SimdLevel::kAvx512:
+      return Avx512Kernels();
+  }
+  return nullptr;
+}
+
+const KernelTable* ActiveKernels() {
+  static const KernelTable* table = KernelsFor(ActiveSimdLevel());
+  return table;
+}
+
+}  // namespace simd
+}  // namespace qse

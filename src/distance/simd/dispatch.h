@@ -1,0 +1,49 @@
+#ifndef QSE_DISTANCE_SIMD_DISPATCH_H_
+#define QSE_DISTANCE_SIMD_DISPATCH_H_
+
+#include "src/distance/simd/kernels.h"
+
+namespace qse {
+namespace simd {
+
+/// The ISA tiers a kernel table can be built for, in preference order.
+enum class SimdLevel {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// Human-readable tier name ("scalar", "avx2", "avx512").
+const char* SimdLevelName(SimdLevel level);
+
+/// The tier this process dispatches to, resolved exactly once (first
+/// call) from, in order:
+///   1. QSE_FORCE_SCALAR set to anything non-empty  -> kScalar;
+///   2. QSE_SIMD_LEVEL in {scalar, avx2, avx512}    -> that tier,
+///      clamped down to what the build and the CPU support (the
+///      override can lower the tier, never raise it past the hardware);
+///   3. otherwise the best tier the build compiled AND the running CPU
+///      reports via CPUID.
+SimdLevel ActiveSimdLevel();
+
+/// The kernel table for ActiveSimdLevel().  Never nullptr.  Callers
+/// fetch it once per scan, not per row.
+const KernelTable* ActiveKernels();
+
+/// The kernel table for an explicit tier, or nullptr when that tier was
+/// not compiled into this binary.  Running a table on a CPU without the
+/// ISA is the caller's risk — this is for the parity test suite, which
+/// probes availability first.
+const KernelTable* KernelsFor(SimdLevel level);
+
+/// The resolution logic behind ActiveSimdLevel(), side-effect free and
+/// unit-testable: `best` is the highest tier both compiled and
+/// CPU-supported; `force_scalar` / `level_override` are the raw
+/// environment values (nullptr when unset).
+SimdLevel ResolveSimdLevel(SimdLevel best, const char* force_scalar,
+                           const char* level_override);
+
+}  // namespace simd
+}  // namespace qse
+
+#endif  // QSE_DISTANCE_SIMD_DISPATCH_H_

@@ -1,0 +1,83 @@
+#ifndef QSE_DISTANCE_SIMD_KERNELS_H_
+#define QSE_DISTANCE_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qse {
+namespace simd {
+
+/// Dimensions per early-abandon check inside every kernel.  Large enough
+/// that the lane reduction + branch is amortized over a cache line's
+/// worth of work, small enough that hopeless rows are dropped after a
+/// fraction of a high-dimensional scan.  A multiple of every kernel's
+/// vector step, so the blocked loop never splits a vector iteration.
+inline constexpr size_t kAbandonBlock = 64;
+
+/// One ISA's set of filter-scan kernels.  Every kernel streams one
+/// database row against a query, accumulating non-negative per-dimension
+/// terms, and may stop early — returning any partial sum strictly
+/// greater than `abandon` — once its running sum provably exceeds it
+/// (partial sums of non-negative terms are monotone, so the true score
+/// also exceeds `abandon`).  Pass +infinity for an exact full-row score.
+///
+/// Determinism contract (the reason these signatures exist instead of
+/// letting the compiler autovectorize freely):
+///
+///  * float64 kernels accumulate in the four-lane discipline of the
+///    original scalar code — lane j sums terms j, j+4, j+8, ... in
+///    sequence — and reduce as (l0+l1)+(l2+l3), with the d%4 tail folded
+///    into lane 0.  Completed scores are BIT-IDENTICAL across scalar,
+///    AVX2 and AVX-512, and to the pre-dispatch code, on any machine.
+///  * float32 and int8 kernels use a sixteen-lane discipline (lane j
+///    sums terms j, j+16, ...; tail into lane 0) reduced by the
+///    fold-halves tree r[j] = l[j] + l[j+8], then + r[j+4], + r[j+2],
+///    + r[1].  Again bit-identical across ISAs for the same inputs.
+///  * No FMA contraction anywhere (the kernel translation units compile
+///    with -ffp-contract=off): a multiply feeding an add is two
+///    roundings on every path.
+///
+/// Abandoned rows may return different partials on different ISAs (the
+/// check runs every kAbandonBlock dims on whatever the lanes hold), but
+/// every such return exceeds `abandon`, which is all callers use it for.
+///
+/// int8 kernels score symmetric-quantized rows: `wl1_i8` computes
+/// sum_j c[j] * |q[j] - x[j]| and `wl2_i8` computes
+/// sum_j (c[j] * d) * d with d = (float)|q[j] - x[j]|, where callers
+/// fold dequantization scales (and weights) into the float32
+/// coefficient array c.  Integer differences are exact; each term pays
+/// only the coefficient multiply roundings, identically on every ISA.
+struct KernelTable {
+  double (*l1_f64)(const double* q, const double* x, size_t d,
+                   double abandon);
+  double (*l2_f64)(const double* q, const double* x, size_t d,
+                   double abandon);
+  double (*wl1_f64)(const double* q, const double* x, const double* w,
+                    size_t d, double abandon);
+
+  float (*l1_f32)(const float* q, const float* x, size_t d, float abandon);
+  float (*l2_f32)(const float* q, const float* x, size_t d, float abandon);
+  float (*wl1_f32)(const float* q, const float* x, const float* w, size_t d,
+                   float abandon);
+
+  float (*wl1_i8)(const int8_t* q, const int8_t* x, const float* c,
+                  size_t d, float abandon);
+  float (*wl2_i8)(const int8_t* q, const int8_t* x, const float* c,
+                  size_t d, float abandon);
+};
+
+/// The portable reference implementation (plain C++, the bit-exactness
+/// baseline).  Always available.
+const KernelTable* ScalarKernels();
+
+/// The AVX2 / AVX-512 implementations, or nullptr when the build could
+/// not compile them (non-x86 target, QSE_DISABLE_SIMD, or a compiler
+/// without the ISA).  Availability here is a BUILD property; whether the
+/// running CPU supports the ISA is the dispatcher's job (dispatch.h).
+const KernelTable* Avx2Kernels();
+const KernelTable* Avx512Kernels();
+
+}  // namespace simd
+}  // namespace qse
+
+#endif  // QSE_DISTANCE_SIMD_KERNELS_H_

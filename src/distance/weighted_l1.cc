@@ -1,24 +1,19 @@
 #include "src/distance/weighted_l1.h"
 
 #include <cassert>
-#include <cmath>
+#include <limits>
+
+#include "src/distance/simd/dispatch.h"
 
 namespace qse {
 
-// Four-lane accumulation, mirrored exactly by the early-abandon scan in
-// filter_scorer.cc — see the lane-discipline note in lp.cc.
+// Four-lane accumulation via the runtime-dispatched kernel table; every
+// backend holds the (l0+l1)+(l2+l3) lane discipline bit for bit — see
+// src/distance/simd/kernels.h and the note in lp.cc.
 double WeightedL1DistanceSpan(const double* a, const double* b,
                               const double* w, size_t n) {
-  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    l0 += w[i] * std::fabs(a[i] - b[i]);
-    l1 += w[i + 1] * std::fabs(a[i + 1] - b[i + 1]);
-    l2 += w[i + 2] * std::fabs(a[i + 2] - b[i + 2]);
-    l3 += w[i + 3] * std::fabs(a[i + 3] - b[i + 3]);
-  }
-  for (; i < n; ++i) l0 += w[i] * std::fabs(a[i] - b[i]);
-  return (l0 + l1) + (l2 + l3);
+  return simd::ActiveKernels()->wl1_f64(
+      a, b, w, n, std::numeric_limits<double>::infinity());
 }
 
 double WeightedL1Distance(const Vector& a, const Vector& b, const Vector& w) {

@@ -1,6 +1,7 @@
 #include "src/retrieval/embedded_database.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #ifdef __linux__
@@ -48,13 +49,16 @@ void MaybeAdviseHugePages(const void* p, size_t bytes) {
 }
 }  // namespace
 
-EmbeddedDatabase::Version::Version(size_t dims, size_t capacity)
-    : capacity_rows(capacity) {
+EmbeddedDatabase::Version::Version(size_t dims, size_t capacity,
+                                   uint32_t shadows)
+    : shadow_mask(shadows), capacity_rows(capacity) {
   // Capacity is reserved up front and never exceeded, so data()/ids()
   // pointers handed to pinned readers stay stable for the version's
-  // whole lifetime.
+  // whole lifetime.  The shadow matrices follow the same discipline.
   data.reserve(capacity * dims);
   ids.reserve(capacity);
+  if (shadow_mask & kShadowFloat32) f32.reserve(capacity * dims);
+  if (shadow_mask & kShadowInt8) i8.reserve(capacity * dims);
 }
 
 EmbeddedDatabase::EmbeddedDatabase(size_t dims) : dims_(dims) {
@@ -68,15 +72,25 @@ EmbeddedDatabase::~EmbeddedDatabase() {
 }
 
 EmbeddedDatabase::EmbeddedDatabase(const EmbeddedDatabase& other)
-    : dims_(other.dims_) {
+    : dims_(other.dims_), shadow_mask_(other.shadow_mask_) {
   View view = other.PeekView();
-  Version* v = NewVersion(view.size());
-  v->data.assign(view.data(), view.data() + view.size() * dims_);
-  v->ids.assign(view.ids_, view.ids_ + view.size());
-  v->size.store(view.size(), std::memory_order_relaxed);
-  v->high_water = view.size();
+  size_t n = view.size();
+  Version* v = NewVersion(n);
+  v->data.assign(view.data(), view.data() + n * dims_);
+  v->ids.assign(view.ids_, view.ids_ + n);
+  // Shadows copy verbatim (scales included) so a copy scores reduced
+  // precision bit-identically to its source.
+  if (shadow_mask_ & kShadowFloat32) {
+    v->f32.assign(view.data_f32(), view.data_f32() + n * dims_);
+  }
+  if (shadow_mask_ & kShadowInt8) {
+    v->i8.assign(view.data_i8(), view.data_i8() + n * dims_);
+    v->i8_scale.assign(view.i8_scales(), view.i8_scales() + dims_);
+  }
+  v->size.store(n, std::memory_order_relaxed);
+  v->high_water = n;
   current_.store(v, std::memory_order_relaxed);
-  rows_.store(view.size(), std::memory_order_relaxed);
+  rows_.store(n, std::memory_order_relaxed);
 }
 
 EmbeddedDatabase& EmbeddedDatabase::operator=(const EmbeddedDatabase& other) {
@@ -86,7 +100,7 @@ EmbeddedDatabase& EmbeddedDatabase::operator=(const EmbeddedDatabase& other) {
 }
 
 EmbeddedDatabase::EmbeddedDatabase(EmbeddedDatabase&& other) noexcept
-    : dims_(other.dims_) {
+    : dims_(other.dims_), shadow_mask_(other.shadow_mask_) {
   current_.store(other.current_.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
   rows_.store(other.rows_.load(std::memory_order_relaxed),
@@ -101,6 +115,7 @@ EmbeddedDatabase& EmbeddedDatabase::operator=(
     EmbeddedDatabase&& other) noexcept {
   if (this == &other) return *this;
   dims_ = other.dims_;
+  shadow_mask_ = other.shadow_mask_;
   PublishAndRetire(other.current_.load(std::memory_order_relaxed));
   rows_.store(other.rows_.load(std::memory_order_relaxed),
               std::memory_order_relaxed);
@@ -117,19 +132,29 @@ EmbeddedDatabase::Snapshot EmbeddedDatabase::snapshot() const {
   EpochManager::Guard guard = epoch_.Pin();
   const Version* v = current();
   size_t rows = v->size.load(std::memory_order_acquire);
-  return Snapshot(View(v->data.data(), v->ids.data(), rows, dims_),
-                  std::move(guard));
+  return Snapshot(ViewOf(v, rows), std::move(guard));
 }
 
 EmbeddedDatabase::View EmbeddedDatabase::PeekView() const {
   const Version* v = current();
-  return View(v->data.data(), v->ids.data(),
-              v->size.load(std::memory_order_acquire), dims_);
+  return ViewOf(v, v->size.load(std::memory_order_acquire));
+}
+
+EmbeddedDatabase::View EmbeddedDatabase::ViewOf(const Version* v,
+                                                size_t rows) const {
+  View view(v->data.data(), v->ids.data(), rows, dims_);
+  view.shadow_mask_ = v->shadow_mask;
+  if (v->shadow_mask & kShadowFloat32) view.f32_ = v->f32.data();
+  if (v->shadow_mask & kShadowInt8) {
+    view.i8_ = v->i8.data();
+    view.i8_scale_ = v->i8_scale.data();
+  }
+  return view;
 }
 
 EmbeddedDatabase::Version* EmbeddedDatabase::NewVersion(
     size_t capacity_rows) const {
-  Version* v = new Version(dims_, capacity_rows);
+  Version* v = new Version(dims_, capacity_rows, shadow_mask_);
   MaybeAdviseHugePages(v->data.data(),
                        capacity_rows * dims_ * sizeof(double));
   return v;
@@ -157,6 +182,78 @@ std::vector<size_t> EmbeddedDatabase::ids() const {
   return v->ids;
 }
 
+bool EmbeddedDatabase::RowFitsI8(const Version* v, const double* row) const {
+  if ((v->shadow_mask & kShadowInt8) == 0) return true;
+  for (size_t j = 0; j < dims_; ++j) {
+    if (!FitsInt8(row[j], v->i8_scale[j])) return false;
+  }
+  return true;
+}
+
+void EmbeddedDatabase::FillShadowRow(Version* v, size_t i,
+                                     const double* row) const {
+  if (v->shadow_mask & kShadowFloat32) {
+    float* dst = v->f32.data() + i * dims_;
+    for (size_t j = 0; j < dims_; ++j) dst[j] = static_cast<float>(row[j]);
+  }
+  if (v->shadow_mask & kShadowInt8) {
+    int8_t* dst = v->i8.data() + i * dims_;
+    for (size_t j = 0; j < dims_; ++j) {
+      dst[j] = QuantizeToInt8(row[j], v->i8_scale[j]);
+    }
+  }
+}
+
+void EmbeddedDatabase::RequantizeI8(Version* v, size_t n,
+                                    double headroom) const {
+  std::vector<double> maxabs(dims_, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* r = v->data.data() + i * dims_;
+    for (size_t j = 0; j < dims_; ++j) {
+      double a = std::fabs(r[j]);
+      if (a > maxabs[j]) maxabs[j] = a;
+    }
+  }
+  v->i8_scale.assign(dims_, 0.0f);
+  for (size_t j = 0; j < dims_; ++j) {
+    if (maxabs[j] > 0.0) {
+      // maxabs/127 as float can round below the real quotient, but the
+      // half-step slack of FitsInt8 (127.5 vs 127) dwarfs that half-ulp.
+      v->i8_scale[j] = static_cast<float>(maxabs[j] * headroom / 127.0);
+    }
+  }
+  v->i8.resize(n * dims_);
+  for (size_t i = 0; i < n; ++i) {
+    const double* r = v->data.data() + i * dims_;
+    int8_t* dst = v->i8.data() + i * dims_;
+    for (size_t j = 0; j < dims_; ++j) {
+      dst[j] = QuantizeToInt8(r[j], v->i8_scale[j]);
+    }
+  }
+}
+
+void EmbeddedDatabase::EnableFilterShadows(uint32_t mask) {
+  QSE_CHECK_MSG((mask & ~(kShadowFloat32 | kShadowInt8)) == 0,
+                "unknown shadow bits in mask " << mask);
+  shadow_mask_ |= mask;
+  Version* v = current();
+  size_t n = v->size.load(std::memory_order_relaxed);
+  // Rebuild in place (quiescent): reserve to the version's capacity so
+  // subsequent in-place Appends never reallocate the shadow buffers.
+  if (shadow_mask_ & kShadowFloat32) {
+    v->f32.reserve(v->capacity_rows * dims_);
+    v->f32.resize(n * dims_);
+    for (size_t i = 0; i < n * dims_; ++i) {
+      v->f32[i] = static_cast<float>(v->data[i]);
+    }
+  }
+  if (shadow_mask_ & kShadowInt8) {
+    v->i8.reserve(v->capacity_rows * dims_);
+    RequantizeI8(v, n, 1.0);
+  }
+  v->shadow_mask = shadow_mask_;
+}
+
 void EmbeddedDatabase::Reserve(size_t rows) {
   if (dims_ == 0) return;
   Version* v = current();
@@ -165,6 +262,13 @@ void EmbeddedDatabase::Reserve(size_t rows) {
   Version* next = NewVersion(rows);
   next->data.assign(v->data.begin(), v->data.end());
   next->ids.assign(v->ids.begin(), v->ids.end());
+  if (shadow_mask_ & kShadowFloat32) {
+    next->f32.assign(v->f32.begin(), v->f32.end());
+  }
+  if (shadow_mask_ & kShadowInt8) {
+    next->i8.assign(v->i8.begin(), v->i8.end());
+    next->i8_scale = v->i8_scale;
+  }
   next->size.store(n, std::memory_order_relaxed);
   next->high_water = n;
   PublishAndRetire(next);
@@ -179,6 +283,18 @@ void EmbeddedDatabase::Resize(size_t rows) {
     next->data.resize(rows * dims_, 0.0);
     next->ids.assign(v->ids.begin(), v->ids.end());
     for (size_t i = n; i < rows; ++i) next->ids.push_back(i);
+    // New rows are all-zero: they convert to 0.0f and quantize to 0
+    // under any scale, so extending the shadows with zeros keeps them
+    // consistent without touching the scales.
+    if (shadow_mask_ & kShadowFloat32) {
+      next->f32.assign(v->f32.begin(), v->f32.end());
+      next->f32.resize(rows * dims_, 0.0f);
+    }
+    if (shadow_mask_ & kShadowInt8) {
+      next->i8.assign(v->i8.begin(), v->i8.end());
+      next->i8.resize(rows * dims_, 0);
+      next->i8_scale = v->i8_scale;
+    }
     next->size.store(rows, std::memory_order_relaxed);
     next->high_water = rows;
     PublishAndRetire(next);
@@ -191,6 +307,8 @@ void EmbeddedDatabase::Resize(size_t rows) {
   size_t old_ids = v->ids.size();
   v->ids.resize(rows);
   for (size_t i = old_ids; i < rows; ++i) v->ids[i] = i;
+  if (v->shadow_mask & kShadowFloat32) v->f32.resize(rows * dims_, 0.0f);
+  if (v->shadow_mask & kShadowInt8) v->i8.resize(rows * dims_, 0);
   v->size.store(rows, std::memory_order_release);
   v->high_water = std::max(v->high_water, rows);
   rows_.store(rows, std::memory_order_release);
@@ -219,10 +337,17 @@ size_t EmbeddedDatabase::Append(const double* row, size_t id) {
   // this version (n == high_water) and capacity remains.  A slot below
   // high_water may still be visible to a reader pinned at the old count
   // — SwapRemove defers that physical reuse to a fresh version instead
-  // of overwriting under the reader.
-  if (n < v->capacity_rows && n == v->high_water) {
+  // of overwriting under the reader.  A row the int8 scales cannot
+  // absorb takes the copy-on-write path below instead, because scales
+  // are immutable while a version is visible.
+  if (n < v->capacity_rows && n == v->high_water && RowFitsI8(v, row)) {
     v->data.resize((n + 1) * dims_);  // Within capacity: never moves.
     std::copy(row, row + dims_, v->data.data() + n * dims_);
+    if (v->shadow_mask & kShadowFloat32) v->f32.resize((n + 1) * dims_);
+    if (v->shadow_mask & kShadowInt8) v->i8.resize((n + 1) * dims_);
+    // Shadow rows land before the release below, so a reader that
+    // acquires the grown count sees them whole too.
+    FillShadowRow(v, n, v->data.data() + n * dims_);
     v->ids.push_back(id);
     // Release: a reader that acquires the grown count sees the whole
     // row; one that reads the old count ignores the slot entirely.
@@ -242,6 +367,30 @@ size_t EmbeddedDatabase::Append(const double* row, size_t id) {
   std::copy(row, row + dims_, next->data.data() + n * dims_);
   next->ids.assign(v->ids.begin(), v->ids.begin() + n);
   next->ids.push_back(id);
+  if (shadow_mask_ & kShadowFloat32) {
+    next->f32.resize((n + 1) * dims_);
+    std::copy(v->f32.data(), v->f32.data() + n * dims_, next->f32.data());
+    const double* r = next->data.data() + n * dims_;
+    float* dst = next->f32.data() + n * dims_;
+    for (size_t j = 0; j < dims_; ++j) dst[j] = static_cast<float>(r[j]);
+  }
+  if (shadow_mask_ & kShadowInt8) {
+    if (RowFitsI8(v, next->data.data() + n * dims_)) {
+      next->i8_scale = v->i8_scale;
+      next->i8.resize((n + 1) * dims_);
+      std::copy(v->i8.data(), v->i8.data() + n * dims_, next->i8.data());
+      const double* r = next->data.data() + n * dims_;
+      int8_t* dst = next->i8.data() + n * dims_;
+      for (size_t j = 0; j < dims_; ++j) {
+        dst[j] = QuantizeToInt8(r[j], next->i8_scale[j]);
+      }
+    } else {
+      // The new row falls outside the quantization range: re-quantize
+      // the whole matrix into the unpublished version with headroom, so
+      // a drifting value distribution does not requant on every insert.
+      RequantizeI8(next, n + 1, 1.25);
+    }
+  }
   next->size.store(n + 1, std::memory_order_relaxed);
   next->high_water = n + 1;
   PublishAndRetire(next);
@@ -254,6 +403,13 @@ void EmbeddedDatabase::SetRow(size_t i, const Vector& row) {
   QSE_CHECK_MSG(row.size() == dims_,
                 "row has " << row.size() << " dims, database has " << dims_);
   std::copy(row.begin(), row.end(), mutable_row(i));
+  Version* v = current();
+  if (v->shadow_mask == 0) return;
+  // Quiescent API, so rewriting shadows (and scales) in place is fine.
+  if ((v->shadow_mask & kShadowInt8) && !RowFitsI8(v, row.data())) {
+    RequantizeI8(v, v->size.load(std::memory_order_relaxed), 1.25);
+  }
+  FillShadowRow(v, i, v->data.data() + i * dims_);
 }
 
 void EmbeddedDatabase::AssignIds(const std::vector<size_t>& ids) {
@@ -276,6 +432,8 @@ size_t EmbeddedDatabase::SwapRemove(size_t i) {
     v->size.store(last, std::memory_order_release);
     v->data.resize(last * dims_);
     v->ids.resize(last);
+    if (v->shadow_mask & kShadowFloat32) v->f32.resize(last * dims_);
+    if (v->shadow_mask & kShadowInt8) v->i8.resize(last * dims_);
     rows_.store(last, std::memory_order_release);
     return last;
   }
@@ -290,6 +448,22 @@ size_t EmbeddedDatabase::SwapRemove(size_t i) {
             next->data.data() + i * dims_);
   next->ids.assign(v->ids.begin(), v->ids.begin() + last);
   next->ids[i] = v->ids[last];
+  if (shadow_mask_ & kShadowFloat32) {
+    next->f32.resize(last * dims_);
+    std::copy(v->f32.data(), v->f32.data() + last * dims_,
+              next->f32.data());
+    std::copy(v->f32.data() + last * dims_, v->f32.data() + n * dims_,
+              next->f32.data() + i * dims_);
+  }
+  if (shadow_mask_ & kShadowInt8) {
+    // Removal never violates the scale invariant; scales may merely end
+    // up looser than a fresh fit, which only widens the error bound.
+    next->i8_scale = v->i8_scale;
+    next->i8.resize(last * dims_);
+    std::copy(v->i8.data(), v->i8.data() + last * dims_, next->i8.data());
+    std::copy(v->i8.data() + last * dims_, v->i8.data() + n * dims_,
+              next->i8.data() + i * dims_);
+  }
   next->size.store(last, std::memory_order_relaxed);
   next->high_water = last;
   PublishAndRetire(next);

@@ -3,9 +3,12 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/distance/distance.h"
+#include "src/retrieval/filter_precision.h"
+#include "src/util/aligned.h"
 #include "src/util/epoch.h"
 
 namespace qse {
@@ -50,6 +53,25 @@ namespace qse {
 /// snapshot readers.  The quiescent bulk-load API (Resize, SetRow,
 /// mutable_row, AssignIds, data(), row()) additionally requires that no
 /// reader is active, exactly like the pre-epoch contract.
+///
+/// Mixed-precision filter shadows: after EnableFilterShadows(mask), each
+/// version additionally carries a 64-byte-aligned float32 copy of the
+/// rows (kShadowFloat32) and/or an int8 symmetric-quantized copy with
+/// per-dimension scales (kShadowInt8), maintained by every mutation path
+/// under the same publication rules as the float64 matrix — in-place
+/// Append writes the shadow rows before the release-store of the grown
+/// count, copy-on-write paths rebuild them into the new version.  The
+/// per-dimension scales are immutable within a version: an Append whose
+/// value would not quantize within the half-step bound (FitsInt8) forces
+/// a copy-on-write re-quantization of the whole matrix with 1.25x
+/// headroom, so `|stored| <= 127.5 * scale` holds for every published
+/// row and the scorer's error envelope stays sound.  All row buffers
+/// (float64 included) start on 64-byte boundaries via AlignedAllocator.
+///
+/// Enable shadows AFTER bulk-loading: mutable_row() hands out raw
+/// float64 storage and cannot maintain them.  EnableFilterShadows
+/// rebuilds from the float64 rows, so calling it again refreshes
+/// shadows after a quiescent bulk mutation.
 class EmbeddedDatabase {
  public:
   /// Borrowed, immutable view of one published version.  Valid while the
@@ -69,6 +91,23 @@ class EmbeddedDatabase {
     /// Database id of row i.
     size_t id_of(size_t i) const { return ids_[i]; }
 
+    /// Which filter shadows this view carries (kShadowFloat32 /
+    /// kShadowInt8 bits).  Shadows appear only after the database's
+    /// EnableFilterShadows; views taken before that have none.
+    uint32_t shadows() const { return shadow_mask_; }
+    bool has_f32() const { return (shadow_mask_ & kShadowFloat32) != 0; }
+    bool has_i8() const { return (shadow_mask_ & kShadowInt8) != 0; }
+
+    /// The float32 shadow, row-major, same shape as data().
+    const float* data_f32() const { return f32_; }
+    const float* row_f32(size_t i) const { return f32_ + i * dims_; }
+
+    /// The int8 shadow and its per-dimension dequantization scales
+    /// (dims() floats; value ~= scale[j] * row_i8(i)[j]).
+    const int8_t* data_i8() const { return i8_; }
+    const int8_t* row_i8(size_t i) const { return i8_ + i * dims_; }
+    const float* i8_scales() const { return i8_scale_; }
+
    private:
     friend class EmbeddedDatabase;
     View(const double* data, const size_t* ids, size_t rows, size_t dims)
@@ -78,6 +117,10 @@ class EmbeddedDatabase {
     const size_t* ids_ = nullptr;
     size_t rows_ = 0;
     size_t dims_ = 0;
+    const float* f32_ = nullptr;
+    const int8_t* i8_ = nullptr;
+    const float* i8_scale_ = nullptr;
+    uint32_t shadow_mask_ = 0;
   };
 
   /// An epoch-pinned View: the rows, ids and count it exposes stay valid
@@ -137,8 +180,19 @@ class EmbeddedDatabase {
   double* mutable_row(size_t i) { return current()->data.data() + i * dims_; }
 
   /// The whole flat buffer of the current version, row-major,
-  /// size() * dims() doubles.  Quiescent API.
-  const std::vector<double>& data() const { return current()->data; }
+  /// size() * dims() doubles, 64-byte aligned.  Quiescent API.
+  const Aligned64Vector<double>& data() const { return current()->data; }
+
+  /// Builds the requested filter shadows (kShadowFloat32 | kShadowInt8)
+  /// from the current float64 rows and keeps them maintained through
+  /// every subsequent mutation.  Quiescent API (it rewrites the current
+  /// version in place); call after bulk-loading, and again to refresh
+  /// after quiescent mutable_row() edits.  Idempotent-and-rebuilding;
+  /// bits accumulate across calls.
+  void EnableFilterShadows(uint32_t mask);
+
+  /// The shadow bits every published version carries from now on.
+  uint32_t filter_shadows() const { return shadow_mask_; }
 
   /// Database id of row i of the current version.
   size_t id_of(size_t i) const;
@@ -214,12 +268,22 @@ class EmbeddedDatabase {
   /// ever published from this version: slots below it may be visible to
   /// pinned readers and are never rewritten in place.
   struct Version {
-    Version(size_t dims, size_t capacity_rows);
+    Version(size_t dims, size_t capacity_rows, uint32_t shadow_mask);
 
-    std::vector<double> data;  // Row-major, exactly size * dims doubles.
-    std::vector<size_t> ids;   // ids[i] = database id of row i.
+    // Row-major, exactly size * dims doubles, 64-byte-aligned base.
+    Aligned64Vector<double> data;
+    std::vector<size_t> ids;  // ids[i] = database id of row i.
+    // Filter shadows (empty unless the matching bit of shadow_mask is
+    // set): same row-major shape as `data`, same capacity discipline —
+    // reserved up front, never reallocated, slots below high_water never
+    // rewritten.  `i8_scale` (dims floats) is immutable once the version
+    // is visible to readers; re-quantization always copies-on-write.
+    Aligned64Vector<float> f32;
+    Aligned64Vector<int8_t> i8;
+    std::vector<float> i8_scale;
+    uint32_t shadow_mask = 0;
     std::atomic<size_t> size{0};
-    size_t high_water = 0;     // Mutator-only.
+    size_t high_water = 0;  // Mutator-only.
     size_t capacity_rows = 0;
   };
 
@@ -227,14 +291,31 @@ class EmbeddedDatabase {
     return current_.load(std::memory_order_seq_cst);
   }
   View PeekView() const;
+  /// A View of `v` at `rows` rows, shadow pointers attached.
+  View ViewOf(const Version* v, size_t rows) const;
 
-  /// Allocates a version and huge-page-advises its buffer when large.
+  /// Allocates a version (reserving shadow capacity per shadow_mask_)
+  /// and huge-page-advises its buffer when large.
   Version* NewVersion(size_t capacity_rows) const;
   /// Publishes `next` and retires the previous version to the epoch
   /// manager.
   void PublishAndRetire(Version* next);
 
+  /// Whether `row` quantizes under v's scales within the half-step
+  /// bound on every dimension (trivially true without an int8 shadow).
+  bool RowFitsI8(const Version* v, const double* row) const;
+  /// Converts/quantizes float64 row i of `v` into its shadow matrices
+  /// (which must already have space for it).
+  void FillShadowRow(Version* v, size_t i, const double* row) const;
+  /// Recomputes v's scales from its first n float64 rows (times
+  /// `headroom`) and quantizes those rows.  Quiescent/unpublished `v`
+  /// only.
+  void RequantizeI8(Version* v, size_t n, double headroom) const;
+
   size_t dims_ = 0;
+  /// Shadow bits every version carries; set by EnableFilterShadows
+  /// (quiescent), read by mutators.
+  uint32_t shadow_mask_ = 0;
   std::atomic<Version*> current_{nullptr};
   /// Mirror of the current version's published row count, kept outside
   /// the versions so size()/empty() peeks are safe under concurrent

@@ -4,27 +4,23 @@
 #include <cmath>
 
 #include "src/distance/lp.h"
+#include "src/distance/simd/dispatch.h"
 #include "src/distance/weighted_l1.h"
 #include "src/util/logging.h"
 
 namespace qse {
 namespace {
 
-/// Dimensions per early-abandon check.  Large enough that the branch is
-/// amortized over a cache line's worth of work, small enough that hopeless
-/// rows are dropped after a fraction of a high-dimensional scan.  Must be
-/// a multiple of 4 to preserve the lane discipline of the span kernels.
-constexpr size_t kAbandonBlock = 64;
-
-/// One streaming pass over the flat buffer keeping the p smallest rows.
-/// `row_score(x, d, threshold)` scores one row with the scorer's kernel
-/// and may stop early — returning any value strictly greater than
-/// `threshold` — once its running partial sum provably exceeds it.
-/// Partial sums are monotone non-decreasing (non-negative terms), so an
-/// abandoned row's true score also exceeds the threshold and Offer()
-/// rejects it; completed rows must return scores bit-identical to
-/// Score()'s (same lane discipline as the span kernels, see lp.cc), and
-/// BoundedTopK breaks ties by row index exactly like SmallestK.
+/// One streaming pass over the flat float64 buffer keeping the p
+/// smallest rows.  `row_score(x, d, threshold)` scores one row with the
+/// scorer's kernel and may stop early — returning any value strictly
+/// greater than `threshold` — once its running partial sum provably
+/// exceeds it.  Partial sums are monotone non-decreasing (non-negative
+/// terms), so an abandoned row's true score also exceeds the threshold
+/// and Offer() rejects it; completed rows return scores bit-identical
+/// to Score()'s (the dispatched kernels hold the span kernels' lane
+/// discipline, see src/distance/simd/kernels.h), and BoundedTopK breaks
+/// ties by row index exactly like SmallestK.
 template <typename RowScoreFn>
 std::vector<ScoredIndex> TopPScan(const EmbeddedDatabase::View& db, size_t p,
                                   const RowScoreFn& row_score) {
@@ -37,45 +33,71 @@ std::vector<ScoredIndex> TopPScan(const EmbeddedDatabase::View& db, size_t p,
   return top.TakeSortedAscending();
 }
 
-/// Shared row kernel for the early-abandon scans: blocked 4-lane
-/// accumulation of `term(x, i)` (the scorer's non-negative per-dimension
-/// term) with an abandon check every kAbandonBlock dimensions.  One
-/// definition keeps all three scorers on the exact lane discipline of the
-/// span kernels (lp.cc / weighted_l1.cc) — the bit-identity contract with
-/// Score() lives here, not in three hand-kept copies.  All accumulators
-/// are locals, so after inlining the codegen matches the hand-rolled
-/// version.
-template <typename TermFn>
-double RowScoreEarlyAbandon(const double* x, size_t d, double threshold,
-                            const TermFn& term) {
-  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
-  size_t i = 0;
-  while (i + kAbandonBlock <= d) {
-    size_t hi = i + kAbandonBlock;
-    for (; i < hi; i += 4) {
-      l0 += term(x, i);
-      l1 += term(x, i + 1);
-      l2 += term(x, i + 2);
-      l3 += term(x, i + 3);
+/// The reduced-precision counterpart: `row_score(i, widened)` scans a
+/// shadow row against the threshold already widened by the quantization
+/// error envelope, so abandonment stays sound relative to the exact
+/// scores (see ScoreTopP's contract in the header).
+template <typename RowScoreFn>
+std::vector<ScoredIndex> TopPScanReduced(const EmbeddedDatabase::View& db,
+                                         size_t p,
+                                         const ReducedPrecisionBound& bound,
+                                         const RowScoreFn& row_score) {
+  const size_t n = db.size();
+  BoundedTopK top(std::min(p, n));
+  // Widening costs a divide; the threshold only moves when an Offer is
+  // accepted (at most p times once the heap is warm), so cache the
+  // widened value until it does.  +inf != +inf is false, so the initial
+  // unbounded threshold takes the cached path too.
+  double cached_threshold = top.threshold();
+  float widened =
+      FloatAtLeast(WidenedAbandonThreshold(cached_threshold, bound));
+  for (size_t i = 0; i < n; ++i) {
+    double t = top.threshold();
+    if (t != cached_threshold) {
+      cached_threshold = t;
+      widened = FloatAtLeast(WidenedAbandonThreshold(t, bound));
     }
-    double partial = (l0 + l1) + (l2 + l3);
-    if (partial > threshold) return partial;
+    top.Offer({i, static_cast<double>(row_score(i, widened))});
   }
-  for (; i + 4 <= d; i += 4) {
-    l0 += term(x, i);
-    l1 += term(x, i + 1);
-    l2 += term(x, i + 2);
-    l3 += term(x, i + 3);
+  return top.TakeSortedAscending();
+}
+
+/// int8 shadow rows are only d bytes — a few cachelines — and the scan
+/// touches just one or two of them before abandoning most rows, too
+/// little demand pressure to keep the hardware stream prefetcher ahead
+/// of a DRAM-resident matrix.  Fetching a handful of rows ahead
+/// explicitly recovers ~35% of scan time at n=1M, d=256 (measured; the
+/// float32/float64 paths stream whole kilobytes per row and need no
+/// help).
+constexpr size_t kI8PrefetchRowsAhead = 8;
+
+inline void PrefetchI8Row(const int8_t* row, size_t d) {
+  for (size_t b = 0; b < d; b += 64) {
+    __builtin_prefetch(row + b, /*rw=*/0, /*locality=*/0);
   }
-  for (; i < d; ++i) l0 += term(x, i);
-  return (l0 + l1) + (l2 + l3);
+}
+
+std::vector<float> ToFloat(const double* v, size_t d) {
+  std::vector<float> out(d);
+  for (size_t j = 0; j < d; ++j) out[j] = static_cast<float>(v[j]);
+  return out;
+}
+
+std::vector<int8_t> QuantizeQuery(const double* q, const float* scales,
+                                  size_t d) {
+  std::vector<int8_t> out(d);
+  for (size_t j = 0; j < d; ++j) out[j] = QuantizeToInt8(q[j], scales[j]);
+  return out;
 }
 
 }  // namespace
 
 std::vector<ScoredIndex> FilterScorer::ScoreTopP(
-    const Vector& embedded_query, const EmbeddedDatabase::View& db,
-    size_t p) const {
+    const Vector& embedded_query, const EmbeddedDatabase::View& db, size_t p,
+    FilterPrecision precision) const {
+  QSE_CHECK_MSG(precision == FilterPrecision::kExact64,
+                "the fallback ScoreTopP only implements kExact64; scorers "
+                "with reduced-precision support override it");
   std::vector<double> scores;
   Score(embedded_query, db, &scores);
   return SmallestK(scores, p);
@@ -102,14 +124,15 @@ void QuerySensitiveScorer::Score(const Vector& embedded_query,
 }
 
 std::vector<ScoredIndex> QuerySensitiveScorer::ScoreTopP(
-    const Vector& embedded_query, const EmbeddedDatabase::View& db,
-    size_t p) const {
+    const Vector& embedded_query, const EmbeddedDatabase::View& db, size_t p,
+    FilterPrecision precision) const {
   Vector weights = model_->QueryWeights(embedded_query);
   const size_t d = db.dims();
   QSE_CHECK(embedded_query.size() == d);
   // A_i(q) sums AdaBoost alphas, which MinimizeZ may in principle drive
-  // negative; early abandon is only exact for non-negative terms, so
-  // verify once per query and fall back to the unpruned scan otherwise.
+  // negative; early abandon (and the reduced-precision envelopes) are
+  // only sound for non-negative terms, so verify once per query and
+  // fall back to the unpruned exact scan otherwise.
   bool nonnegative = true;
   for (double w : weights) {
     if (w < 0.0) {
@@ -126,11 +149,38 @@ std::vector<ScoredIndex> QuerySensitiveScorer::ScoreTopP(
   }
   const double* q = embedded_query.data();
   const double* w = weights.data();
-  return TopPScan(db, p, [q, w](const double* x, size_t d, double threshold) {
-    return RowScoreEarlyAbandon(
-        x, d, threshold, [q, w](const double* row, size_t i) {
-          return w[i] * std::fabs(q[i] - row[i]);
-        });
+  const simd::KernelTable* k = simd::ActiveKernels();
+  if (precision == FilterPrecision::kFilter32) {
+    QSE_CHECK_MSG(db.has_f32(), "kFilter32 scan on a view without a float32 "
+                                "shadow (EnableFilterShadows)");
+    std::vector<float> qf = ToFloat(q, d);
+    std::vector<float> wf = ToFloat(w, d);
+    ReducedPrecisionBound bound = F32BoundWeightedL1(w, q, d);
+    return TopPScanReduced(db, p, bound, [&](size_t i, float widened) {
+      return k->wl1_f32(qf.data(), db.row_f32(i), wf.data(), d, widened);
+    });
+  }
+  if (precision == FilterPrecision::kFilter8) {
+    QSE_CHECK_MSG(db.has_i8(), "kFilter8 scan on a view without an int8 "
+                               "shadow (EnableFilterShadows)");
+    const float* s = db.i8_scales();
+    std::vector<int8_t> qq = QuantizeQuery(q, s, d);
+    // Coefficients fold weight and dequantization scale: the kernel's
+    // c_j * |qq_j - rq_j| then approximates w_j * |q_j - r_j|.
+    std::vector<float> c(d);
+    for (size_t j = 0; j < d; ++j) {
+      c[j] = static_cast<float>(w[j] * static_cast<double>(s[j]));
+    }
+    ReducedPrecisionBound bound = I8BoundWeightedL1(w, q, qq.data(), s, d);
+    return TopPScanReduced(db, p, bound, [&](size_t i, float widened) {
+      if (i + kI8PrefetchRowsAhead < db.size()) {
+        PrefetchI8Row(db.row_i8(i + kI8PrefetchRowsAhead), d);
+      }
+      return k->wl1_i8(qq.data(), db.row_i8(i), c.data(), d, widened);
+    });
+  }
+  return TopPScan(db, p, [q, w, k](const double* x, size_t dd, double t) {
+    return k->wl1_f64(q, x, w, dd, t);
   });
 }
 
@@ -147,15 +197,43 @@ void L2Scorer::Score(const Vector& embedded_query,
 
 std::vector<ScoredIndex> L2Scorer::ScoreTopP(const Vector& embedded_query,
                                              const EmbeddedDatabase::View& db,
-                                             size_t p) const {
-  QSE_CHECK(embedded_query.size() == db.dims());
+                                             size_t p,
+                                             FilterPrecision precision) const {
+  const size_t d = db.dims();
+  QSE_CHECK(embedded_query.size() == d);
   const double* q = embedded_query.data();
-  return TopPScan(db, p, [q](const double* x, size_t d, double threshold) {
-    return RowScoreEarlyAbandon(x, d, threshold,
-                                [q](const double* row, size_t i) {
-                                  double diff = q[i] - row[i];
-                                  return diff * diff;
-                                });
+  const simd::KernelTable* k = simd::ActiveKernels();
+  if (precision == FilterPrecision::kFilter32) {
+    QSE_CHECK_MSG(db.has_f32(), "kFilter32 scan on a view without a float32 "
+                                "shadow (EnableFilterShadows)");
+    std::vector<float> qf = ToFloat(q, d);
+    ReducedPrecisionBound bound = F32BoundSquaredL2(q, d);
+    return TopPScanReduced(db, p, bound, [&](size_t i, float widened) {
+      return k->l2_f32(qf.data(), db.row_f32(i), d, widened);
+    });
+  }
+  if (precision == FilterPrecision::kFilter8) {
+    QSE_CHECK_MSG(db.has_i8(), "kFilter8 scan on a view without an int8 "
+                               "shadow (EnableFilterShadows)");
+    const float* s = db.i8_scales();
+    std::vector<int8_t> qq = QuantizeQuery(q, s, d);
+    // c_j = s_j^2 turns the kernel's (c_j * fd) * fd into
+    // (s_j * (qq_j - rq_j))^2, the quantized squared difference.
+    std::vector<float> c(d);
+    for (size_t j = 0; j < d; ++j) {
+      double sd = static_cast<double>(s[j]);
+      c[j] = static_cast<float>(sd * sd);
+    }
+    ReducedPrecisionBound bound = I8BoundSquaredL2(q, qq.data(), s, d);
+    return TopPScanReduced(db, p, bound, [&](size_t i, float widened) {
+      if (i + kI8PrefetchRowsAhead < db.size()) {
+        PrefetchI8Row(db.row_i8(i + kI8PrefetchRowsAhead), d);
+      }
+      return k->wl2_i8(qq.data(), db.row_i8(i), c.data(), d, widened);
+    });
+  }
+  return TopPScan(db, p, [q, k](const double* x, size_t dd, double t) {
+    return k->l2_f64(q, x, dd, t);
   });
 }
 
@@ -172,14 +250,37 @@ void L1Scorer::Score(const Vector& embedded_query,
 
 std::vector<ScoredIndex> L1Scorer::ScoreTopP(const Vector& embedded_query,
                                              const EmbeddedDatabase::View& db,
-                                             size_t p) const {
-  QSE_CHECK(embedded_query.size() == db.dims());
+                                             size_t p,
+                                             FilterPrecision precision) const {
+  const size_t d = db.dims();
+  QSE_CHECK(embedded_query.size() == d);
   const double* q = embedded_query.data();
-  return TopPScan(db, p, [q](const double* x, size_t d, double threshold) {
-    return RowScoreEarlyAbandon(x, d, threshold,
-                                [q](const double* row, size_t i) {
-                                  return std::fabs(q[i] - row[i]);
-                                });
+  const simd::KernelTable* k = simd::ActiveKernels();
+  if (precision == FilterPrecision::kFilter32) {
+    QSE_CHECK_MSG(db.has_f32(), "kFilter32 scan on a view without a float32 "
+                                "shadow (EnableFilterShadows)");
+    std::vector<float> qf = ToFloat(q, d);
+    ReducedPrecisionBound bound = F32BoundWeightedL1(nullptr, q, d);
+    return TopPScanReduced(db, p, bound, [&](size_t i, float widened) {
+      return k->l1_f32(qf.data(), db.row_f32(i), d, widened);
+    });
+  }
+  if (precision == FilterPrecision::kFilter8) {
+    QSE_CHECK_MSG(db.has_i8(), "kFilter8 scan on a view without an int8 "
+                               "shadow (EnableFilterShadows)");
+    const float* s = db.i8_scales();
+    std::vector<int8_t> qq = QuantizeQuery(q, s, d);
+    ReducedPrecisionBound bound =
+        I8BoundWeightedL1(nullptr, q, qq.data(), s, d);
+    return TopPScanReduced(db, p, bound, [&](size_t i, float widened) {
+      if (i + kI8PrefetchRowsAhead < db.size()) {
+        PrefetchI8Row(db.row_i8(i + kI8PrefetchRowsAhead), d);
+      }
+      return k->wl1_i8(qq.data(), db.row_i8(i), s, d, widened);
+    });
+  }
+  return TopPScan(db, p, [q, k](const double* x, size_t dd, double t) {
+    return k->l1_f64(q, x, dd, t);
   });
 }
 

@@ -5,6 +5,7 @@
 
 #include "src/core/qs_embedding.h"
 #include "src/retrieval/embedded_database.h"
+#include "src/retrieval/filter_precision.h"
 #include "src/util/top_k.h"
 
 namespace qse {
@@ -29,7 +30,7 @@ class FilterScorer {
                      const EmbeddedDatabase::View& db,
                      std::vector<double>* scores) const = 0;
 
-  /// The p best rows, ascending by (score, row) — exactly
+  /// The p best rows, ascending by (score, row) — under kExact64 exactly
   /// SmallestK(Score(...), p), but computed as one blocked streaming pass
   /// over the flat buffer with early-abandon pruning: a row is dropped as
   /// soon as its partial sum exceeds the running p-th-best threshold.
@@ -37,11 +38,23 @@ class FilterScorer {
   /// here; the query-sensitive scorer verifies its weights and falls back
   /// to a full scan if any are negative).
   ///
-  /// The base implementation is the unpruned fallback (full Score +
-  /// SmallestK); subclasses override with the fused kernel.
-  virtual std::vector<ScoredIndex> ScoreTopP(const Vector& embedded_query,
-                                             const EmbeddedDatabase::View& db,
-                                             size_t p) const;
+  /// Reduced precisions scan the view's shadow matrix instead (the view
+  /// must carry it — the engines verify availability and fail the
+  /// request cleanly first): the returned scores are the shadow scores,
+  /// and the result equals an unpruned shadow scan's top p because the
+  /// abandon threshold is widened by the computable quantization error
+  /// envelope (filter_precision.h) — a row whose EXACT score is within
+  /// the current threshold is never abandoned, so pruning cannot lose
+  /// candidates beyond what quantized RANKING itself loses (which the
+  /// benches measure as recall@k).  Refine re-scores candidates from the
+  /// float64 rows of the same snapshot either way.
+  ///
+  /// The base implementation is the unpruned exact fallback (full Score
+  /// + SmallestK, kExact64 only); subclasses override with the fused
+  /// dispatched kernels.
+  virtual std::vector<ScoredIndex> ScoreTopP(
+      const Vector& embedded_query, const EmbeddedDatabase::View& db,
+      size_t p, FilterPrecision precision = FilterPrecision::kExact64) const;
 };
 
 /// Weighted-L1 scorer with query-sensitive weights A_i(q) from a model
@@ -52,9 +65,10 @@ class QuerySensitiveScorer : public FilterScorer {
       : model_(model) {}
   void Score(const Vector& embedded_query, const EmbeddedDatabase::View& db,
              std::vector<double>* scores) const override;
-  std::vector<ScoredIndex> ScoreTopP(const Vector& embedded_query,
-                                     const EmbeddedDatabase::View& db,
-                                     size_t p) const override;
+  std::vector<ScoredIndex> ScoreTopP(
+      const Vector& embedded_query, const EmbeddedDatabase::View& db,
+      size_t p,
+      FilterPrecision precision = FilterPrecision::kExact64) const override;
 
  private:
   /// The scan with A_i(q) already evaluated; both public entry points
@@ -73,9 +87,10 @@ class L2Scorer : public FilterScorer {
  public:
   void Score(const Vector& embedded_query, const EmbeddedDatabase::View& db,
              std::vector<double>* scores) const override;
-  std::vector<ScoredIndex> ScoreTopP(const Vector& embedded_query,
-                                     const EmbeddedDatabase::View& db,
-                                     size_t p) const override;
+  std::vector<ScoredIndex> ScoreTopP(
+      const Vector& embedded_query, const EmbeddedDatabase::View& db,
+      size_t p,
+      FilterPrecision precision = FilterPrecision::kExact64) const override;
 };
 
 /// Unweighted L1 scorer (Lipschitz embeddings).
@@ -83,9 +98,10 @@ class L1Scorer : public FilterScorer {
  public:
   void Score(const Vector& embedded_query, const EmbeddedDatabase::View& db,
              std::vector<double>* scores) const override;
-  std::vector<ScoredIndex> ScoreTopP(const Vector& embedded_query,
-                                     const EmbeddedDatabase::View& db,
-                                     size_t p) const override;
+  std::vector<ScoredIndex> ScoreTopP(
+      const Vector& embedded_query, const EmbeddedDatabase::View& db,
+      size_t p,
+      FilterPrecision precision = FilterPrecision::kExact64) const override;
 };
 
 }  // namespace qse

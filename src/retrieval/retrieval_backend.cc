@@ -26,6 +26,12 @@ Status ValidateRetrievalOptions(const RetrievalOptions& options) {
         "invalid priority enumerator: " +
         std::to_string(static_cast<size_t>(options.priority)));
   }
+  if (static_cast<size_t>(options.filter_precision) >=
+      static_cast<size_t>(kNumFilterPrecisions)) {
+    return Status::InvalidArgument(
+        "invalid filter_precision enumerator: " +
+        std::to_string(static_cast<size_t>(options.filter_precision)));
+  }
   return Status::OK();
 }
 

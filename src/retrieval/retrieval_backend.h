@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/embedding/embedder.h"
+#include "src/retrieval/filter_precision.h"
 #include "src/util/status.h"
 #include "src/util/statusor.h"
 #include "src/util/top_k.h"
@@ -61,6 +62,13 @@ struct RetrievalOptions {
   /// spends exact distances on it — never silently dropped or served
   /// late.  Direct engine calls do not check it.  Default: no deadline.
   RetrievalClock::time_point deadline = RetrievalClock::time_point::max();
+  /// What the filter scan streams: the exact float64 matrix (default,
+  /// bit-identical to the pre-dispatch engine) or a reduced-precision
+  /// shadow (2x / 8x fewer bytes; the backend's database must carry the
+  /// matching shadow — EnableFilterShadows — or the request fails with
+  /// FailedPrecondition).  Refine always re-scores with exact distances,
+  /// so this shifts top-p candidate recall, never final distances.
+  FilterPrecision filter_precision = FilterPrecision::kExact64;
 
   RetrievalOptions() = default;
   /// The common case: everything default except k and p.
@@ -77,9 +85,11 @@ struct RetrievalOptions {
   /// True when two requests are guaranteed identical backend results for
   /// the same dx, so a batcher may run them as one RetrieveBatch call.
   /// priority/tenant/deadline shape admission, num_threads shapes
-  /// execution; none of them change results.
+  /// execution; none of them change results.  filter_precision does —
+  /// different precisions rank the filter scan differently.
   bool SameResultKey(const RetrievalOptions& other) const {
-    return k == other.k && p == other.p && want_stats == other.want_stats;
+    return k == other.k && p == other.p && want_stats == other.want_stats &&
+           filter_precision == other.filter_precision;
   }
 };
 

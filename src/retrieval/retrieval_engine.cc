@@ -54,8 +54,21 @@ StatusOr<RetrievalResponse> RetrievalEngine::RetrieveOne(
   const size_t k = options.k;
   const size_t p = std::min(options.p, view.size());
 
+  // Reduced-precision scans need the matching shadow matrix in the
+  // pinned view; fail the request cleanly instead of tripping the
+  // scorer's internal contract check.
+  uint32_t needed = ShadowMaskFor(options.filter_precision);
+  if ((view.shadows() & needed) != needed) {
+    return Status::FailedPrecondition(
+        std::string("filter precision ") +
+        FilterPrecisionName(options.filter_precision) +
+        " needs a shadow matrix this database does not carry; call "
+        "EnableFilterShadows on it first");
+  }
+
   // Filter step: one streaming early-abandon scan keeping the top p.
-  std::vector<ScoredIndex> candidates = scorer_->ScoreTopP(fq, view, p);
+  std::vector<ScoredIndex> candidates =
+      scorer_->ScoreTopP(fq, view, p, options.filter_precision);
 
   // The monolithic engine is one pseudo-shard: every row scanned, every
   // candidate contributed — the same shape the sharded engine reports,

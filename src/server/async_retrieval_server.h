@@ -132,7 +132,8 @@ struct ServerStats {
 /// capped by the max_batch_delay window, so batch size tracks load — an
 /// idle server dispatches singletons immediately, a saturated one ships
 /// full batches.  Requests in one micro-batch that share a result key
-/// (RetrievalOptions::SameResultKey: equal k, p, want_stats) run as a
+/// (RetrievalOptions::SameResultKey: equal k, p, want_stats and
+/// filter_precision) run as a
 /// single RetrieveBatch call; each admitted, non-expired request's
 /// result is bit-identical to a direct RetrievalBackend::Retrieve.
 ///

@@ -35,6 +35,9 @@ ShardedRetrievalEngine::ShardedRetrievalEngine(const Embedder* embedder,
   for (size_t s = 0; s < options_.num_shards; ++s) {
     Shard shard;
     shard.db = std::make_unique<EmbeddedDatabase>(embedder_->dims());
+    if (options_.filter_shadows != 0) {
+      shard.db->EnableFilterShadows(options_.filter_shadows);
+    }
     shard.engine = std::make_unique<RetrievalEngine>(
         embedder_, scorer_, shard.db.get(), std::vector<size_t>{});
     shards_.push_back(std::move(shard));
@@ -72,6 +75,11 @@ ShardedRetrievalEngine::ShardedRetrievalEngine(
     ids_per_shard[s].push_back(id);
   }
   for (size_t s = 0; s < num_shards; ++s) {
+    // Shadows build after the bulk fill: one pass per shard instead of
+    // per-Append maintenance during partitioning.
+    if (options_.filter_shadows != 0) {
+      shards_[s].db->EnableFilterShadows(options_.filter_shadows);
+    }
     shards_[s].engine = std::make_unique<RetrievalEngine>(
         embedder_, scorer_, shards_[s].db.get(),
         std::move(ids_per_shard[s]));
@@ -117,6 +125,8 @@ StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
   // never tears the scan.  Grain 2: one item is a whole shard scan; a
   // single shard stays serial.
   const size_t num_shards = shards_.size();
+  const uint32_t needed_shadows = ShadowMaskFor(options.filter_precision);
+  std::atomic<bool> missing_shadow{false};
   std::vector<std::vector<ScoredIndex>> per_shard(num_shards);
   std::vector<size_t> rows_scanned(num_shards, 0);
   ParallelForGrain(
@@ -124,9 +134,14 @@ StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
       [&](size_t s) {
         EmbeddedDatabase::Snapshot snap = shards_[s].db->snapshot();
         const EmbeddedDatabase::View& view = snap.view();
+        if ((view.shadows() & needed_shadows) != needed_shadows) {
+          missing_shadow.store(true, std::memory_order_relaxed);
+          return;
+        }
         if (view.empty()) return;
         rows_scanned[s] = view.size();
-        std::vector<ScoredIndex> local = scorer_->ScoreTopP(fq, view, p);
+        std::vector<ScoredIndex> local =
+            scorer_->ScoreTopP(fq, view, p, options.filter_precision);
         // Translate shard-local rows to database ids through the same
         // snapshot, then re-sort: the shard's (score, row) tie order
         // need not survive the translation, and the k-way merge
@@ -136,6 +151,14 @@ StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
         per_shard[s] = std::move(local);
       },
       scatter_threads);
+
+  if (missing_shadow.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition(
+        std::string("filter precision ") +
+        FilterPrecisionName(options.filter_precision) +
+        " needs a shadow matrix the shards do not carry; construct the "
+        "engine with ShardedEngineOptions::filter_shadows");
+  }
 
   // The size() pre-check above is a momentary peek: concurrent removals
   // can empty every shard before the snapshots pin.  The pinned views

@@ -37,6 +37,11 @@ struct ShardedEngineOptions {
   /// this and parallelizes across queries instead, scanning each query's
   /// shards serially — one level of parallelism, never nested.
   size_t scatter_threads = 0;
+  /// Filter shadow matrices (kShadowFloat32 | kShadowInt8) every shard
+  /// database carries, enabling reduced-precision requests
+  /// (RetrievalOptions::filter_precision).  0 = exact-only, no shadow
+  /// memory.
+  uint32_t filter_shadows = 0;
 };
 
 /// Scatter/gather retrieval over S per-shard engines — the serving layer's

@@ -1,0 +1,58 @@
+#ifndef QSE_UTIL_ALIGNED_H_
+#define QSE_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace qse {
+
+/// Minimal C++17 aligned allocator: every allocation starts on an
+/// `Alignment`-byte boundary.  The embedded database's version buffers
+/// use it at 64 bytes so SIMD kernels can stream the float64 matrix and
+/// its reduced-precision shadows from cache-line-aligned bases (and so a
+/// row never straddles a cache line it did not have to).
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not be weaker than alignof(T)");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// A std::vector whose buffer is 64-byte aligned (one x86 cache line,
+/// one AVX-512 register width).
+template <typename T>
+using Aligned64Vector = std::vector<T, AlignedAllocator<T, 64>>;
+
+}  // namespace qse
+
+#endif  // QSE_UTIL_ALIGNED_H_

@@ -218,6 +218,32 @@ TEST_P(RequestValidationTest, BatchValidationMatchesSingle) {
   EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST_P(RequestValidationTest, InvalidFilterPrecisionIsInvalidArgument) {
+  RetrievalOptions ro(1, 5);
+  ro.filter_precision = static_cast<FilterPrecision>(99);
+  auto r = Call({QueryDx(40), ro});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("filter_precision"), std::string::npos);
+}
+
+TEST_P(RequestValidationTest, ReducedPrecisionWithoutShadowsFailsCleanly) {
+  // The fixture's databases carry no shadow matrices, so a reduced
+  // precision request is a precondition failure (the data cannot serve
+  // it), not a validation error (the option itself is legal).
+  for (FilterPrecision p :
+       {FilterPrecision::kFilter32, FilterPrecision::kFilter8}) {
+    RetrievalOptions ro(1, 5);
+    ro.filter_precision = p;
+    auto r = Call({QueryDx(40), ro});
+    ASSERT_FALSE(r.ok()) << FilterPrecisionName(p);
+    EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition)
+        << FilterPrecisionName(p);
+    EXPECT_NE(r.status().message().find("shadow"), std::string::npos)
+        << r.status();
+  }
+}
+
 TEST_P(RequestValidationTest, WantStatsReportsIdenticalTotalsEverywhere) {
   // Satellite of the redesign: stats are a response field with one shape
   // — shard_stats rows sum to the database size and candidates sum to

@@ -175,6 +175,30 @@ TEST(GoldenParityTest, RetrieveBatchMatchesPreRedesignOnBothEngines) {
   }
 }
 
+TEST(GoldenParityTest, ExplicitExact64PrecisionMatchesPreRedesign) {
+  // The SIMD-dispatch PR's contract: FilterPrecision::kExact64 (the
+  // default, here passed explicitly) is bit-identical to the pre-dispatch
+  // engine whatever ISA tier the process resolved — and enabling shadow
+  // matrices must not perturb the exact path either.
+  GoldenStack s;
+  s.db.EnableFilterShadows(kShadowFloat32 | kShadowInt8);
+  RetrievalEngine mono(&s.model, &s.scorer, &s.db, s.db_ids);
+  for (const GoldenCase& c : kGoldenCases) {
+    RetrievalOptions options(c.k, c.p);
+    options.filter_precision = FilterPrecision::kExact64;
+    RetrievalRequest request{s.QueryDx(c.query_id), options};
+    std::string context = "exact64 q=" + std::to_string(c.query_id) +
+                          " k=" + std::to_string(c.k) +
+                          " p=" + std::to_string(c.p);
+    auto got = mono.Retrieve(request);
+    ASSERT_TRUE(got.ok()) << got.status();
+    ExpectMatchesGolden(mono, *got, c, context);
+    auto sharded = s.sharded.Retrieve(request);
+    ASSERT_TRUE(sharded.ok()) << sharded.status();
+    ExpectMatchesGolden(s.sharded, *sharded, c, "sharded " + context);
+  }
+}
+
 TEST(GoldenParityTest, AsyncServerMatchesPreRedesignOnBothEngines) {
   GoldenStack s;
   const RetrievalBackend* backends[] = {&s.mono, &s.sharded};

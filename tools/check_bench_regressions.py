@@ -27,6 +27,46 @@ import os
 import sys
 
 
+def _cpu_flags():
+    """The host's CPUID feature flags (Linux); empty elsewhere."""
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("flags"):
+                    return set(line.split(":", 1)[1].split())
+    except OSError:
+        pass
+    return set()
+
+
+def filter8_speedup_bound():
+    """Max allowed time ratio, int8 filter scan vs the seed scalar
+    float64 scan (n=1M, d=256, p=500).
+
+    The SIMD-dispatch acceptance gate: >= 3x single-thread filter-scan
+    throughput on AVX-512 hosts (measured ~3.7x).  AVX2 hosts run
+    half-width vectors, so demand 2x; hosts with neither dispatch the
+    scalar tier, where int8's only edge is 8x smaller memory traffic —
+    demand "not slower" plus noise."""
+    flags = _cpu_flags()
+    if "avx512f" in flags:
+        return 1.0 / 3.0
+    if "avx2" in flags:
+        return 0.50
+    return 1.05
+
+
+def filter32_speedup_bound():
+    """Max allowed time ratio, float32 filter scan vs the seed scalar
+    float64 scan.  The float32 path is DRAM-bandwidth bound at half the
+    traffic of float64; on any SIMD tier it must clear 1.8x (measured
+    ~2.3x), and scalar hosts must at least not lose."""
+    flags = _cpu_flags()
+    if "avx512f" in flags or "avx2" in flags:
+        return 0.55
+    return 1.05
+
+
 def sharded_speedup_bound():
     """Max allowed time ratio for the sharded S=8 single-query config.
 
@@ -177,6 +217,64 @@ RULES = [
         "priority lanes: high-lane p99 under saturation vs low lane",
         "p99",
     ),
+    # Runtime dispatch on the exact path must never lose to the seed
+    # scalar scan it replaced (same math, same bits, wider registers).
+    (
+        "BM_FilterScanPrecision_Exact64",
+        "BM_FilterScanPrecision_SeedScalar",
+        1.10,
+        "dispatched exact64 scan vs seed scalar scan (n=1M, d=256)",
+        "real_time",
+    ),
+    # The mixed-precision acceptance gates (host-tier adaptive).
+    (
+        "BM_FilterScanPrecision_Filter32",
+        "BM_FilterScanPrecision_SeedScalar",
+        filter32_speedup_bound,
+        "float32 filter scan speedup vs seed scalar (n=1M, d=256)",
+        "real_time",
+    ),
+    (
+        "BM_FilterScanPrecision_Filter8",
+        "BM_FilterScanPrecision_SeedScalar",
+        filter8_speedup_bound,
+        "int8 filter scan speedup vs seed scalar (n=1M, d=256)",
+        "real_time",
+    ),
+]
+
+# (benchmark, counter, min value, label).  google-benchmark user
+# counters (e.g. the recall_at_k counters the precision scans emit)
+# appear as top-level fields of a benchmark entry; a floor fails when
+# the value drops below the minimum.  Recall here is deterministic —
+# the reduced kernels are bit-identical across ISA tiers and the
+# widened abandon threshold is rounding-safe — so the floors are tight
+# (both modes measure recall 1.0 at p=500 over the true top-100).
+FLOOR_RULES = [
+    (
+        "BM_FilterScanPrecision_Filter32",
+        "recall_at_10",
+        0.995,
+        "float32 filter recall@10 (n=1M, d=256, p=500)",
+    ),
+    (
+        "BM_FilterScanPrecision_Filter32",
+        "recall_at_100",
+        0.99,
+        "float32 filter recall@100 (n=1M, d=256, p=500)",
+    ),
+    (
+        "BM_FilterScanPrecision_Filter8",
+        "recall_at_10",
+        0.995,
+        "int8 filter recall@10 (n=1M, d=256, p=500)",
+    ),
+    (
+        "BM_FilterScanPrecision_Filter8",
+        "recall_at_100",
+        0.99,
+        "int8 filter recall@100 (n=1M, d=256, p=500)",
+    ),
 ]
 
 
@@ -237,6 +335,19 @@ def main():
         print(f"{status:7}  {label}: ratio {ratio:.3f} (bound {bound:.2f}, "
               f"speedup {1.0 / ratio:.2f}x)")
         if ratio > bound:
+            failures.append(label)
+
+    for name, counter, floor, label in FLOOR_RULES:
+        val = metric_value(benchmarks, name, counter)
+        if val is None:
+            msg = f"MISSING  {label}: needs {counter} of {name}"
+            print(msg)
+            if args.strict:
+                failures.append(msg)
+            continue
+        status = "FAIL" if val < floor else "ok"
+        print(f"{status:7}  {label}: {val:.4f} (floor {floor:.3f})")
+        if val < floor:
             failures.append(label)
 
     if failures:
