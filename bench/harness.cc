@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "src/data/digit_generator.h"
+#include "src/obs/exposition.h"
 #include "src/data/timeseries_generator.h"
 #include "src/distance/dtw.h"
 #include "src/matching/shape_context_distance.h"
@@ -272,6 +273,30 @@ MethodLadder RunFastMap(const Workload& workload, const GroundTruth& gt,
   QSE_LOG(workload.name << ": evaluated FastMap ladder in "
                         << timer.Seconds() << "s total");
   return result;
+}
+
+namespace {
+
+/// Writes `content` to `path` whole; shared by the metric exporters.
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << content;
+  out.flush();
+  if (!out) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteMetricsJson(const std::string& path,
+                        const obs::MetricRegistry& registry) {
+  return WriteTextFile(path, obs::MetricsJson(registry));
+}
+
+Status WriteMetricsPrometheus(const std::string& path,
+                              const obs::MetricRegistry& registry) {
+  return WriteTextFile(path, obs::PrometheusText(registry));
 }
 
 std::string ResultsPath(const std::string& stem) {

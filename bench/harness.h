@@ -7,6 +7,7 @@
 
 #include "src/core/trainer.h"
 #include "src/data/dataset.h"
+#include "src/obs/metric_registry.h"
 #include "src/data/distance_cache.h"
 #include "src/distance/series.h"
 #include "src/embedding/fastmap.h"
@@ -149,6 +150,17 @@ struct BenchJsonEntry {
 /// by tools/check_bench_regressions.py and the CI artifact tooling.
 Status WriteBenchJson(const std::string& path,
                       const std::vector<BenchJsonEntry>& entries);
+
+/// Writes a metric-registry snapshot as the obs::MetricsJson document
+/// ({"counters":...,"gauges":...,"histograms":...}) — the CI metrics
+/// artifact tools/check_bench_regressions.py applies presence floors to.
+Status WriteMetricsJson(const std::string& path,
+                        const obs::MetricRegistry& registry);
+
+/// Writes the same snapshot in Prometheus text exposition (0.0.4), the
+/// scrape-shaped twin of WriteMetricsJson for dashboards and diffing.
+Status WriteMetricsPrometheus(const std::string& path,
+                              const obs::MetricRegistry& registry);
 
 /// Writes the full k = 1..kmax cost series (one column per method) for a
 /// fixed accuracy — the machine-readable form of one panel of Fig. 4/5.

@@ -1,0 +1,92 @@
+// Microbenchmarks for the observability hot paths: the striped counter
+// Add, the histogram Record (binary search + striped fetch_add + packed
+// double CAS), and the cost of one trace span — both the null-trace
+// branch an untraced request pays at every span site and the real
+// record a sampled request pays.  The metric paths sit inside the
+// per-request (and in FilterScorer's case, per-scan) serving loop, so
+// the acceptance bar is single-digit-to-low-double-digit nanoseconds.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/obs/metric_registry.h"
+#include "src/obs/trace.h"
+
+namespace qse {
+namespace {
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Counter counter;
+  for (auto _ : state) {
+    counter.Increment();
+  }
+  benchmark::DoNotOptimize(counter.Value());
+}
+BENCHMARK(BM_CounterAdd)->ThreadRange(1, 8);
+
+void BM_GaugeSet(benchmark::State& state) {
+  obs::Gauge gauge;
+  int64_t v = 0;
+  for (auto _ : state) {
+    gauge.Set(v++);
+  }
+  benchmark::DoNotOptimize(gauge.Value());
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram histogram(obs::DefaultLatencyBoundariesNs());
+  double value = 1.0;
+  for (auto _ : state) {
+    histogram.Record(value);
+    value = value < 4.0e9 ? value * 1.7 : 1.0;  // Sweep the buckets.
+  }
+  benchmark::DoNotOptimize(histogram.Snapshot().count);
+}
+BENCHMARK(BM_HistogramRecord)->ThreadRange(1, 8);
+
+void BM_HistogramSnapshot(benchmark::State& state) {
+  obs::Histogram histogram(obs::DefaultLatencyBoundariesNs());
+  for (int i = 0; i < 1000; ++i) histogram.Record(static_cast<double>(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(histogram.Snapshot());
+  }
+}
+BENCHMARK(BM_HistogramSnapshot);
+
+void BM_TraceSpanNullTrace(benchmark::State& state) {
+  // The untraced fast path: what every un-sampled request pays at each
+  // span site — one branch.
+  for (auto _ : state) {
+    uint64_t start = obs::TraceNowNs(nullptr);
+    benchmark::DoNotOptimize(start);
+    obs::TraceMark(nullptr, "stage", start);
+  }
+}
+BENCHMARK(BM_TraceSpanNullTrace);
+
+void BM_TraceSpanRecorded(benchmark::State& state) {
+  // The sampled path: clock read + lock + vector push per span.  A real
+  // request records tens of spans, not millions — recycle the trace
+  // periodically so the measurement is the record cost, not the memory
+  // growth of one absurdly deep trace.
+  auto trace = std::make_unique<obs::RequestTrace>();
+  size_t recorded = 0;
+  for (auto _ : state) {
+    uint64_t start = obs::TraceNowNs(trace.get());
+    obs::TraceMark(trace.get(), "stage", start,
+                   {obs::TraceArg{"rows", 1024, nullptr}});
+    if (++recorded % 4096 == 0) {
+      state.PauseTiming();
+      trace = std::make_unique<obs::RequestTrace>();
+      state.ResumeTiming();
+    }
+  }
+  benchmark::DoNotOptimize(trace->spans().size());
+}
+BENCHMARK(BM_TraceSpanRecorded);
+
+}  // namespace
+}  // namespace qse
+
+BENCHMARK_MAIN();

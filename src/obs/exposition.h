@@ -1,0 +1,28 @@
+#ifndef QSE_OBS_EXPOSITION_H_
+#define QSE_OBS_EXPOSITION_H_
+
+#include <string>
+
+#include "src/obs/metric_registry.h"
+
+namespace qse {
+namespace obs {
+
+/// Prometheus text exposition (version 0.0.4) of every metric in the
+/// registry, in lexicographic name order.  Counters get `# TYPE x
+/// counter`, gauges `gauge`, histograms the cumulative `_bucket{le=}` /
+/// `_sum` / `_count` triple.  Labels encoded in metric names
+/// (`name{k="v"}`) are folded into the series labels; the # TYPE line
+/// uses the base name and is emitted once per base name.
+std::string PrometheusText(const MetricRegistry& registry);
+
+/// The same registry as one JSON object:
+/// {"counters":{name:value,...},"gauges":{...},
+///  "histograms":{name:{"count":n,"sum":s,"p50":...,"p99":...},...}}.
+/// Machine-diffable dump for bench artifacts and the regression checker.
+std::string MetricsJson(const MetricRegistry& registry);
+
+}  // namespace obs
+}  // namespace qse
+
+#endif  // QSE_OBS_EXPOSITION_H_

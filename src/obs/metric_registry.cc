@@ -1,0 +1,176 @@
+#include "src/obs/metric_registry.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace qse {
+namespace obs {
+namespace internal {
+
+size_t ThisThreadStripe() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+  return stripe;
+}
+
+}  // namespace internal
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Nearest-rank target, 1-based, matching the bench harness convention.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < bucket_counts.size(); ++b) {
+    uint64_t in_bucket = bucket_counts[b];
+    if (seen + in_bucket < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    if (b >= boundaries.size()) {
+      // Overflow bucket: no upper edge; report its lower boundary.
+      return boundaries.empty() ? 0.0 : boundaries.back();
+    }
+    double lo = (b == 0) ? 0.0 : boundaries[b - 1];
+    double hi = boundaries[b];
+    if (in_bucket == 0) return hi;
+    double frac =
+        static_cast<double>(rank - seen) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * frac;
+  }
+  return boundaries.empty() ? 0.0 : boundaries.back();
+}
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)),
+      num_buckets_(boundaries_.size() + 1) {
+  for (size_t i = 1; i < boundaries_.size(); ++i) {
+    QSE_CHECK_MSG(boundaries_[i] > boundaries_[i - 1],
+                  "histogram boundaries must be strictly ascending");
+  }
+  // slots layout per stripe: [bucket counts..., count, packed sum].
+  const size_t slots = num_buckets_ + 2;
+  for (auto& cell : cells_) {
+    cell.slots.reset(new std::atomic<uint64_t>[slots]);
+    for (size_t i = 0; i < slots; ++i) {
+      cell.slots[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t Histogram::BucketOf(double value) const {
+  // First boundary >= value; past-the-end lands in the overflow bucket.
+  return static_cast<size_t>(
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), value) -
+      boundaries_.begin());
+}
+
+void Histogram::Record(double value) {
+  Cell& cell = cells_[internal::ThisThreadStripe()];
+  cell.slots[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  cell.slots[num_buckets_].fetch_add(1, std::memory_order_relaxed);
+  // Sum: CAS loop over the double's bit pattern.  Uncontended in the
+  // common case (each stripe has few writers), so the loop rarely spins.
+  std::atomic<uint64_t>& sum_slot = cell.slots[num_buckets_ + 1];
+  uint64_t observed = sum_slot.load(std::memory_order_relaxed);
+  for (;;) {
+    double current;
+    std::memcpy(&current, &observed, sizeof(current));
+    double next = current + value;
+    uint64_t desired;
+    std::memcpy(&desired, &next, sizeof(desired));
+    if (sum_slot.compare_exchange_weak(observed, desired,
+                                       std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.boundaries = boundaries_;
+  snap.bucket_counts.assign(num_buckets_, 0);
+  for (const auto& cell : cells_) {
+    for (size_t b = 0; b < num_buckets_; ++b) {
+      snap.bucket_counts[b] += cell.slots[b].load(std::memory_order_relaxed);
+    }
+    snap.count += cell.slots[num_buckets_].load(std::memory_order_relaxed);
+    uint64_t bits =
+        cell.slots[num_buckets_ + 1].load(std::memory_order_relaxed);
+    double part;
+    std::memcpy(&part, &bits, sizeof(part));
+    snap.sum += part;
+  }
+  return snap;
+}
+
+std::vector<double> ExponentialBoundaries(double first, double factor,
+                                          size_t count) {
+  QSE_CHECK_MSG(first > 0 && factor > 1 && count > 0,
+                "ExponentialBoundaries needs first > 0, factor > 1, count > 0");
+  std::vector<double> boundaries;
+  boundaries.reserve(count);
+  double edge = first;
+  for (size_t i = 0; i < count; ++i) {
+    boundaries.push_back(edge);
+    edge *= factor;
+  }
+  return boundaries;
+}
+
+std::vector<double> DefaultLatencyBoundariesNs() {
+  // 1us, 2us, 4us, ..., ~4.3s: 23 buckets covering every stage this
+  // codebase times, cheap enough to keep on every latency metric.
+  return ExponentialBoundaries(1e3, 2.0, 23);
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = metrics_[name];
+  QSE_CHECK_MSG(entry.gauge == nullptr && entry.histogram == nullptr,
+                "metric '" << name << "' already registered with another type");
+  if (entry.counter == nullptr) entry.counter.reset(new Counter);
+  return entry.counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = metrics_[name];
+  QSE_CHECK_MSG(entry.counter == nullptr && entry.histogram == nullptr,
+                "metric '" << name << "' already registered with another type");
+  if (entry.gauge == nullptr) entry.gauge.reset(new Gauge);
+  return entry.gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        std::vector<double> boundaries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = metrics_[name];
+  QSE_CHECK_MSG(entry.counter == nullptr && entry.gauge == nullptr,
+                "metric '" << name << "' already registered with another type");
+  if (entry.histogram == nullptr) {
+    entry.histogram.reset(new Histogram(std::move(boundaries)));
+  }
+  return entry.histogram.get();
+}
+
+void MetricRegistry::ForEach(
+    const std::function<void(const std::string&, const Counter*, const Gauge*,
+                             const Histogram*)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& kv : metrics_) {
+    fn(kv.first, kv.second.counter.get(), kv.second.gauge.get(),
+       kv.second.histogram.get());
+  }
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry;
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace qse

@@ -23,13 +23,16 @@ namespace {
 /// ties by row index exactly like SmallestK.
 template <typename RowScoreFn>
 std::vector<ScoredIndex> TopPScan(const EmbeddedDatabase::View& db, size_t p,
-                                  const RowScoreFn& row_score) {
+                                  const RowScoreFn& row_score,
+                                  FilterScanStats* scan_stats) {
   const size_t n = db.size();
   const size_t d = db.dims();
   BoundedTopK top(std::min(p, n));
+  size_t pruned = 0;
   for (size_t i = 0; i < n; ++i) {
-    top.Offer({i, row_score(db.row(i), d, top.threshold())});
+    pruned += !top.Offer({i, row_score(db.row(i), d, top.threshold())});
   }
+  if (scan_stats != nullptr) *scan_stats = FilterScanStats{n, pruned};
   return top.TakeSortedAscending();
 }
 
@@ -41,9 +44,11 @@ template <typename RowScoreFn>
 std::vector<ScoredIndex> TopPScanReduced(const EmbeddedDatabase::View& db,
                                          size_t p,
                                          const ReducedPrecisionBound& bound,
-                                         const RowScoreFn& row_score) {
+                                         const RowScoreFn& row_score,
+                                         FilterScanStats* scan_stats) {
   const size_t n = db.size();
   BoundedTopK top(std::min(p, n));
+  size_t pruned = 0;
   // Widening costs a divide; the threshold only moves when an Offer is
   // accepted (at most p times once the heap is warm), so cache the
   // widened value until it does.  +inf != +inf is false, so the initial
@@ -57,8 +62,9 @@ std::vector<ScoredIndex> TopPScanReduced(const EmbeddedDatabase::View& db,
       cached_threshold = t;
       widened = FloatAtLeast(WidenedAbandonThreshold(t, bound));
     }
-    top.Offer({i, static_cast<double>(row_score(i, widened))});
+    pruned += !top.Offer({i, static_cast<double>(row_score(i, widened))});
   }
+  if (scan_stats != nullptr) *scan_stats = FilterScanStats{n, pruned};
   return top.TakeSortedAscending();
 }
 
@@ -94,13 +100,17 @@ std::vector<int8_t> QuantizeQuery(const double* q, const float* scales,
 
 std::vector<ScoredIndex> FilterScorer::ScoreTopP(
     const Vector& embedded_query, const EmbeddedDatabase::View& db, size_t p,
-    FilterPrecision precision) const {
+    FilterPrecision precision, FilterScanStats* scan_stats) const {
   QSE_CHECK_MSG(precision == FilterPrecision::kExact64,
                 "the fallback ScoreTopP only implements kExact64; scorers "
                 "with reduced-precision support override it");
   std::vector<double> scores;
   Score(embedded_query, db, &scores);
-  return SmallestK(scores, p);
+  std::vector<ScoredIndex> best = SmallestK(scores, p);
+  if (scan_stats != nullptr) {
+    *scan_stats = FilterScanStats{db.size(), db.size() - best.size()};
+  }
+  return best;
 }
 
 void QuerySensitiveScorer::ScoreWithWeights(const Vector& weights,
@@ -125,7 +135,7 @@ void QuerySensitiveScorer::Score(const Vector& embedded_query,
 
 std::vector<ScoredIndex> QuerySensitiveScorer::ScoreTopP(
     const Vector& embedded_query, const EmbeddedDatabase::View& db, size_t p,
-    FilterPrecision precision) const {
+    FilterPrecision precision, FilterScanStats* scan_stats) const {
   Vector weights = model_->QueryWeights(embedded_query);
   const size_t d = db.dims();
   QSE_CHECK(embedded_query.size() == d);
@@ -145,7 +155,11 @@ std::vector<ScoredIndex> QuerySensitiveScorer::ScoreTopP(
     // paying a second A_i(q) evaluation inside Score().
     std::vector<double> scores;
     ScoreWithWeights(weights, embedded_query, db, &scores);
-    return SmallestK(scores, p);
+    std::vector<ScoredIndex> best = SmallestK(scores, p);
+    if (scan_stats != nullptr) {
+      *scan_stats = FilterScanStats{db.size(), db.size() - best.size()};
+    }
+    return best;
   }
   const double* q = embedded_query.data();
   const double* w = weights.data();
@@ -158,7 +172,7 @@ std::vector<ScoredIndex> QuerySensitiveScorer::ScoreTopP(
     ReducedPrecisionBound bound = F32BoundWeightedL1(w, q, d);
     return TopPScanReduced(db, p, bound, [&](size_t i, float widened) {
       return k->wl1_f32(qf.data(), db.row_f32(i), wf.data(), d, widened);
-    });
+    }, scan_stats);
   }
   if (precision == FilterPrecision::kFilter8) {
     QSE_CHECK_MSG(db.has_i8(), "kFilter8 scan on a view without an int8 "
@@ -177,11 +191,11 @@ std::vector<ScoredIndex> QuerySensitiveScorer::ScoreTopP(
         PrefetchI8Row(db.row_i8(i + kI8PrefetchRowsAhead), d);
       }
       return k->wl1_i8(qq.data(), db.row_i8(i), c.data(), d, widened);
-    });
+    }, scan_stats);
   }
   return TopPScan(db, p, [q, w, k](const double* x, size_t dd, double t) {
     return k->wl1_f64(q, x, w, dd, t);
-  });
+  }, scan_stats);
 }
 
 void L2Scorer::Score(const Vector& embedded_query,
@@ -198,7 +212,9 @@ void L2Scorer::Score(const Vector& embedded_query,
 std::vector<ScoredIndex> L2Scorer::ScoreTopP(const Vector& embedded_query,
                                              const EmbeddedDatabase::View& db,
                                              size_t p,
-                                             FilterPrecision precision) const {
+                                             FilterPrecision precision,
+                                             FilterScanStats* scan_stats)
+    const {
   const size_t d = db.dims();
   QSE_CHECK(embedded_query.size() == d);
   const double* q = embedded_query.data();
@@ -210,7 +226,7 @@ std::vector<ScoredIndex> L2Scorer::ScoreTopP(const Vector& embedded_query,
     ReducedPrecisionBound bound = F32BoundSquaredL2(q, d);
     return TopPScanReduced(db, p, bound, [&](size_t i, float widened) {
       return k->l2_f32(qf.data(), db.row_f32(i), d, widened);
-    });
+    }, scan_stats);
   }
   if (precision == FilterPrecision::kFilter8) {
     QSE_CHECK_MSG(db.has_i8(), "kFilter8 scan on a view without an int8 "
@@ -230,11 +246,11 @@ std::vector<ScoredIndex> L2Scorer::ScoreTopP(const Vector& embedded_query,
         PrefetchI8Row(db.row_i8(i + kI8PrefetchRowsAhead), d);
       }
       return k->wl2_i8(qq.data(), db.row_i8(i), c.data(), d, widened);
-    });
+    }, scan_stats);
   }
   return TopPScan(db, p, [q, k](const double* x, size_t dd, double t) {
     return k->l2_f64(q, x, dd, t);
-  });
+  }, scan_stats);
 }
 
 void L1Scorer::Score(const Vector& embedded_query,
@@ -251,7 +267,9 @@ void L1Scorer::Score(const Vector& embedded_query,
 std::vector<ScoredIndex> L1Scorer::ScoreTopP(const Vector& embedded_query,
                                              const EmbeddedDatabase::View& db,
                                              size_t p,
-                                             FilterPrecision precision) const {
+                                             FilterPrecision precision,
+                                             FilterScanStats* scan_stats)
+    const {
   const size_t d = db.dims();
   QSE_CHECK(embedded_query.size() == d);
   const double* q = embedded_query.data();
@@ -263,7 +281,7 @@ std::vector<ScoredIndex> L1Scorer::ScoreTopP(const Vector& embedded_query,
     ReducedPrecisionBound bound = F32BoundWeightedL1(nullptr, q, d);
     return TopPScanReduced(db, p, bound, [&](size_t i, float widened) {
       return k->l1_f32(qf.data(), db.row_f32(i), d, widened);
-    });
+    }, scan_stats);
   }
   if (precision == FilterPrecision::kFilter8) {
     QSE_CHECK_MSG(db.has_i8(), "kFilter8 scan on a view without an int8 "
@@ -277,11 +295,11 @@ std::vector<ScoredIndex> L1Scorer::ScoreTopP(const Vector& embedded_query,
         PrefetchI8Row(db.row_i8(i + kI8PrefetchRowsAhead), d);
       }
       return k->wl1_i8(qq.data(), db.row_i8(i), s, d, widened);
-    });
+    }, scan_stats);
   }
   return TopPScan(db, p, [q, k](const double* x, size_t dd, double t) {
     return k->l1_f64(q, x, dd, t);
-  });
+  }, scan_stats);
 }
 
 }  // namespace qse

@@ -10,6 +10,17 @@
 
 namespace qse {
 
+/// Counters from one ScoreTopP scan, for trace spans and engine metrics.
+struct FilterScanStats {
+  /// Rows the scan streamed over (the view's size).
+  size_t rows_visited = 0;
+  /// Rows that never entered the running top-p: early-abandoned by the
+  /// pruning threshold or completed with a worse score.  The complement
+  /// (rows_visited - rows_pruned) is how many times the top-p heap
+  /// accepted a row.
+  size_t rows_pruned = 0;
+};
+
 /// Scores an embedded query against every database row; the filter step's
 /// ranking function.  Implementations: the query-sensitive D_out for
 /// BoostMap models, plain L2 for FastMap, plain L1 for Lipschitz.
@@ -52,9 +63,13 @@ class FilterScorer {
   /// The base implementation is the unpruned exact fallback (full Score
   /// + SmallestK, kExact64 only); subclasses override with the fused
   /// dispatched kernels.
+  ///
+  /// A non-null `scan_stats` is filled with the scan's row counters
+  /// (overwritten, not accumulated); null skips the bookkeeping.
   virtual std::vector<ScoredIndex> ScoreTopP(
       const Vector& embedded_query, const EmbeddedDatabase::View& db,
-      size_t p, FilterPrecision precision = FilterPrecision::kExact64) const;
+      size_t p, FilterPrecision precision = FilterPrecision::kExact64,
+      FilterScanStats* scan_stats = nullptr) const;
 };
 
 /// Weighted-L1 scorer with query-sensitive weights A_i(q) from a model
@@ -67,8 +82,8 @@ class QuerySensitiveScorer : public FilterScorer {
              std::vector<double>* scores) const override;
   std::vector<ScoredIndex> ScoreTopP(
       const Vector& embedded_query, const EmbeddedDatabase::View& db,
-      size_t p,
-      FilterPrecision precision = FilterPrecision::kExact64) const override;
+      size_t p, FilterPrecision precision = FilterPrecision::kExact64,
+      FilterScanStats* scan_stats = nullptr) const override;
 
  private:
   /// The scan with A_i(q) already evaluated; both public entry points
@@ -89,8 +104,8 @@ class L2Scorer : public FilterScorer {
              std::vector<double>* scores) const override;
   std::vector<ScoredIndex> ScoreTopP(
       const Vector& embedded_query, const EmbeddedDatabase::View& db,
-      size_t p,
-      FilterPrecision precision = FilterPrecision::kExact64) const override;
+      size_t p, FilterPrecision precision = FilterPrecision::kExact64,
+      FilterScanStats* scan_stats = nullptr) const override;
 };
 
 /// Unweighted L1 scorer (Lipschitz embeddings).
@@ -100,8 +115,8 @@ class L1Scorer : public FilterScorer {
              std::vector<double>* scores) const override;
   std::vector<ScoredIndex> ScoreTopP(
       const Vector& embedded_query, const EmbeddedDatabase::View& db,
-      size_t p,
-      FilterPrecision precision = FilterPrecision::kExact64) const override;
+      size_t p, FilterPrecision precision = FilterPrecision::kExact64,
+      FilterScanStats* scan_stats = nullptr) const override;
 };
 
 }  // namespace qse

@@ -3,19 +3,25 @@
 
 #include <chrono>
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/embedding/embedder.h"
+#include "src/obs/trace.h"
 #include "src/retrieval/filter_precision.h"
 #include "src/util/status.h"
 #include "src/util/statusor.h"
+#include "src/util/timer.h"
 #include "src/util/top_k.h"
 
 namespace qse {
 
-/// Clock used for request deadlines (steady: immune to wall-clock jumps).
-using RetrievalClock = std::chrono::steady_clock;
+/// Clock used for request deadlines and trace timestamps.  MonotonicClock
+/// is steady_clock-backed (immune to wall-clock jumps) and overridable
+/// with a FakeClock in tests, so deadline tests advance time instead of
+/// sleeping.
+using RetrievalClock = MonotonicClock;
 
 /// Admission priority of one request.  Lanes are strict: the serving
 /// layer dequeues kHigh before kNormal before kLow, and sheds kLow first
@@ -108,6 +114,11 @@ Status ValidateRetrievalOptions(const RetrievalOptions& options);
 struct RetrievalRequest {
   DxToDatabaseFn dx;
   RetrievalOptions options;
+  /// When non-null, the backend records per-stage spans (embed, filter
+  /// scan, merge, refine) into this trace.  Null (the default) costs one
+  /// pointer check per stage.  Shared with the response so the serving
+  /// layer and the caller read the same object.
+  std::shared_ptr<obs::RequestTrace> trace;
 };
 
 /// Per-shard counters from one retrieval (want_stats); the raw material
@@ -137,6 +148,10 @@ struct RetrievalResponse {
   /// s of the sharded engine; the monolithic engine reports its whole
   /// database as shard_stats[0].  Empty otherwise.
   std::vector<ShardScanStats> shard_stats;
+  /// The request's trace, passed through when the request carried one
+  /// (sampled requests in the async server); null otherwise.  By the
+  /// time the caller holds the response, every backend span is closed.
+  std::shared_ptr<obs::RequestTrace> trace;
 };
 
 /// The serving-facing face of a retrieval engine: the filter-and-refine

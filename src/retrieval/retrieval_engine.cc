@@ -2,16 +2,46 @@
 
 #include <algorithm>
 
+#include "src/distance/simd/dispatch.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
+#include "src/util/timer.h"
 
 namespace qse {
+namespace {
+
+/// Nanoseconds elapsed since `start` (histogram-record helper).
+double NsSince(MonotonicClock::time_point start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          MonotonicClock::now() - start)
+          .count());
+}
+
+}  // namespace
 
 RetrievalEngine::RetrievalEngine(const Embedder* embedder,
                                  const FilterScorer* scorer,
                                  EmbeddedDatabase* db,
                                  std::vector<size_t> db_ids)
-    : embedder_(embedder), scorer_(scorer), db_(db) {
+    : embedder_(embedder),
+      scorer_(scorer),
+      db_(db),
+      retrievals_total_(obs::MetricRegistry::Global().GetCounter(
+          "qse_engine_retrievals_total")),
+      exact_distances_total_(obs::MetricRegistry::Global().GetCounter(
+          "qse_engine_exact_distances_total")),
+      filter_rows_visited_total_(obs::MetricRegistry::Global().GetCounter(
+          "qse_engine_filter_rows_visited_total")),
+      filter_rows_pruned_total_(obs::MetricRegistry::Global().GetCounter(
+          "qse_engine_filter_rows_pruned_total")),
+      embed_ns_(obs::MetricRegistry::Global().GetHistogram(
+          "qse_engine_embed_latency_ns", obs::DefaultLatencyBoundariesNs())),
+      filter_ns_(obs::MetricRegistry::Global().GetHistogram(
+          "qse_engine_filter_latency_ns", obs::DefaultLatencyBoundariesNs())),
+      refine_ns_(obs::MetricRegistry::Global().GetHistogram(
+          "qse_engine_refine_latency_ns", obs::DefaultLatencyBoundariesNs())) {
   QSE_CHECK(db_->size() == db_ids.size());
   db_->AssignIds(db_ids);
   row_of_.reserve(db_ids.size());
@@ -23,11 +53,15 @@ RetrievalEngine::RetrievalEngine(const Embedder* embedder,
 
 StatusOr<RetrievalResponse> RetrievalEngine::Retrieve(
     const RetrievalRequest& request) const {
-  return RetrieveOne(request.dx, request.options);
+  StatusOr<RetrievalResponse> result =
+      RetrieveOne(request.dx, request.options, request.trace.get());
+  if (result.ok()) result.value().trace = request.trace;
+  return result;
 }
 
 StatusOr<RetrievalResponse> RetrievalEngine::RetrieveOne(
-    const DxToDatabaseFn& dx, const RetrievalOptions& options) const {
+    const DxToDatabaseFn& dx, const RetrievalOptions& options,
+    obs::RequestTrace* trace) const {
   QSE_RETURN_IF_ERROR(ValidateRetrievalOptions(options));
   // Fast-fail on an empty database before spending embedding distances
   // on `dx` (cheap atomic peek; the pinned snapshot below re-checks
@@ -40,7 +74,11 @@ StatusOr<RetrievalResponse> RetrievalEngine::RetrieveOne(
   // Embedding step: before the snapshot pin — it only talks to `dx`,
   // and shorter pins let mutations reclaim retired versions sooner.
   size_t embed_cost = 0;
+  uint64_t span_start = obs::TraceNowNs(trace);
+  MonotonicClock::time_point stage_start = MonotonicClock::now();
   Vector fq = embedder_->Embed(dx, &embed_cost);
+  embed_ns_->Record(NsSince(stage_start));
+  obs::TraceMark(trace, "embed", span_start);
   response.embedding_distances = embed_cost;
 
   // Pin one consistent (rows, ids, count) snapshot for the whole query:
@@ -67,8 +105,24 @@ StatusOr<RetrievalResponse> RetrievalEngine::RetrieveOne(
   }
 
   // Filter step: one streaming early-abandon scan keeping the top p.
+  FilterScanStats scan_stats;
+  span_start = obs::TraceNowNs(trace);
+  stage_start = MonotonicClock::now();
   std::vector<ScoredIndex> candidates =
-      scorer_->ScoreTopP(fq, view, p, options.filter_precision);
+      scorer_->ScoreTopP(fq, view, p, options.filter_precision, &scan_stats);
+  filter_ns_->Record(NsSince(stage_start));
+  filter_rows_visited_total_->Add(scan_stats.rows_visited);
+  filter_rows_pruned_total_->Add(scan_stats.rows_pruned);
+  obs::TraceMark(
+      trace, "filter_scan", span_start,
+      {obs::TraceArg{"rows", static_cast<int64_t>(scan_stats.rows_visited),
+                     nullptr},
+       obs::TraceArg{"rows_pruned",
+                     static_cast<int64_t>(scan_stats.rows_pruned), nullptr},
+       obs::TraceArg{"simd", 0,
+                     simd::SimdLevelName(simd::ActiveSimdLevel())},
+       obs::TraceArg{"precision", 0,
+                     FilterPrecisionName(options.filter_precision)}});
 
   // The monolithic engine is one pseudo-shard: every row scanned, every
   // candidate contributed — the same shape the sharded engine reports,
@@ -79,6 +133,8 @@ StatusOr<RetrievalResponse> RetrievalEngine::RetrieveOne(
 
   // Refine step: exact distances on the p candidates only, resolving
   // rows to database ids through the pinned snapshot's id column.
+  span_start = obs::TraceNowNs(trace);
+  stage_start = MonotonicClock::now();
   std::vector<ScoredIndex> refined;
   refined.reserve(candidates.size());
   for (const ScoredIndex& c : candidates) {
@@ -86,8 +142,15 @@ StatusOr<RetrievalResponse> RetrievalEngine::RetrieveOne(
   }
   std::sort(refined.begin(), refined.end());
   if (refined.size() > k) refined.resize(k);
+  refine_ns_->Record(NsSince(stage_start));
+  obs::TraceMark(trace, "refine", span_start,
+                 {obs::TraceArg{"candidates",
+                                static_cast<int64_t>(candidates.size()),
+                                nullptr}});
   response.neighbors = std::move(refined);
   response.exact_distances = embed_cost + candidates.size();
+  retrievals_total_->Increment();
+  exact_distances_total_->Add(response.exact_distances);
   return response;
 }
 
@@ -112,7 +175,8 @@ StatusOr<std::vector<RetrievalResponse>> RetrievalEngine::RetrieveBatch(
   ParallelForGrain(
       0, queries.size(), 2,
       [&](size_t i) {
-        StatusOr<RetrievalResponse> r = RetrieveOne(queries[i], options);
+        StatusOr<RetrievalResponse> r =
+            RetrieveOne(queries[i], options, /*trace=*/nullptr);
         if (!r.ok()) {
           std::lock_guard<std::mutex> lock(error_mu);
           if (first_error.ok()) first_error = r.status();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/embedding/embedder.h"
+#include "src/obs/metric_registry.h"
 #include "src/retrieval/embedded_database.h"
 #include "src/retrieval/filter_scorer.h"
 #include "src/retrieval/retrieval_backend.h"
@@ -82,13 +83,26 @@ class RetrievalEngine : public RetrievalBackend {
  private:
   /// The single-query pipeline behind both entry points, taking the
   /// envelope pieces by reference so the batch loop never copies a
-  /// query functor or the options (tenant_id) per query.
-  StatusOr<RetrievalResponse> RetrieveOne(
-      const DxToDatabaseFn& dx, const RetrievalOptions& options) const;
+  /// query functor or the options (tenant_id) per query.  A non-null
+  /// `trace` gets embed / filter_scan / refine spans (sampled requests
+  /// coming through Retrieve; RetrieveBatch runs untraced).
+  StatusOr<RetrievalResponse> RetrieveOne(const DxToDatabaseFn& dx,
+                                          const RetrievalOptions& options,
+                                          obs::RequestTrace* trace) const;
 
   const Embedder* embedder_;
   const FilterScorer* scorer_;
   EmbeddedDatabase* db_;
+  /// Global-registry metrics, resolved once at construction (pointers
+  /// are stable for the registry's lifetime) so the hot path never
+  /// takes the registry lock.  Shared across engine instances by name.
+  obs::Counter* retrievals_total_;
+  obs::Counter* exact_distances_total_;
+  obs::Counter* filter_rows_visited_total_;
+  obs::Counter* filter_rows_pruned_total_;
+  obs::Histogram* embed_ns_;
+  obs::Histogram* filter_ns_;
+  obs::Histogram* refine_ns_;
   /// Serializes Insert/Remove against each other (retrievals never take
   /// it — they pin snapshots instead).
   std::mutex mutation_mu_;

@@ -35,7 +35,33 @@ std::vector<size_t> TenantLimits(const AsyncServerOptions& options) {
   return limits;
 }
 
+/// Integer boundaries 1..max_batch: every batch size gets its own
+/// bucket, so the exported histogram is exact, not interpolated.
+std::vector<double> BatchSizeBoundaries(size_t max_batch) {
+  std::vector<double> boundaries;
+  boundaries.reserve(max_batch);
+  for (size_t b = 1; b <= max_batch; ++b) {
+    boundaries.push_back(static_cast<double>(b));
+  }
+  return boundaries;
+}
+
 }  // namespace
+
+bool CheckServerStatsInvariant(const ServerStats& stats) {
+  if (stats.submitted != stats.admitted + stats.rejected) return false;
+  if (stats.admitted !=
+      stats.completed + stats.expired + stats.cancelled + stats.shed) {
+    return false;
+  }
+  for (const LaneStats& lane : stats.lanes) {
+    if (lane.admitted !=
+        lane.completed + lane.expired + lane.cancelled + lane.shed) {
+      return false;
+    }
+  }
+  return true;
+}
 
 AsyncRetrievalServer::AsyncRetrievalServer(const RetrievalBackend* backend,
                                            AsyncServerOptions options)
@@ -47,17 +73,48 @@ AsyncRetrievalServer::AsyncRetrievalServer(const RetrievalBackend* backend,
       // admission queue (where overflow is observable), not in an elastic
       // dispatch buffer.
       dispatch_(options_.num_workers),
-      batch_size_histogram_(options_.max_batch, 0) {
-  tenant_stats_.reserve(options_.tenant_quotas.size());
+      owned_registry_(options_.registry == nullptr
+                          ? std::make_unique<obs::MetricRegistry>()
+                          : nullptr),
+      registry_(options_.registry != nullptr ? options_.registry
+                                             : owned_registry_.get()),
+      submitted_(registry_->GetCounter("qse_server_submitted_total")),
+      admitted_(registry_->GetCounter("qse_server_admitted_total")),
+      rejected_(registry_->GetCounter("qse_server_rejected_total")),
+      shed_(registry_->GetCounter("qse_server_shed_total")),
+      expired_(registry_->GetCounter("qse_server_expired_total")),
+      cancelled_(registry_->GetCounter("qse_server_cancelled_total")),
+      completed_(registry_->GetCounter("qse_server_completed_total")),
+      unknown_tenant_rejected_(
+          registry_->GetCounter("qse_server_unknown_tenant_rejected_total")),
+      queue_depth_(registry_->GetGauge("qse_server_queue_depth")),
+      batch_size_hist_(registry_->GetHistogram(
+          "qse_server_batch_size", BatchSizeBoundaries(options_.max_batch))) {
+  for (size_t l = 0; l < kNumPriorityLanes; ++l) {
+    const std::string label =
+        std::string("{lane=\"") +
+        RequestPriorityName(static_cast<RequestPriority>(l)) + "\"}";
+    lane_counters_[l] = LaneCounters{
+        registry_->GetCounter("qse_server_lane_submitted_total" + label),
+        registry_->GetCounter("qse_server_lane_admitted_total" + label),
+        registry_->GetCounter("qse_server_lane_shed_total" + label),
+        registry_->GetCounter("qse_server_lane_expired_total" + label),
+        registry_->GetCounter("qse_server_lane_cancelled_total" + label),
+        registry_->GetCounter("qse_server_lane_completed_total" + label),
+        registry_->GetGauge("qse_server_lane_queue_depth" + label)};
+  }
+  tenant_counters_.reserve(options_.tenant_quotas.size());
   for (size_t slot = 0; slot < options_.tenant_quotas.size(); ++slot) {
     const TenantQuota& q = options_.tenant_quotas[slot];
     bool inserted = tenant_slots_.emplace(q.tenant_id, slot).second;
     QSE_CHECK_MSG(inserted, "duplicate tenant quota: '" << q.tenant_id
                                                         << "'");
-    TenantStats stats;
-    stats.tenant_id = q.tenant_id;
-    stats.limit = tenant_limits_[slot];
-    tenant_stats_.push_back(std::move(stats));
+    const std::string label = "{tenant=\"" + q.tenant_id + "\"}";
+    tenant_counters_.push_back(TenantCounters{
+        registry_->GetCounter("qse_server_tenant_submitted_total" + label),
+        registry_->GetCounter("qse_server_tenant_admitted_total" + label),
+        registry_->GetCounter("qse_server_tenant_rejected_total" + label),
+        registry_->GetCounter("qse_server_tenant_shed_total" + label)});
   }
   batcher_ = std::thread(&AsyncRetrievalServer::BatcherLoop, this);
   workers_.reserve(options_.num_workers);
@@ -98,35 +155,49 @@ Future<StatusOr<RetrievalResponse>> AsyncRetrievalServer::Submit(
     std::atomic<size_t>* count;
     ~ActiveSubmitGuard() { count->fetch_sub(1, std::memory_order_release); }
   } guard{&active_submits_};
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_->Increment();
   Promise<StatusOr<RetrievalResponse>> promise;
   Future<StatusOr<RetrievalResponse>> future = promise.future();
   Status valid = ValidateRetrievalOptions(request.options);
   if (!valid.ok()) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_->Increment();
     promise.Set(std::move(valid));
     return future;
   }
+#ifndef QSE_DISABLE_TRACING
+  if (options_.trace_every_n > 0 && request.trace == nullptr &&
+      trace_tick_.fetch_add(1, std::memory_order_relaxed) %
+              options_.trace_every_n ==
+          0) {
+    request.trace = std::make_shared<obs::RequestTrace>();
+  }
+#endif
   const size_t lane = static_cast<size_t>(request.options.priority);
   size_t tenant_slot = kNoTenantSlot;
   if (!tenant_slots_.empty()) {
     auto it = tenant_slots_.find(request.options.tenant_id);
     if (it == tenant_slots_.end()) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      unknown_tenant_rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_->Increment();
+      unknown_tenant_rejected_->Increment();
       promise.Set(Status::InvalidArgument("unknown tenant: '" +
                                           request.options.tenant_id + "'"));
       return future;
     }
     tenant_slot = it->second;
   }
-  {
-    std::lock_guard<std::mutex> lock(breakdown_mu_);
-    ++lane_stats_[lane].submitted;
-    if (tenant_slot != kNoTenantSlot) ++tenant_stats_[tenant_slot].submitted;
+  lane_counters_[lane].submitted->Increment();
+  if (tenant_slot != kNoTenantSlot) {
+    tenant_counters_[tenant_slot].submitted->Increment();
   }
 
   Request r{std::move(request), lane, tenant_slot, promise};
+  // Stamp the admit span before the push moves `r` into the queue.  The
+  // span stays on a rejected request's trace too; nobody reads it — a
+  // rejection never returns a response.
+  if (r.req.trace != nullptr) {
+    r.queue_start_ns = obs::TraceNowNs(r.req.trace.get());
+    obs::TraceMark(r.req.trace.get(), "admit", 0);
+  }
   // The refusal reason comes from under the queue lock: a full-queue
   // rejection racing Shutdown still reports load shedding (retryable),
   // not shutdown (terminal).
@@ -136,28 +207,25 @@ Future<StatusOr<RetrievalResponse>> AsyncRetrievalServer::Submit(
     case AdmitResult::kAdmittedEvicting:
       break;
     case AdmitResult::kQueueFull:
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_->Increment();
       promise.Set(Status::ResourceExhausted("admission queue full"));
       return future;
-    case AdmitResult::kTenantOverQuota: {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(breakdown_mu_);
-      ++tenant_stats_[tenant_slot].rejected;
+    case AdmitResult::kTenantOverQuota:
+      rejected_->Increment();
+      tenant_counters_[tenant_slot].rejected->Increment();
       promise.Set(Status::ResourceExhausted(
-          "tenant '" + tenant_stats_[tenant_slot].tenant_id +
+          "tenant '" + options_.tenant_quotas[tenant_slot].tenant_id +
           "' over admission quota"));
       return future;
-    }
     case AdmitResult::kClosed:
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_->Increment();
       promise.Set(Status::FailedPrecondition("server is shut down"));
       return future;
   }
-  admitted_.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(breakdown_mu_);
-    ++lane_stats_[lane].admitted;
-    if (tenant_slot != kNoTenantSlot) ++tenant_stats_[tenant_slot].admitted;
+  admitted_->Increment();
+  lane_counters_[lane].admitted->Increment();
+  if (tenant_slot != kNoTenantSlot) {
+    tenant_counters_[tenant_slot].admitted->Increment();
   }
   if (outcome.evicted.has_value()) CompleteShed(&*outcome.evicted);
   return future;
@@ -184,20 +252,25 @@ void AsyncRetrievalServer::Shutdown(DrainMode mode) {
   while (active_submits_.load(std::memory_order_acquire) != 0) {
     std::this_thread::yield();
   }
+  // Every future is ready and all threads are joined: the admission
+  // accounting must balance exactly now, and a debug build refuses to
+  // let a miscounted server exit quietly.
+  QSE_DCHECK_MSG(CheckServerStatsInvariant(stats()),
+                 "server admission accounting out of balance at shutdown");
 }
 
 void AsyncRetrievalServer::CompleteCancelled(Request* r) {
-  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  cancelled_->Increment();
+  lane_counters_[r->lane].cancelled->Increment();
   r->promise.Set(Status::FailedPrecondition("server shut down before the "
                                             "request was executed"));
 }
 
 void AsyncRetrievalServer::CompleteShed(Request* r) {
-  shed_.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(breakdown_mu_);
-    ++lane_stats_[r->lane].shed;
-    if (r->tenant_slot != kNoTenantSlot) ++tenant_stats_[r->tenant_slot].shed;
+  shed_->Increment();
+  lane_counters_[r->lane].shed->Increment();
+  if (r->tenant_slot != kNoTenantSlot) {
+    tenant_counters_[r->tenant_slot].shed->Increment();
   }
   r->promise.Set(Status::ResourceExhausted(
       "shed from the admission queue by a higher-priority arrival"));
@@ -205,6 +278,10 @@ void AsyncRetrievalServer::CompleteShed(Request* r) {
 
 bool AsyncRetrievalServer::AdmitToBatch(Request r, Batch* batch,
                                         RetrievalClock::time_point now) {
+  if (r.req.trace != nullptr) {
+    r.dequeue_ns = obs::TraceNowNs(r.req.trace.get());
+    obs::TraceMark(r.req.trace.get(), "queue", r.queue_start_ns);
+  }
   if (cancel_.load(std::memory_order_relaxed)) {
     CompleteCancelled(&r);
     return false;
@@ -212,11 +289,8 @@ bool AsyncRetrievalServer::AdmitToBatch(Request r, Batch* batch,
   // Deadline check #1, at dequeue: a request that died waiting in the
   // admission queue must not take a batch slot.
   if (now > r.req.options.deadline) {
-    expired_.fetch_add(1, std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lock(breakdown_mu_);
-      ++lane_stats_[r.lane].expired;
-    }
+    expired_->Increment();
+    lane_counters_[r.lane].expired->Increment();
     r.promise.Set(
         Status::DeadlineExceeded("deadline expired in the admission queue"));
     return false;
@@ -260,7 +334,17 @@ void AsyncRetrievalServer::BatcherLoop() {
     }
     if (batch.empty()) continue;  // Everything expired or cancelled.
 
-    RecordBatchSize(batch.size());
+    batch_size_hist_->Record(
+        static_cast<double>(std::min(batch.size(), options_.max_batch)));
+    for (Request& r : batch) {
+      if (r.req.trace != nullptr) {
+        r.dispatch_ns = obs::TraceNowNs(r.req.trace.get());
+        obs::TraceMark(r.req.trace.get(), "batch_form", r.dequeue_ns,
+                       {obs::TraceArg{"batch_size",
+                                      static_cast<int64_t>(batch.size()),
+                                      nullptr}});
+      }
+    }
     if (!dispatch_.Push(std::move(batch))) {
       // Only possible after the dispatch queue is closed, which this
       // thread does below — defensive: never drop promises.
@@ -285,17 +369,15 @@ void AsyncRetrievalServer::ExecuteBatch(Batch batch) {
   RetrievalClock::time_point now = RetrievalClock::now();
   Batch live;
   live.reserve(batch.size());
-  // Per-lane counts accumulate locally and fold in under one lock per
-  // batch: breakdown_mu_ is shared with every concurrent Submit, so the
-  // completion path must not take it once per request.
-  std::array<size_t, kNumPriorityLanes> lane_expired{};
-  std::array<size_t, kNumPriorityLanes> lane_completed{};
   for (Request& r : batch) {
+    if (r.req.trace != nullptr) {
+      obs::TraceMark(r.req.trace.get(), "dispatch_wait", r.dispatch_ns);
+    }
     if (cancel_.load(std::memory_order_relaxed)) {
       CompleteCancelled(&r);
     } else if (now > r.req.options.deadline) {
-      expired_.fetch_add(1, std::memory_order_relaxed);
-      ++lane_expired[r.lane];
+      expired_->Increment();
+      lane_counters_[r.lane].expired->Increment();
       r.promise.Set(Status::DeadlineExceeded(
           "deadline expired before the refine step"));
     } else {
@@ -307,13 +389,19 @@ void AsyncRetrievalServer::ExecuteBatch(Batch batch) {
   // RetrieveBatch call; results[i] is bit-identical to
   // Retrieve(requests[i]) by the backend contract.  Group count is tiny
   // (bounded by max_batch), so a linear group scan beats hashing.
+  // Traced requests get singleton groups: they go through the backend's
+  // single-request path, the only one that records per-stage spans —
+  // with identical results, again by the backend contract.
   std::vector<std::vector<size_t>> groups;
   for (size_t t = 0; t < live.size(); ++t) {
     std::vector<size_t>* group = nullptr;
-    for (std::vector<size_t>& g : groups) {
-      if (live[g[0]].req.options.SameResultKey(live[t].req.options)) {
-        group = &g;
-        break;
+    if (live[t].req.trace == nullptr) {
+      for (std::vector<size_t>& g : groups) {
+        if (live[g[0]].req.trace == nullptr &&
+            live[g[0]].req.options.SameResultKey(live[t].req.options)) {
+          group = &g;
+          break;
+        }
       }
     }
     if (group == nullptr) {
@@ -323,6 +411,22 @@ void AsyncRetrievalServer::ExecuteBatch(Batch batch) {
     group->push_back(t);
   }
   for (const std::vector<size_t>& group : groups) {
+    if (group.size() == 1 && live[group[0]].req.trace != nullptr) {
+      Request& r = live[group[0]];
+      obs::RequestTrace* trace = r.req.trace.get();
+      uint64_t exec_start = obs::TraceNowNs(trace);
+      RetrievalRequest req = std::move(r.req);
+      req.options.num_threads = options_.retrieve_threads;
+      StatusOr<RetrievalResponse> result = backend_->Retrieve(req);
+      completed_->Increment();
+      lane_counters_[r.lane].completed->Increment();
+      obs::TraceMark(trace, "execute", exec_start);
+      // The whole request, Submit to completion: the denominator the
+      // span-coverage acceptance gate divides by.
+      obs::TraceMark(trace, "request", 0);
+      r.promise.Set(std::move(result));
+      continue;
+    }
     std::vector<DxToDatabaseFn> queries;
     queries.reserve(group.size());
     for (size_t t : group) queries.push_back(std::move(live[t].req.dx));
@@ -333,8 +437,8 @@ void AsyncRetrievalServer::ExecuteBatch(Batch batch) {
     StatusOr<std::vector<RetrievalResponse>> results =
         backend_->RetrieveBatch(queries, exec);
     for (size_t i = 0; i < group.size(); ++i) {
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      ++lane_completed[live[group[i]].lane];
+      completed_->Increment();
+      lane_counters_[live[group[i]].lane].completed->Increment();
       if (results.ok()) {
         live[group[i]].promise.Set(std::move((*results)[i]));
       } else {
@@ -342,46 +446,59 @@ void AsyncRetrievalServer::ExecuteBatch(Batch batch) {
       }
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(breakdown_mu_);
-    for (size_t l = 0; l < kNumPriorityLanes; ++l) {
-      lane_stats_[l].expired += lane_expired[l];
-      lane_stats_[l].completed += lane_completed[l];
-    }
-  }
-}
-
-void AsyncRetrievalServer::RecordBatchSize(size_t size) {
-  std::lock_guard<std::mutex> lock(histogram_mu_);
-  batch_size_histogram_[std::min(size, options_.max_batch) - 1] += 1;
 }
 
 ServerStats AsyncRetrievalServer::stats() const {
   ServerStats s;
-  s.submitted = submitted_.load(std::memory_order_relaxed);
-  s.admitted = admitted_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
-  s.shed = shed_.load(std::memory_order_relaxed);
-  s.expired = expired_.load(std::memory_order_relaxed);
-  s.cancelled = cancelled_.load(std::memory_order_relaxed);
-  s.completed = completed_.load(std::memory_order_relaxed);
+  s.submitted = submitted_->Value();
+  s.admitted = admitted_->Value();
+  s.rejected = rejected_->Value();
+  s.shed = shed_->Value();
+  s.expired = expired_->Value();
+  s.cancelled = cancelled_->Value();
+  s.completed = completed_->Value();
   s.queue_depth = queue_.size();
-  s.unknown_tenant_rejected =
-      unknown_tenant_rejected_.load(std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(breakdown_mu_);
-    s.lanes = lane_stats_;
-    s.tenants = tenant_stats_;
-  }
+  s.unknown_tenant_rejected = unknown_tenant_rejected_->Value();
   std::array<size_t, kNumPriorityLanes> depths = queue_.lane_sizes();
   for (size_t l = 0; l < kNumPriorityLanes; ++l) {
+    const LaneCounters& c = lane_counters_[l];
+    s.lanes[l].submitted = c.submitted->Value();
+    s.lanes[l].admitted = c.admitted->Value();
+    s.lanes[l].shed = c.shed->Value();
+    s.lanes[l].expired = c.expired->Value();
+    s.lanes[l].cancelled = c.cancelled->Value();
+    s.lanes[l].completed = c.completed->Value();
     s.lanes[l].queue_depth = depths[l];
   }
-  {
-    std::lock_guard<std::mutex> lock(histogram_mu_);
-    s.batch_size_histogram = batch_size_histogram_;
+  s.tenants.reserve(tenant_counters_.size());
+  for (size_t slot = 0; slot < tenant_counters_.size(); ++slot) {
+    const TenantCounters& c = tenant_counters_[slot];
+    TenantStats t;
+    t.tenant_id = options_.tenant_quotas[slot].tenant_id;
+    t.limit = tenant_limits_[slot];
+    t.submitted = c.submitted->Value();
+    t.admitted = c.admitted->Value();
+    t.rejected = c.rejected->Value();
+    t.shed = c.shed->Value();
+    s.tenants.push_back(std::move(t));
+  }
+  // The batch-size histogram has one exact bucket per size 1..max_batch.
+  obs::HistogramSnapshot batches = batch_size_hist_->Snapshot();
+  s.batch_size_histogram.assign(options_.max_batch, 0);
+  for (size_t b = 0; b < options_.max_batch && b < batches.bucket_counts.size();
+       ++b) {
+    s.batch_size_histogram[b] = batches.bucket_counts[b];
   }
   return s;
+}
+
+obs::MetricRegistry& AsyncRetrievalServer::metrics() const {
+  queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+  std::array<size_t, kNumPriorityLanes> depths = queue_.lane_sizes();
+  for (size_t l = 0; l < kNumPriorityLanes; ++l) {
+    lane_counters_[l].queue_depth->Set(static_cast<int64_t>(depths[l]));
+  }
+  return *registry_;
 }
 
 }  // namespace qse

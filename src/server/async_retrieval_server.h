@@ -5,12 +5,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/metric_registry.h"
+#include "src/obs/trace.h"
 #include "src/retrieval/retrieval_backend.h"
 #include "src/server/admission_queue.h"
 #include "src/util/bounded_queue.h"
@@ -61,15 +63,33 @@ struct AsyncServerOptions {
   /// unlisted tenant is rejected with kInvalidArgument ("" is a tenant
   /// like any other — list it to admit anonymous traffic).
   std::vector<TenantQuota> tenant_quotas;
+  /// Trace every Nth valid Submit that does not already carry a trace
+  /// (0 = never): the sampled request gets a RequestTrace recording
+  /// admit/queue/batch/execute spans plus the backend's per-stage
+  /// spans, returned on RetrievalResponse::trace.  Sampled requests run
+  /// as singleton backend calls (bit-identical results by the backend
+  /// contract), so keep N large under load.  No-op when the library is
+  /// built with QSE_DISABLE_TRACING.
+  size_t trace_every_n = 0;
+  /// Registry receiving the server's metrics.  Null (default): the
+  /// server owns a private registry, exposed via metrics() — private
+  /// registries keep concurrently running servers (tests, benches) from
+  /// summing into each other.  Non-null: must outlive the server.
+  obs::MetricRegistry* registry = nullptr;
 };
 
 /// Per-priority-lane counter slice of ServerStats.
+///
+/// Lane invariant (once all futures are ready, e.g. after Shutdown):
+///   admitted == completed + expired + cancelled + shed
 struct LaneStats {
   size_t submitted = 0;  ///< Valid submits carrying this priority.
   size_t admitted = 0;   ///< Entered this admission lane.
   size_t shed = 0;       ///< Evicted from the queue by a higher-priority
                          ///< arrival (answered kResourceExhausted).
   size_t expired = 0;    ///< Answered kDeadlineExceeded.
+  size_t cancelled = 0;  ///< Answered at Shutdown(kCancel) without
+                         ///< reaching the backend.
   size_t completed = 0;  ///< Backend answered.
   size_t queue_depth = 0;  ///< Momentary lane length.
 };
@@ -112,6 +132,15 @@ struct ServerStats {
   /// batch_size_histogram[i] = dispatched micro-batches of size i + 1.
   std::vector<size_t> batch_size_histogram;
 };
+
+/// True iff the admission accounting invariants hold for a quiescent
+/// snapshot (every submitted future ready, e.g. after Shutdown):
+///   submitted == admitted + rejected
+///   admitted  == completed + expired + cancelled + shed
+/// and, per lane, admitted == completed + expired + cancelled + shed.
+/// The one place the invariant is spelled out: tests assert it, and a
+/// debug build QSE_DCHECKs it at the end of Shutdown.
+bool CheckServerStatsInvariant(const ServerStats& stats);
 
 /// The async serving front end: owns any RetrievalBackend (monolithic or
 /// sharded) behind a Submit -> Future pipeline.
@@ -199,6 +228,10 @@ class AsyncRetrievalServer {
   void Shutdown(DrainMode mode = DrainMode::kDrain);
 
   ServerStats stats() const;
+  /// The registry holding this server's metrics (the injected one or
+  /// the private default), with the momentary queue-depth gauges
+  /// refreshed — ready for PrometheusText / MetricsJson export.
+  obs::MetricRegistry& metrics() const;
   const RetrievalBackend& backend() const { return *backend_; }
   const AsyncServerOptions& options() const { return options_; }
 
@@ -208,6 +241,12 @@ class AsyncRetrievalServer {
     size_t lane = static_cast<size_t>(RequestPriority::kNormal);
     size_t tenant_slot = kNoTenantSlot;
     Promise<StatusOr<RetrievalResponse>> promise;
+    /// Trace stamps (ns since the request's trace epoch), carried along
+    /// the pipeline so each stage's span starts where the previous one
+    /// ended.  Unused (0) for untraced requests.
+    uint64_t queue_start_ns = 0;
+    uint64_t dequeue_ns = 0;
+    uint64_t dispatch_ns = 0;
   };
   using Batch = std::vector<Request>;
 
@@ -221,7 +260,6 @@ class AsyncRetrievalServer {
   /// by result key, runs RetrieveBatch per group, completes every
   /// promise.
   void ExecuteBatch(Batch batch);
-  void RecordBatchSize(size_t size);
   void CompleteCancelled(Request* r);
   /// Completes an eviction victim with kResourceExhausted and counts the
   /// shed against its lane and tenant.
@@ -246,21 +284,50 @@ class AsyncRetrievalServer {
   /// after the queue has drained, and "every submitted future is ready"
   /// must cover those too.
   std::atomic<size_t> active_submits_{0};
+  /// Submit ticks behind trace_every_n sampling.  Separate from the
+  /// submitted counter: reading a striped Counter sums all its stripes,
+  /// too much work for a per-Submit decision.
+  std::atomic<uint64_t> trace_tick_{0};
 
-  std::atomic<size_t> submitted_{0};
-  std::atomic<size_t> admitted_{0};
-  std::atomic<size_t> rejected_{0};
-  std::atomic<size_t> shed_{0};
-  std::atomic<size_t> expired_{0};
-  std::atomic<size_t> cancelled_{0};
-  std::atomic<size_t> completed_{0};
-  std::atomic<size_t> unknown_tenant_rejected_{0};
-  /// Guards the lane/tenant breakdowns (cold relative to retrieval).
-  mutable std::mutex breakdown_mu_;
-  std::array<LaneStats, kNumPriorityLanes> lane_stats_;
-  std::vector<TenantStats> tenant_stats_;
-  mutable std::mutex histogram_mu_;
-  std::vector<size_t> batch_size_histogram_;
+  /// All counters below live in *registry_ (the injected registry or
+  /// the private owned_registry_); the members are pointers resolved
+  /// once at construction.  Every per-request accounting step is one
+  /// wait-free striped Add — the old breakdown/histogram mutexes are
+  /// gone, and stats() reconstructs ServerStats from the same storage
+  /// the exporters read, so the two can never disagree.
+  std::unique_ptr<obs::MetricRegistry> owned_registry_;
+  obs::MetricRegistry* registry_;
+
+  obs::Counter* submitted_;
+  obs::Counter* admitted_;
+  obs::Counter* rejected_;
+  obs::Counter* shed_;
+  obs::Counter* expired_;
+  obs::Counter* cancelled_;
+  obs::Counter* completed_;
+  obs::Counter* unknown_tenant_rejected_;
+  obs::Gauge* queue_depth_;
+  obs::Histogram* batch_size_hist_;
+
+  struct LaneCounters {
+    obs::Counter* submitted;
+    obs::Counter* admitted;
+    obs::Counter* shed;
+    obs::Counter* expired;
+    obs::Counter* cancelled;
+    obs::Counter* completed;
+    obs::Gauge* queue_depth;
+  };
+  std::array<LaneCounters, kNumPriorityLanes> lane_counters_;
+
+  struct TenantCounters {
+    obs::Counter* submitted;
+    obs::Counter* admitted;
+    obs::Counter* rejected;
+    obs::Counter* shed;
+  };
+  /// Indexed by tenant slot (configuration order of tenant_quotas).
+  std::vector<TenantCounters> tenant_counters_;
 
   std::thread batcher_;
   std::vector<std::thread> workers_;

@@ -4,12 +4,23 @@
 #include <cstdint>
 #include <unordered_set>
 
+#include "src/distance/simd/dispatch.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
+#include "src/util/timer.h"
 #include "src/util/top_k.h"
 
 namespace qse {
 namespace {
+
+/// Nanoseconds elapsed since `start` (histogram-record helper).
+double NsSince(MonotonicClock::time_point start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          MonotonicClock::now() - start)
+          .count());
+}
 
 /// splitmix64 finalizer: full avalanche, so the sequential ids most
 /// callers use spread evenly instead of striping shards modulo S.
@@ -105,7 +116,7 @@ size_t ShardedRetrievalEngine::AssignShard(size_t db_id) const {
 
 StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
     const DxToDatabaseFn& dx, const RetrievalOptions& options,
-    size_t scatter_threads) const {
+    size_t scatter_threads, obs::RequestTrace* trace) const {
   QSE_RETURN_IF_ERROR(ValidateRetrievalOptions(options));
   if (size() == 0) {
     return Status::FailedPrecondition("embedded database is empty");
@@ -116,7 +127,11 @@ StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
   RetrievalResponse response;
   // Embedding step: once per query, shared by every shard's scan.
   size_t embed_cost = 0;
+  uint64_t span_start = obs::TraceNowNs(trace);
+  MonotonicClock::time_point stage_start = MonotonicClock::now();
   Vector fq = embedder_->Embed(dx, &embed_cost);
+  embed_ns_->Record(NsSince(stage_start));
+  obs::TraceMark(trace, "embed", span_start);
   response.embedding_distances = embed_cost;
 
   // Scatter: each shard's filter step keeps its local top p (the global
@@ -129,9 +144,12 @@ StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
   std::atomic<bool> missing_shadow{false};
   std::vector<std::vector<ScoredIndex>> per_shard(num_shards);
   std::vector<size_t> rows_scanned(num_shards, 0);
+  std::atomic<size_t> rows_pruned_all{0};
+  MonotonicClock::time_point scatter_start = MonotonicClock::now();
   ParallelForGrain(
       0, num_shards, 2,
       [&](size_t s) {
+        uint64_t shard_span_start = obs::TraceNowNs(trace);
         EmbeddedDatabase::Snapshot snap = shards_[s].db->snapshot();
         const EmbeddedDatabase::View& view = snap.view();
         if ((view.shadows() & needed_shadows) != needed_shadows) {
@@ -140,8 +158,11 @@ StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
         }
         if (view.empty()) return;
         rows_scanned[s] = view.size();
-        std::vector<ScoredIndex> local =
-            scorer_->ScoreTopP(fq, view, p, options.filter_precision);
+        FilterScanStats scan_stats;
+        std::vector<ScoredIndex> local = scorer_->ScoreTopP(
+            fq, view, p, options.filter_precision, &scan_stats);
+        rows_pruned_all.fetch_add(scan_stats.rows_pruned,
+                                  std::memory_order_relaxed);
         // Translate shard-local rows to database ids through the same
         // snapshot, then re-sort: the shard's (score, row) tie order
         // need not survive the translation, and the k-way merge
@@ -149,8 +170,22 @@ StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
         for (ScoredIndex& c : local) c.index = view.id_of(c.index);
         std::sort(local.begin(), local.end());
         per_shard[s] = std::move(local);
+        obs::TraceMark(
+            trace, "shard_scan", shard_span_start,
+            {obs::TraceArg{"shard", static_cast<int64_t>(s), nullptr},
+             obs::TraceArg{"rows",
+                           static_cast<int64_t>(scan_stats.rows_visited),
+                           nullptr},
+             obs::TraceArg{"rows_pruned",
+                           static_cast<int64_t>(scan_stats.rows_pruned),
+                           nullptr},
+             obs::TraceArg{"simd", 0,
+                           simd::SimdLevelName(simd::ActiveSimdLevel())},
+             obs::TraceArg{"precision", 0,
+                           FilterPrecisionName(options.filter_precision)}});
       },
       scatter_threads);
+  scatter_ns_->Record(NsSince(scatter_start));
 
   if (missing_shadow.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition(
@@ -170,7 +205,14 @@ StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
   }
 
   // Gather: k-way heap merge down to the global top p.
+  span_start = obs::TraceNowNs(trace);
+  stage_start = MonotonicClock::now();
   std::vector<ScoredIndex> candidates = MergeSortedTopK(per_shard, p);
+  merge_ns_->Record(NsSince(stage_start));
+  obs::TraceMark(trace, "merge", span_start,
+                 {obs::TraceArg{"candidates",
+                                static_cast<int64_t>(candidates.size()),
+                                nullptr}});
 
   if (options.want_stats) {
     // Attribute merged candidates to shards from the per-shard lists
@@ -192,6 +234,8 @@ StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
 
   // Single global refine: exact distances on the merged p only, exactly
   // like the unsharded engine's refine step.
+  span_start = obs::TraceNowNs(trace);
+  stage_start = MonotonicClock::now();
   std::vector<ScoredIndex> refined;
   refined.reserve(candidates.size());
   for (const ScoredIndex& c : candidates) {
@@ -199,15 +243,28 @@ StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
   }
   std::sort(refined.begin(), refined.end());
   if (refined.size() > k) refined.resize(k);
+  refine_ns_->Record(NsSince(stage_start));
+  obs::TraceMark(trace, "refine", span_start,
+                 {obs::TraceArg{"candidates",
+                                static_cast<int64_t>(candidates.size()),
+                                nullptr}});
   response.neighbors = std::move(refined);
   response.exact_distances = embed_cost + candidates.size();
+  retrievals_total_->Increment();
+  exact_distances_total_->Add(response.exact_distances);
+  filter_rows_visited_total_->Add(total_rows);
+  filter_rows_pruned_total_->Add(
+      rows_pruned_all.load(std::memory_order_relaxed));
   return response;
 }
 
 StatusOr<RetrievalResponse> ShardedRetrievalEngine::Retrieve(
     const RetrievalRequest& request) const {
-  return ScatterGather(request.dx, request.options,
-                       options_.scatter_threads);
+  StatusOr<RetrievalResponse> result =
+      ScatterGather(request.dx, request.options, options_.scatter_threads,
+                    request.trace.get());
+  if (result.ok()) result.value().trace = request.trace;
+  return result;
 }
 
 StatusOr<std::vector<RetrievalResponse>> ShardedRetrievalEngine::RetrieveBatch(
@@ -230,8 +287,8 @@ StatusOr<std::vector<RetrievalResponse>> ShardedRetrievalEngine::RetrieveBatch(
   ParallelForGrain(
       0, queries.size(), 2,
       [&](size_t i) {
-        StatusOr<RetrievalResponse> r =
-            ScatterGather(queries[i], options, /*scatter_threads=*/1);
+        StatusOr<RetrievalResponse> r = ScatterGather(
+            queries[i], options, /*scatter_threads=*/1, /*trace=*/nullptr);
         if (!r.ok()) {
           std::lock_guard<std::mutex> lock(error_mu);
           if (first_error.ok()) first_error = r.status();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/embedding/embedder.h"
+#include "src/obs/metric_registry.h"
 #include "src/retrieval/embedded_database.h"
 #include "src/retrieval/filter_scorer.h"
 #include "src/retrieval/retrieval_backend.h"
@@ -143,15 +144,41 @@ class ShardedRetrievalEngine : public RetrievalBackend {
 
   /// The scatter/gather pipeline behind both Retrieve entry points,
   /// taking the envelope pieces by reference so the batch loop never
-  /// copies a query functor or the options per query.
+  /// copies a query functor or the options per query.  A non-null
+  /// `trace` gets embed / per-shard shard_scan / merge / refine spans
+  /// (sampled requests coming through Retrieve; RetrieveBatch runs
+  /// untraced).
   StatusOr<RetrievalResponse> ScatterGather(const DxToDatabaseFn& dx,
                                             const RetrievalOptions& options,
-                                            size_t scatter_threads) const;
+                                            size_t scatter_threads,
+                                            obs::RequestTrace* trace) const;
 
   const Embedder* embedder_;
   const FilterScorer* scorer_;
   ShardedEngineOptions options_;
   std::vector<Shard> shards_;
+  /// Global-registry metrics, resolved once at construction (in-class
+  /// so both constructors share the list); the hot path only touches
+  /// the striped cells behind these pointers.
+  obs::Counter* retrievals_total_ = obs::MetricRegistry::Global().GetCounter(
+      "qse_sharded_retrievals_total");
+  obs::Counter* exact_distances_total_ =
+      obs::MetricRegistry::Global().GetCounter(
+          "qse_sharded_exact_distances_total");
+  obs::Counter* filter_rows_visited_total_ =
+      obs::MetricRegistry::Global().GetCounter(
+          "qse_sharded_filter_rows_visited_total");
+  obs::Counter* filter_rows_pruned_total_ =
+      obs::MetricRegistry::Global().GetCounter(
+          "qse_sharded_filter_rows_pruned_total");
+  obs::Histogram* embed_ns_ = obs::MetricRegistry::Global().GetHistogram(
+      "qse_sharded_embed_latency_ns", obs::DefaultLatencyBoundariesNs());
+  obs::Histogram* scatter_ns_ = obs::MetricRegistry::Global().GetHistogram(
+      "qse_sharded_scatter_latency_ns", obs::DefaultLatencyBoundariesNs());
+  obs::Histogram* merge_ns_ = obs::MetricRegistry::Global().GetHistogram(
+      "qse_sharded_merge_latency_ns", obs::DefaultLatencyBoundariesNs());
+  obs::Histogram* refine_ns_ = obs::MetricRegistry::Global().GetHistogram(
+      "qse_sharded_refine_latency_ns", obs::DefaultLatencyBoundariesNs());
   /// Serializes Insert/Remove (and ShardOf's routing-table read) against
   /// each other; retrievals never take it — they pin shard snapshots.
   mutable std::mutex mutation_mu_;

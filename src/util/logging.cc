@@ -1,22 +1,117 @@
 #include "src/util/logging.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <mutex>
 
 namespace qse {
+namespace {
+
+/// Serializes line emission: one writer formats and writes at a time,
+/// so a line is never interleaved with another thread's even when the
+/// underlying write is split by the kernel.
+std::mutex& LogMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+/// Writes the whole buffer to stderr, bypassing stdio so each line is
+/// (almost always) a single write syscall; loops only on short writes.
+void WriteAll(const char* data, size_t len) {
+  while (len > 0) {
+    ssize_t n = ::write(STDERR_FILENO, data, len);
+    if (n <= 0) return;  // Logging must never fail the caller.
+    data += static_cast<size_t>(n);
+    len -= static_cast<size_t>(n);
+  }
+}
+
+void EmitLine(std::string line) {
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(LogMutex());
+  WriteAll(line.data(), line.size());
+}
+
+std::atomic<int>& MinLevelSlot() {
+  static std::atomic<int> level{-1};  // -1: QSE_LOG_LEVEL not read yet.
+  return level;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "invalid";
+}
+
+LogLevel ParseLogLevel(const char* value, LogLevel def) {
+  if (value == nullptr || value[0] == '\0') return def;
+  if (std::strcmp(value, "debug") == 0 || std::strcmp(value, "0") == 0) {
+    return LogLevel::kDebug;
+  }
+  if (std::strcmp(value, "info") == 0 || std::strcmp(value, "1") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(value, "warn") == 0 || std::strcmp(value, "2") == 0) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(value, "error") == 0 || std::strcmp(value, "3") == 0) {
+    return LogLevel::kError;
+  }
+  return def;
+}
+
+LogLevel MinLogLevel() {
+  int level = MinLevelSlot().load(std::memory_order_relaxed);
+  if (level < 0) {
+    // Two racing first calls both parse the same environment value, so
+    // the idempotent double-store is benign.
+    LogLevel parsed =
+        ParseLogLevel(std::getenv("QSE_LOG_LEVEL"), LogLevel::kInfo);
+    MinLevelSlot().store(static_cast<int>(parsed), std::memory_order_relaxed);
+    return parsed;
+  }
+  return static_cast<LogLevel>(level);
+}
+
+void SetMinLogLevel(LogLevel level) {
+  MinLevelSlot().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
 namespace internal {
 
 void CheckFailed(const char* file, int line, const char* expr,
                  const std::string& msg) {
-  std::fprintf(stderr, "[FATAL] %s:%d: check failed: %s%s%s\n", file, line,
-               expr, msg.empty() ? "" : " — ", msg.c_str());
+  char prefix[256];
+  std::snprintf(prefix, sizeof(prefix), "[FATAL] %s:%d: check failed: ",
+                file, line);
+  std::string out = std::string(prefix) + expr +
+                    (msg.empty() ? "" : " — " + msg);
+  EmitLine(std::move(out));
   std::abort();
 }
 
-void LogLine(const char* level, const std::string& msg) {
+void LogLine(LogLevel level, const std::string& msg) {
+  if (level < MinLogLevel()) return;
   auto now = std::chrono::system_clock::now().time_since_epoch();
   double secs = std::chrono::duration<double>(now).count();
-  std::fprintf(stderr, "[%s %.3f] %s\n", level, secs, msg.c_str());
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[%s %.3f] ",
+                LogLevelName(level), secs);
+  EmitLine(std::string(prefix) + msg);
 }
 
 }  // namespace internal

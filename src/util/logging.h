@@ -7,14 +7,42 @@
 #include <string>
 
 namespace qse {
+
+/// Log severities, ascending.  The process-wide threshold filters lines
+/// below it; it defaults to kInfo and is overridable with the
+/// QSE_LOG_LEVEL environment variable ("debug", "info", "warn",
+/// "error", or 0-3), read once at first use.
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// Stable lower-case level name ("debug", ..., "error").
+const char* LogLevelName(LogLevel level);
+
+/// Parses a QSE_LOG_LEVEL value; `def` for nullptr/empty/unrecognized.
+/// Pure — unit-testable without touching the environment.
+LogLevel ParseLogLevel(const char* value, LogLevel def);
+
+/// The current threshold (first call resolves QSE_LOG_LEVEL).
+LogLevel MinLogLevel();
+
+/// Overrides the threshold at runtime (tests, embedding applications).
+void SetMinLogLevel(LogLevel level);
+
 namespace internal {
 
 /// Terminates the process after printing `msg`; used by QSE_CHECK.
 [[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
                               const std::string& msg);
 
-/// Writes one timestamped log line to stderr.
-void LogLine(const char* level, const std::string& msg);
+/// Formats and emits one timestamped log line.  Thread-safe: the whole
+/// line (including the trailing newline) is issued as a single write to
+/// stderr under an internal lock, so concurrent loggers never
+/// interleave within a line.  Lines below MinLogLevel() are dropped.
+void LogLine(LogLevel level, const std::string& msg);
 
 /// Stream-style collector so call sites can write
 /// QSE_LOG("built model: " << d << " dims").
@@ -34,13 +62,22 @@ class MessageStream {
 }  // namespace internal
 }  // namespace qse
 
-/// Unconditional informational log line to stderr.
-#define QSE_LOG(msg_expr)                                             \
+/// Leveled log line to stderr; filtered by MinLogLevel().  The message
+/// expression is only evaluated when the level passes the filter.
+#define QSE_LOG_AT(level, msg_expr)                                   \
   do {                                                                \
-    ::qse::internal::MessageStream _qse_ms;                           \
-    _qse_ms << msg_expr;                                              \
-    ::qse::internal::LogLine("INFO", _qse_ms.str());                  \
+    if ((level) >= ::qse::MinLogLevel()) {                            \
+      ::qse::internal::MessageStream _qse_ms;                         \
+      _qse_ms << msg_expr;                                            \
+      ::qse::internal::LogLine((level), _qse_ms.str());               \
+    }                                                                 \
   } while (0)
+
+/// Informational log line to stderr (filtered by QSE_LOG_LEVEL).
+#define QSE_LOG(msg_expr) QSE_LOG_AT(::qse::LogLevel::kInfo, msg_expr)
+#define QSE_DLOG(msg_expr) QSE_LOG_AT(::qse::LogLevel::kDebug, msg_expr)
+#define QSE_LOG_WARN(msg_expr) QSE_LOG_AT(::qse::LogLevel::kWarn, msg_expr)
+#define QSE_LOG_ERROR(msg_expr) QSE_LOG_AT(::qse::LogLevel::kError, msg_expr)
 
 /// Fatal invariant check; always on (used for programming errors, not for
 /// recoverable conditions — those return Status).
@@ -60,5 +97,21 @@ class MessageStream {
                                    _qse_ms.str());                    \
     }                                                                 \
   } while (0)
+
+/// Debug-build-only invariant check: compiled out (condition not
+/// evaluated) under NDEBUG, a full QSE_CHECK otherwise.  For internal
+/// consistency assertions too hot or too stateful for release builds —
+/// e.g. the server's admission accounting invariant at shutdown.
+#ifdef NDEBUG
+#define QSE_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#define QSE_DCHECK_MSG(cond, msg_expr) \
+  do {                                 \
+  } while (0)
+#else
+#define QSE_DCHECK(cond) QSE_CHECK(cond)
+#define QSE_DCHECK_MSG(cond, msg_expr) QSE_CHECK_MSG(cond, msg_expr)
+#endif
 
 #endif  // QSE_UTIL_LOGGING_H_

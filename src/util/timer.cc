@@ -1,0 +1,12 @@
+#include "src/util/timer.h"
+
+namespace qse {
+namespace internal {
+
+std::atomic<FakeClock*>& ClockOverrideSlot() {
+  static std::atomic<FakeClock*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace internal
+}  // namespace qse

@@ -415,13 +415,15 @@ TEST(AsyncServerPriorityTest, OverflowShedsLowestLaneFirst) {
   }
   for (const auto& f : lows) EXPECT_FALSE(f.ready());
 
-  // Two high arrivals evict the two youngest lows — shed, answered
-  // kResourceExhausted immediately — and are themselves admitted.
+  // High arrivals evict lows youngest-first — the victim is always the
+  // most recent admission, the one with the least queueing sunk into it.
+  // One high at a time pins the order: the first sheds lows[3] and only
+  // lows[3]; the second sheds lows[2].
   std::vector<Future<StatusOr<RetrievalResponse>>> highs;
-  for (size_t i = 0; i < 2; ++i) {
-    highs.push_back(server.Submit({s.QueryDx(s.query_ids[3]), high}));
-  }
+  highs.push_back(server.Submit({s.QueryDx(s.query_ids[3]), high}));
   ASSERT_TRUE(lows[3].ready());
+  EXPECT_FALSE(lows[2].ready());
+  highs.push_back(server.Submit({s.QueryDx(s.query_ids[3]), high}));
   ASSERT_TRUE(lows[2].ready());
   EXPECT_EQ(lows[3].Get().status().code(), StatusCode::kResourceExhausted);
   EXPECT_NE(lows[3].Get().status().message().find("shed"),
@@ -450,9 +452,7 @@ TEST(AsyncServerPriorityTest, OverflowShedsLowestLaneFirst) {
   server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
   for (const auto& f : highs) EXPECT_TRUE(f.Get().ok());
   ServerStats stats = server.stats();
-  EXPECT_EQ(stats.submitted, stats.admitted + stats.rejected);
-  EXPECT_EQ(stats.admitted,
-            stats.completed + stats.expired + stats.cancelled + stats.shed);
+  EXPECT_TRUE(CheckServerStatsInvariant(stats));
   EXPECT_EQ(stats.lanes[0].queue_depth, 0u);
 }
 
@@ -550,6 +550,13 @@ TEST(AsyncServerTest, ExpiredInQueueGetsDeadlineExceededAtDequeue) {
 }
 
 TEST(AsyncServerTest, ExpiredInDispatchGetsDeadlineExceededBeforeRefine) {
+  // Deadlines read MonotonicClock, so a fake clock expires the request
+  // by decree instead of a 450ms real sleep: the worker stays pinned,
+  // virtual time jumps past the deadline, and the pre-refine check
+  // fires no matter how slow or fast the host is.  max_batch_delay is 0
+  // here — the batcher never waits on real time — so faking the clock
+  // cannot stall the pipeline.
+  ScopedFakeClock fake;
   ServingStack s;
   AsyncServerOptions options;
   options.max_batch = 1;
@@ -561,18 +568,38 @@ TEST(AsyncServerTest, ExpiredInDispatchGetsDeadlineExceededBeforeRefine) {
   RetrievalOptions slow(1, 5);
   auto gated = server.Submit({gate.Gated(s.QueryDx(s.query_ids[0])), slow});
   // Wait until the worker is actually inside the backend, so the next
-  // request clears the dequeue-time check quickly and then outlives its
-  // deadline in the dispatch pipeline behind the pinned worker.
+  // request is dequeued immediately and then waits in the dispatch
+  // pipeline behind the pinned worker.
   while (gate.entered.load() == 0) std::this_thread::sleep_for(1ms);
 
-  // Margins sized for slow hosts (TSan, loaded CI): the batcher is idle
-  // and dequeues in microseconds, so 200ms cannot expire at the dequeue
-  // check; the worker stays pinned for 450ms, so the deadline has
-  // certainly passed by the pre-refine check.
   RetrievalOptions tight(1, 5);
-  tight.deadline = RetrievalOptions::DeadlineIn(200ms);
-  auto doomed = server.Submit({s.QueryDx(s.query_ids[1]), tight});
-  std::this_thread::sleep_for(450ms);  // Deadline passes while pipelined.
+  tight.deadline = RetrievalClock::now() + 200ms;
+  RetrievalRequest doomed_req{s.QueryDx(s.query_ids[1]), tight};
+#ifndef QSE_DISABLE_TRACING
+  // A pre-attached trace makes the pipeline position observable: the
+  // batcher stamps "batch_form" only after the dequeue-time deadline
+  // check passed, so waiting for that span leaves no race between the
+  // dequeue check and the clock advance below.
+  auto trace = std::make_shared<obs::RequestTrace>();
+  doomed_req.trace = trace;
+#endif
+  auto doomed = server.Submit(std::move(doomed_req));
+#ifndef QSE_DISABLE_TRACING
+  auto past_dequeue_check = [&] {
+    for (const obs::TraceSpan& span : trace->spans()) {
+      if (std::string(span.name) == "batch_form") return true;
+    }
+    return false;
+  };
+  while (!past_dequeue_check()) std::this_thread::sleep_for(1ms);
+#else
+  // Tracing compiled out: wait for the admission queue to drain, then
+  // give the batcher a real-time moment to run the dequeue check it
+  // performs right after popping.
+  while (server.stats().queue_depth != 0) std::this_thread::sleep_for(1ms);
+  std::this_thread::sleep_for(50ms);
+#endif
+  fake.clock().Advance(400ms);  // Deadline passes while pipelined.
   gate.Release();
 
   const auto& got = doomed.Get();
@@ -718,7 +745,10 @@ TEST(AsyncServerTest, CancelAnswersQueuedWorkWithoutExecutingIt) {
   ServerStats stats = server.stats();
   EXPECT_EQ(stats.cancelled, queued.size());
   EXPECT_EQ(stats.completed, 1u);
-  EXPECT_EQ(stats.admitted, stats.completed + stats.cancelled);
+  // The lane breakdown sees the cancellations too (all traffic kNormal).
+  EXPECT_EQ(stats.lanes[1].cancelled, queued.size());
+  EXPECT_EQ(stats.lanes[1].completed, 1u);
+  EXPECT_TRUE(CheckServerStatsInvariant(stats));
 }
 
 TEST(AsyncServerTest, DestructorDrains) {
@@ -774,9 +804,7 @@ TEST(AsyncServerTest, StatsInvariantsHoldAfterMixedTraffic) {
 
   ServerStats stats = server.stats();
   EXPECT_EQ(stats.submitted, futures.size());
-  EXPECT_EQ(stats.submitted, stats.admitted + stats.rejected);
-  EXPECT_EQ(stats.admitted,
-            stats.completed + stats.expired + stats.cancelled + stats.shed);
+  EXPECT_TRUE(CheckServerStatsInvariant(stats));
   EXPECT_EQ(stats.rejected, 1u);   // The invalid submit.
   EXPECT_EQ(stats.expired, 2u);    // i = 2 and i = 5.
   EXPECT_EQ(stats.queue_depth, 0u);

@@ -121,6 +121,41 @@ def mutation_tail_bound():
     return 2.60
 
 
+def trace_sampling_tail_bound():
+    """Max allowed p99 ratio, the adaptive closed loop with 1-in-64
+    trace sampling vs the identical untraced configuration (same run,
+    same binary).
+
+    An un-sampled request pays one null-check branch per span site; a
+    sampled one adds ~15 clock reads and mutex-guarded span pushes to a
+    multi-hundred-microsecond request.  Neither should be visible above
+    p99 noise, which scales with how contended the host is."""
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        return 1.05
+    if cores >= 2:
+        return 1.15
+    return 1.30
+
+
+def tracing_overhead_bound():
+    """Max allowed p99 ratio between the instrumented build and a
+    -DQSE_DISABLE_TRACING build of the same configuration (the
+    --overhead-pair mode, two separate binaries).
+
+    The observability acceptance budget: with tracing compiled in but
+    requests un-sampled, the hot path differs by dead branches only, so
+    on a quiet multi-core host the tails must agree within 2%.  Smaller
+    hosts time-share the serving threads and p99 noise swamps a 2%
+    budget; loosen rather than flap."""
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        return 1.02
+    if cores >= 2:
+        return 1.15
+    return 1.30
+
+
 def micro_batching_tail_bound():
     """Max allowed p99 ratio for the same pair.  Under closed-loop load,
     coalescing strictly reduces queueing, so the tail must not regress
@@ -196,6 +231,16 @@ RULES = [
         "adaptive micro-batching vs one-request-per-call (p99 tail)",
         "p99",
     ),
+    # Observability: the adaptive closed loop with 1-in-64 trace
+    # sampling vs the identical untraced configuration — sampling must
+    # not buy visibility with a tail blowup.
+    (
+        "SL_Closed/mono/async_traced",
+        "SL_Closed/mono/async_adaptive",
+        trace_sampling_tail_bound,
+        "trace sampling (1/64) vs untraced adaptive loop (p99 tail)",
+        "p99",
+    ),
     # Concurrent mutation: a background Insert/Remove stream through the
     # server (epoch/RCU path) must not blow the closed-loop query tail
     # relative to the identical mutation-free configuration.
@@ -251,6 +296,23 @@ RULES = [
 # widened abandon threshold is rounding-safe — so the floors are tight
 # (both modes measure recall 1.0 at p=500 over the true top-100).
 FLOOR_RULES = [
+    # The observability acceptance bar: the sampled sharded-server
+    # request's spans must account for >= 95% of the wall-clock between
+    # admit and completion — no invisible pipeline stage.  (The entry is
+    # absent from -DQSE_DISABLE_TRACING builds; --strict CI runs the
+    # default build, where it is mandatory.)
+    (
+        "SL_Trace/sharded",
+        "trace_coverage",
+        0.95,
+        "sampled sharded request: span coverage of admit-to-completion",
+    ),
+    (
+        "SL_Trace/sharded",
+        "trace_spans",
+        10,
+        "sampled sharded request: span count (server + engine stages)",
+    ),
     (
         "BM_FilterScanPrecision_Filter32",
         "recall_at_10",
@@ -278,6 +340,92 @@ FLOOR_RULES = [
 ]
 
 
+# (section, metric name, min value, label).  Presence floors over the
+# server_load metrics snapshot (--metrics server_load_metrics.json): one
+# run must register and bump the counters of every instrumented layer —
+# an instrumentation point silently falling out of the build fails here,
+# not in a dashboard weeks later.  Histogram floors check the merged
+# observation count.
+METRIC_FLOORS = [
+    ("counters", "qse_engine_retrievals_total",
+     "monolithic engine retrievals recorded"),
+    ("counters", "qse_engine_filter_rows_visited_total",
+     "monolithic filter scan row accounting"),
+    ("counters", "qse_sharded_retrievals_total",
+     "sharded engine retrievals recorded"),
+    ("counters", "qse_sharded_filter_rows_visited_total",
+     "sharded filter scan row accounting"),
+    ("counters", "qse_server_submitted_total",
+     "server admission accounting (submitted)"),
+    ("counters", "qse_server_completed_total",
+     "server admission accounting (completed)"),
+    ("histograms", "qse_server_batch_size",
+     "server batch-size histogram populated"),
+    ("histograms", "qse_sharded_scatter_latency_ns",
+     "sharded scatter stage latency recorded"),
+    ("histograms", "qse_engine_filter_latency_ns",
+     "monolithic filter stage latency recorded"),
+]
+
+# Benchmarks compared across the two builds of --overhead-pair mode
+# (instrumented vs -DQSE_DISABLE_TRACING): metrics/span sites compiled
+# to dead branches must leave the serving tail within the budget.
+OVERHEAD_PAIR_BENCHMARKS = [
+    "SL_Closed/mono/async_adaptive",
+    "SL_Closed/mono/async_b1",
+]
+
+
+def check_metric_floors(path, failures):
+    """Applies METRIC_FLOORS to one obs::MetricsJson snapshot."""
+    with open(path) as f:
+        doc = json.load(f)
+    for section, name, label in METRIC_FLOORS:
+        entry = doc.get(section, {}).get(name)
+        value = None
+        if section == "histograms":
+            if entry is not None:
+                value = entry.get("count")
+        else:
+            value = entry
+        if value is None:
+            msg = f"MISSING  {label}: {section}/{name} absent from {path}"
+            print(msg)
+            failures.append(msg)
+            continue
+        status = "FAIL" if float(value) < 1 else "ok"
+        print(f"{status:7}  {label}: {name} = {value}")
+        if float(value) < 1:
+            failures.append(label)
+
+
+def check_overhead_pair(instrumented_path, disabled_path, failures):
+    """The observability overhead gate: p99 of the instrumented build vs
+    the -DQSE_DISABLE_TRACING build, same configurations, two runs."""
+    instrumented = load_benchmarks([instrumented_path])
+    disabled = load_benchmarks([disabled_path])
+    bound = tracing_overhead_bound()
+    for name in OVERHEAD_PAIR_BENCHMARKS:
+        num = metric_value(instrumented, name, "p99")
+        den = metric_value(disabled, name, "p99")
+        label = f"tracing overhead budget: {name} p99, instrumented vs off"
+        if num is None or den is None:
+            msg = f"MISSING  {label}: needs p99 in both runs"
+            print(msg)
+            failures.append(msg)
+            continue
+        if num <= 0 or den <= 0:
+            msg = f"DEGENERATE  {label}: p99 {num} vs {den} (must be > 0)"
+            print(msg)
+            failures.append(msg)
+            continue
+        ratio = num / den
+        status = "FAIL" if ratio > bound else "ok"
+        print(f"{status:7}  {label}: ratio {ratio:.3f} (bound {bound:.2f})")
+        if ratio > bound:
+            failures.append(label)
+
+
 def load_benchmarks(paths):
     benchmarks = {}
     for path in paths:
@@ -302,13 +450,40 @@ def metric_value(benchmarks, name, metric):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("benchmark_json", nargs="+")
+    parser.add_argument("benchmark_json", nargs="*")
     parser.add_argument("--strict", action="store_true",
                         help="fail when a rule's benchmarks are missing")
+    parser.add_argument("--metrics", metavar="METRICS_JSON",
+                        help="obs::MetricsJson snapshot (server_load "
+                             "--out stem + _metrics.json) to apply "
+                             "instrumentation presence floors to")
+    parser.add_argument("--overhead-pair", nargs=2,
+                        metavar=("INSTRUMENTED_JSON", "DISABLED_JSON"),
+                        help="server_load outputs from the default build "
+                             "and a -DQSE_DISABLE_TRACING build; gates "
+                             "the p99 cost of compiled-in observability")
     args = parser.parse_args()
+    if not args.benchmark_json and not args.metrics and not args.overhead_pair:
+        parser.error("nothing to check: give benchmark JSON files, "
+                     "--metrics, or --overhead-pair")
+
+    failures = []
+    if args.overhead_pair:
+        check_overhead_pair(args.overhead_pair[0], args.overhead_pair[1],
+                            failures)
+    if args.metrics:
+        check_metric_floors(args.metrics, failures)
+    if not args.benchmark_json:
+        if failures:
+            print(f"\n{len(failures)} benchmark threshold(s) violated:",
+                  file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print("\nall benchmark thresholds satisfied")
+        return 0
 
     benchmarks = load_benchmarks(args.benchmark_json)
-    failures = []
     for numerator, denominator, bound, label, metric in RULES:
         if callable(bound):
             bound = bound()
