@@ -1,0 +1,56 @@
+#ifndef QSE_BENCH_DRIFT_SCENARIOS_H_
+#define QSE_BENCH_DRIFT_SCENARIOS_H_
+
+#include <cstddef>
+
+#include "src/data/drift_generator.h"
+
+namespace qse {
+namespace bench {
+
+/// The three canonical drift scenarios the server_load SL_Drift section
+/// and the unit suites share, so a schedule tuned in one place stays
+/// tuned everywhere.  `onset` is in workload steps (one step per issued
+/// query); magnitudes are in point-coordinate units over [0,1]^d —
+/// 0.35 scrambles the neighborhood structure enough to cost a frozen
+/// embedding a large recall fraction without making the task trivial.
+
+/// Step change at `onset`: the alarm-latency scenario (how many audited
+/// queries until qse_quality_drift_alarm flips).
+inline DriftSchedule AbruptDrift(size_t onset, double magnitude = 0.35) {
+  DriftSchedule s;
+  s.kind = DriftKind::kAbrupt;
+  s.onset = onset;
+  s.magnitude = magnitude;
+  return s;
+}
+
+/// Linear ramp over `ramp` steps starting at `onset`: the slow-burn
+/// scenario — detection happens mid-ramp, later than abrupt.
+inline DriftSchedule GradualDrift(size_t onset, size_t ramp,
+                                  double magnitude = 0.35) {
+  DriftSchedule s;
+  s.kind = DriftKind::kGradual;
+  s.onset = onset;
+  s.ramp = ramp;
+  s.magnitude = magnitude;
+  return s;
+}
+
+/// Alternating drifted/clean blocks of `period` steps from `onset`: the
+/// re-baselining scenario — the detector must clear after each regime
+/// stabilizes and re-alarm on the next flip.
+inline DriftSchedule RecurrentDrift(size_t onset, size_t period,
+                                    double magnitude = 0.35) {
+  DriftSchedule s;
+  s.kind = DriftKind::kRecurrent;
+  s.onset = onset;
+  s.period = period;
+  s.magnitude = magnitude;
+  return s;
+}
+
+}  // namespace bench
+}  // namespace qse
+
+#endif  // QSE_BENCH_DRIFT_SCENARIOS_H_

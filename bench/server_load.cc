@@ -48,9 +48,12 @@
 #include <thread>
 #include <vector>
 
+#include "bench/drift_scenarios.h"
 #include "bench/harness.h"
 #include "src/data/dataset.h"
+#include "src/data/drift_generator.h"
 #include "src/obs/exposition.h"
+#include "src/obs/quality_monitor.h"
 #include "src/obs/trace.h"
 #include "src/distance/lp.h"
 #include "src/embedding/fastmap.h"
@@ -377,6 +380,44 @@ void RunPriorityLanes(const RetrievalBackend* backend, size_t k, size_t p,
   json->push_back(std::move(tenants));
 }
 
+/// The drift workload: a small database whose TRUE distances drift on a
+/// schedule while its embeddings stay frozen at step 0 — the frozen-
+/// model staleness a production retrieval system actually suffers.
+/// Shared by the abrupt-drift alarm-latency run and the p = n
+/// no-drift verification run.
+struct DriftStack {
+  DriftingPointOracle oracle;
+  std::vector<size_t> db_ids;
+  FastMapModel model;
+  L2Scorer scorer;
+  EmbeddedDatabase db;
+  std::unique_ptr<RetrievalEngine> mono;
+  std::unique_ptr<ShardedRetrievalEngine> sharded;
+  std::vector<DxToDatabaseFn> queries;
+
+  DriftStack(size_t n, size_t num_queries, size_t dims,
+             DriftSchedule schedule, uint64_t seed)
+      : oracle(n + num_queries, /*point dims=*/2, schedule, seed),
+        db_ids(LoadStack::Iota(n)),
+        model([&] {
+          FastMapOptions options;
+          options.dims = dims;
+          options.seed = seed + 1;
+          return BuildFastMap(oracle, db_ids, options);
+        }()),
+        db(EmbedDatabase(model, oracle, db_ids)) {
+    mono = std::make_unique<RetrievalEngine>(&model, &scorer, &db, db_ids);
+    ShardedEngineOptions options;
+    options.num_shards = 4;
+    sharded = std::make_unique<ShardedRetrievalEngine>(&model, &scorer, db,
+                                                       db_ids, options);
+    for (size_t q = n; q < n + num_queries; ++q) {
+      queries.push_back(
+          [this, q](size_t id) { return oracle.Distance(q, id); });
+    }
+  }
+};
+
 }  // namespace
 }  // namespace qse
 
@@ -654,6 +695,161 @@ int main(int argc, char** argv) {
     json.push_back(std::move(entry));
   }
 #endif  // QSE_DISABLE_TRACING
+
+  // --- SL_Drift: background quality auditing + drift detection ------
+  //
+  // (a) Control: the adaptive closed loop again, now with a
+  // QualityMonitor sampling 1-in-16 completed responses into background
+  // exact-kNN audits.  Gates: audit overhead keeps p99 within a small
+  // factor of the audit-free adaptive run, ZERO false drift alarms on
+  // this stationary workload, and the shed ratio stays bounded.  The
+  // monitor publishes into the global registry, so the exported
+  // server_load_metrics.{json,prom} carry the qse_quality_* series.
+  std::printf("--- quality audits + drift (control: no drift) ---\n");
+  {
+    obs::QualityMonitorOptions qopts;
+    qopts.sample_every_n = 16;
+    qopts.registry = &obs::MetricRegistry::Global();
+    obs::QualityMonitor monitor(qopts);
+    AsyncServerOptions options;
+    options.queue_capacity = 4096;
+    options.max_batch = max_batch;
+    options.num_workers = 1;
+    options.retrieve_threads = 0;
+    options.quality_monitor = &monitor;
+    AsyncRetrievalServer server(stack.mono.get(), options);
+    RunResult res = RunClosedLoop(
+        clients, requests, stack.queries, [&](const DxToDatabaseFn& dx) {
+          Future<StatusOr<RetrievalResponse>> f =
+              server.Submit({dx, base_options});
+          const auto& r = f.Get();
+          QSE_CHECK_MSG(r.ok(), r.status().ToString());
+        });
+    server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+    monitor.Flush();
+    obs::QualityMonitorStats ms = monitor.stats();
+    monitor.Shutdown();
+    const double shed_ratio =
+        ms.sampled > 0 ? double(ms.shed) / double(ms.sampled) : 0.0;
+    std::printf("audits: sampled %llu completed %llu shed %llu "
+                "(ratio %.3f); recall@k %.3f; false alarms %llu\n",
+                static_cast<unsigned long long>(ms.sampled),
+                static_cast<unsigned long long>(ms.completed),
+                static_cast<unsigned long long>(ms.shed), shed_ratio,
+                ms.recall_at_k,
+                static_cast<unsigned long long>(ms.alarms));
+    Report("SL_Drift/mono/control", res, &json,
+           {{"audits_completed", static_cast<double>(ms.completed)},
+            {"audits_shed", static_cast<double>(ms.shed)},
+            {"audit_shed_ratio", shed_ratio},
+            {"false_alarms", static_cast<double>(ms.alarms)},
+            {"audited_recall", ms.recall_at_k}});
+  }
+
+  // (b) Abrupt drift: a small frozen-embedding stack whose true
+  // distances step-change at a known onset, audited on EVERY query so
+  // alarm latency is measured in audits deterministically.  Gates:
+  // the alarm must raise, within a bounded number of audits past the
+  // onset, and the audited recall must actually have degraded (the
+  // alarm fired for a real reason).  Metrics go to a private registry
+  // exported as <stem>_drift_metrics.{json,prom}.
+  {
+    const size_t drift_n = flags.GetSize("drift_n", 4000);
+    const size_t drift_onset = 64;
+    const size_t drift_max_steps = 512;
+    obs::MetricRegistry drift_registry;
+    DriftStack drift(drift_n, 128, dims,
+                     bench::AbruptDrift(drift_onset), 1907);
+    obs::QualityMonitorOptions qopts;
+    qopts.sample_every_n = 1;  // Audit everything: deterministic latency.
+    qopts.window = 16;
+    qopts.registry = &drift_registry;
+    obs::QualityMonitor monitor(qopts);
+    RetrievalOptions dro(/*k=*/10, /*p=*/50);
+    dro.audit_monitor = &monitor;
+
+    double recall_before = 0.0, recall_after = 0.0;
+    size_t audits_to_alarm = 0;
+    bool alarm_raised = false;
+    for (size_t step = 0; step < drift_max_steps; ++step) {
+      drift.oracle.SetStep(step);
+      auto r = drift.mono->Retrieve(
+          {drift.queries[step % drift.queries.size()], dro});
+      QSE_CHECK_MSG(r.ok(), r.status().ToString());
+      monitor.Flush();
+      obs::QualityMonitorStats ms = monitor.stats();
+      if (step + 1 == drift_onset) recall_before = ms.recall_at_k;
+      if (!alarm_raised && ms.drift_alarm) {
+        alarm_raised = true;
+        audits_to_alarm =
+            ms.completed > drift_onset ? ms.completed - drift_onset : 0;
+        recall_after = ms.recall_at_k;
+        break;
+      }
+    }
+    monitor.Shutdown();
+    std::printf("--- drift (abrupt at audit %zu, mono, audit-every-query) "
+                "---\nalarm %s after %zu post-onset audits; recall %.3f -> "
+                "%.3f\n",
+                drift_onset, alarm_raised ? "RAISED" : "missed",
+                audits_to_alarm, recall_before, recall_after);
+    BenchJsonEntry entry;
+    entry.name = "SL_Drift/mono/abrupt";
+    entry.real_time_ns = 0;
+    entry.extras.emplace_back("alarm_raised", alarm_raised ? 1.0 : 0.0);
+    entry.extras.emplace_back("audits_to_alarm",
+                              static_cast<double>(audits_to_alarm));
+    entry.extras.emplace_back("recall_before", recall_before);
+    entry.extras.emplace_back("recall_after", recall_after);
+    entry.extras.emplace_back("recall_degradation",
+                              recall_before - recall_after);
+    json.push_back(std::move(entry));
+
+    Status ds = bench::WriteMetricsJson(stem + "_drift_metrics.json",
+                                        drift_registry);
+    QSE_CHECK_MSG(ds.ok(), ds.ToString());
+    ds = bench::WriteMetricsPrometheus(stem + "_drift_metrics.prom",
+                                       drift_registry);
+    QSE_CHECK_MSG(ds.ok(), ds.ToString());
+  }
+
+  // (c) p = n, no drift: the degenerate-to-brute-force configuration in
+  // which filter-and-refine provably returns the exact answer — every
+  // audit must find a bit-identical neighbor set (zero mismatches,
+  // recall exactly 1).  Runs over the SHARDED engine so the scatter/
+  // gather audit path is the one verified.
+  {
+    const size_t verify_n = 1500;
+    obs::MetricRegistry verify_registry;
+    DriftStack verify(verify_n, 32, dims, DriftSchedule{}, 2317);
+    obs::QualityMonitorOptions qopts;
+    qopts.sample_every_n = 1;
+    qopts.registry = &verify_registry;
+    obs::QualityMonitor monitor(qopts);
+    RetrievalOptions vro(/*k=*/10, /*p=*/verify_n);
+    vro.audit_monitor = &monitor;
+    for (size_t i = 0; i < verify.queries.size(); ++i) {
+      auto r = verify.sharded->Retrieve({verify.queries[i], vro});
+      QSE_CHECK_MSG(r.ok(), r.status().ToString());
+    }
+    monitor.Flush();
+    obs::QualityMonitorStats ms = monitor.stats();
+    monitor.Shutdown();
+    std::printf("--- verify (sharded, p = n, no drift) ---\n"
+                "%llu audits, %llu mismatches (must be 0), recall %.3f\n",
+                static_cast<unsigned long long>(ms.completed),
+                static_cast<unsigned long long>(ms.mismatches),
+                ms.recall_at_k);
+    BenchJsonEntry entry;
+    entry.name = "SL_Drift/sharded/verify_pn";
+    entry.real_time_ns = 0;
+    entry.extras.emplace_back("audits_completed",
+                              static_cast<double>(ms.completed));
+    entry.extras.emplace_back("audit_mismatches",
+                              static_cast<double>(ms.mismatches));
+    entry.extras.emplace_back("exact_recall", ms.recall_at_k);
+    json.push_back(std::move(entry));
+  }
 
   Status s = bench::WriteBenchJson(out, json);
   QSE_CHECK_MSG(s.ok(), s.ToString());

@@ -1,0 +1,36 @@
+#include "src/obs/build_info.h"
+
+#include "src/distance/simd/dispatch.h"
+#include "src/obs/exposition.h"
+
+#ifndef QSE_BUILD_VERSION
+#define QSE_BUILD_VERSION "unknown"
+#endif
+#ifndef QSE_BUILD_COMMIT
+#define QSE_BUILD_COMMIT "unknown"
+#endif
+
+namespace qse {
+namespace obs {
+
+std::string BuildInfoMetricName() {
+#ifdef QSE_DISABLE_TRACING
+  const char* tracing = "off";
+#else
+  const char* tracing = "on";
+#endif
+  return "qse_build_info{" + PromLabel("version", QSE_BUILD_VERSION) + "," +
+         PromLabel("commit", QSE_BUILD_COMMIT) + "," +
+         PromLabel("simd",
+                   simd::SimdLevelName(simd::ActiveSimdLevel())) +
+         "," + PromLabel("tracing", tracing) + "}";
+}
+
+Gauge* RegisterBuildInfo(MetricRegistry* registry) {
+  Gauge* gauge = registry->GetGauge(BuildInfoMetricName());
+  gauge->Set(1);
+  return gauge;
+}
+
+}  // namespace obs
+}  // namespace qse

@@ -1,0 +1,31 @@
+#ifndef QSE_OBS_BUILD_INFO_H_
+#define QSE_OBS_BUILD_INFO_H_
+
+#include <string>
+
+#include "src/obs/metric_registry.h"
+
+namespace qse {
+namespace obs {
+
+/// Registers the build-identity gauge
+///   qse_build_info{version="...",commit="...",simd="...",tracing="..."} 1
+/// into `registry` and returns it, so every exported snapshot names the
+/// binary (and the SIMD tier it dispatched to) that produced it.
+/// version/commit come from the build system (QSE_BUILD_VERSION /
+/// QSE_BUILD_COMMIT compile definitions; "unknown" when absent), simd
+/// from simd::ResolveSimdLevel via ActiveSimdLevel, tracing from whether
+/// the library was built with QSE_DISABLE_TRACING.  Label values go
+/// through EscapeLabelValue, so injected build metadata cannot corrupt
+/// the exposition.  Idempotent per registry; MetricRegistry::Global()
+/// calls it on first use.
+Gauge* RegisterBuildInfo(MetricRegistry* registry);
+
+/// The full metric name RegisterBuildInfo registers (for tests and
+/// presence checks against private registries).
+std::string BuildInfoMetricName();
+
+}  // namespace obs
+}  // namespace qse
+
+#endif  // QSE_OBS_BUILD_INFO_H_

@@ -27,6 +27,7 @@ void SplitLabels(const std::string& name, std::string* base,
 }
 
 std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "NaN";
   if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
   char buf[64];
   // %.17g round-trips doubles; trim the common integer case for
@@ -39,6 +40,13 @@ std::string FormatDouble(double v) {
     std::snprintf(buf, sizeof(buf), "%.17g", v);
   }
   return buf;
+}
+
+/// JSON has no NaN/Inf literals; a non-finite value would corrupt the
+/// whole document for every downstream parser, so it degrades to 0.
+std::string FormatJsonDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  return FormatDouble(v);
 }
 
 std::string SeriesName(const std::string& base, const std::string& suffix,
@@ -77,11 +85,37 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromLabel(const std::string& key, const std::string& value) {
+  return key + "=\"" + EscapeLabelValue(value) + "\"";
+}
+
 std::string PrometheusText(const MetricRegistry& registry) {
   std::ostringstream out;
   std::set<std::string> typed;  // base names that already got a # TYPE line
   registry.ForEach([&](const std::string& name, const Counter* counter,
-                       const Gauge* gauge, const Histogram* histogram) {
+                       const Gauge* gauge, const FloatGauge* float_gauge,
+                       const Histogram* histogram) {
     std::string base, labels;
     SplitLabels(name, &base, &labels);
     if (counter != nullptr) {
@@ -96,6 +130,12 @@ std::string PrometheusText(const MetricRegistry& registry) {
       }
       out << SeriesName(base, "", labels, "") << " " << gauge->Value()
           << "\n";
+    } else if (float_gauge != nullptr) {
+      if (typed.insert(base).second) {
+        out << "# TYPE " << base << " gauge\n";
+      }
+      out << SeriesName(base, "", labels, "") << " "
+          << FormatDouble(float_gauge->Value()) << "\n";
     } else if (histogram != nullptr) {
       if (typed.insert(base).second) {
         out << "# TYPE " << base << " histogram\n";
@@ -124,7 +164,8 @@ std::string MetricsJson(const MetricRegistry& registry) {
   std::ostringstream counters, gauges, histograms;
   bool first_c = true, first_g = true, first_h = true;
   registry.ForEach([&](const std::string& name, const Counter* counter,
-                       const Gauge* gauge, const Histogram* histogram) {
+                       const Gauge* gauge, const FloatGauge* float_gauge,
+                       const Histogram* histogram) {
     if (counter != nullptr) {
       counters << (first_c ? "" : ",") << "\n    \"" << JsonEscape(name)
                << "\": " << counter->Value();
@@ -133,14 +174,19 @@ std::string MetricsJson(const MetricRegistry& registry) {
       gauges << (first_g ? "" : ",") << "\n    \"" << JsonEscape(name)
              << "\": " << gauge->Value();
       first_g = false;
+    } else if (float_gauge != nullptr) {
+      gauges << (first_g ? "" : ",") << "\n    \"" << JsonEscape(name)
+             << "\": " << FormatJsonDouble(float_gauge->Value());
+      first_g = false;
     } else if (histogram != nullptr) {
       HistogramSnapshot snap = histogram->Snapshot();
       histograms << (first_h ? "" : ",") << "\n    \"" << JsonEscape(name)
                  << "\": {\"count\": " << snap.count
-                 << ", \"sum\": " << FormatDouble(snap.sum)
-                 << ", \"p50\": " << FormatDouble(snap.Quantile(0.50))
-                 << ", \"p95\": " << FormatDouble(snap.Quantile(0.95))
-                 << ", \"p99\": " << FormatDouble(snap.Quantile(0.99)) << "}";
+                 << ", \"sum\": " << FormatJsonDouble(snap.sum)
+                 << ", \"p50\": " << FormatJsonDouble(snap.Quantile(0.50))
+                 << ", \"p95\": " << FormatJsonDouble(snap.Quantile(0.95))
+                 << ", \"p99\": " << FormatJsonDouble(snap.Quantile(0.99))
+                 << "}";
       first_h = false;
     }
   });

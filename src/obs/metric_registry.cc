@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/obs/build_info.h"
 #include "src/util/logging.h"
 
 namespace qse {
@@ -130,7 +131,8 @@ std::vector<double> DefaultLatencyBoundariesNs() {
 Counter* MetricRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = metrics_[name];
-  QSE_CHECK_MSG(entry.gauge == nullptr && entry.histogram == nullptr,
+  QSE_CHECK_MSG(entry.gauge == nullptr && entry.float_gauge == nullptr &&
+                    entry.histogram == nullptr,
                 "metric '" << name << "' already registered with another type");
   if (entry.counter == nullptr) entry.counter.reset(new Counter);
   return entry.counter.get();
@@ -139,17 +141,29 @@ Counter* MetricRegistry::GetCounter(const std::string& name) {
 Gauge* MetricRegistry::GetGauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = metrics_[name];
-  QSE_CHECK_MSG(entry.counter == nullptr && entry.histogram == nullptr,
+  QSE_CHECK_MSG(entry.counter == nullptr && entry.float_gauge == nullptr &&
+                    entry.histogram == nullptr,
                 "metric '" << name << "' already registered with another type");
   if (entry.gauge == nullptr) entry.gauge.reset(new Gauge);
   return entry.gauge.get();
+}
+
+FloatGauge* MetricRegistry::GetFloatGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = metrics_[name];
+  QSE_CHECK_MSG(entry.counter == nullptr && entry.gauge == nullptr &&
+                    entry.histogram == nullptr,
+                "metric '" << name << "' already registered with another type");
+  if (entry.float_gauge == nullptr) entry.float_gauge.reset(new FloatGauge);
+  return entry.float_gauge.get();
 }
 
 Histogram* MetricRegistry::GetHistogram(const std::string& name,
                                         std::vector<double> boundaries) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = metrics_[name];
-  QSE_CHECK_MSG(entry.counter == nullptr && entry.gauge == nullptr,
+  QSE_CHECK_MSG(entry.counter == nullptr && entry.gauge == nullptr &&
+                    entry.float_gauge == nullptr,
                 "metric '" << name << "' already registered with another type");
   if (entry.histogram == nullptr) {
     entry.histogram.reset(new Histogram(std::move(boundaries)));
@@ -159,16 +173,22 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name,
 
 void MetricRegistry::ForEach(
     const std::function<void(const std::string&, const Counter*, const Gauge*,
-                             const Histogram*)>& fn) const {
+                             const FloatGauge*, const Histogram*)>& fn) const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& kv : metrics_) {
     fn(kv.first, kv.second.counter.get(), kv.second.gauge.get(),
-       kv.second.histogram.get());
+       kv.second.float_gauge.get(), kv.second.histogram.get());
   }
 }
 
 MetricRegistry& MetricRegistry::Global() {
-  static MetricRegistry* registry = new MetricRegistry;
+  // Registered once, on first use: every export of the global registry
+  // carries the qse_build_info identity gauge.
+  static MetricRegistry* registry = [] {
+    MetricRegistry* r = new MetricRegistry;
+    RegisterBuildInfo(r);
+    return r;
+  }();
   return *registry;
 }
 

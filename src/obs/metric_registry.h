@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <memory>
@@ -82,6 +83,34 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+/// A gauge holding a double (rolling-window recall, error fractions —
+/// values the integer Gauge cannot carry).  The double travels as its
+/// bit pattern inside an atomic<uint64_t>: no std::atomic<double> needed,
+/// and a zero bit pattern is exactly 0.0, so default construction reads
+/// as zero.  Same write discipline as Gauge: few writers, off the
+/// per-row hot path.
+class FloatGauge {
+ public:
+  FloatGauge() = default;
+  FloatGauge(const FloatGauge&) = delete;
+  FloatGauge& operator=(const FloatGauge&) = delete;
+
+  void Set(double value) {
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    bits_.store(bits, std::memory_order_relaxed);
+  }
+  double Value() const {
+    uint64_t bits = bits_.load(std::memory_order_relaxed);
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+ private:
+  std::atomic<uint64_t> bits_{0};
+};
+
 /// Point-in-time view of a Histogram: per-bucket counts plus count/sum.
 /// bucket_counts[i] counts observations <= boundaries[i]; the final
 /// entry (bucket_counts[boundaries.size()]) is the +inf overflow bucket.
@@ -155,6 +184,7 @@ class MetricRegistry {
 
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
+  FloatGauge* GetFloatGauge(const std::string& name);
   /// The boundaries of the first call win; a later call with different
   /// boundaries returns the existing histogram unchanged.
   Histogram* GetHistogram(const std::string& name,
@@ -162,18 +192,21 @@ class MetricRegistry {
 
   /// Visits every metric in lexicographic name order (deterministic
   /// export).  Exactly one of the pointers is non-null per call.
-  void ForEach(
-      const std::function<void(const std::string& name, const Counter*,
-                               const Gauge*, const Histogram*)>& fn) const;
+  void ForEach(const std::function<void(const std::string& name,
+                                        const Counter*, const Gauge*,
+                                        const FloatGauge*, const Histogram*)>&
+                   fn) const;
 
   /// Process-wide registry for engine-level metrics; leaky singleton
-  /// (never destroyed, safe to use from static teardown).
+  /// (never destroyed, safe to use from static teardown).  The first
+  /// call registers the qse_build_info identity gauge (build_info.h).
   static MetricRegistry& Global();
 
  private:
   struct Entry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<FloatGauge> float_gauge;
     std::unique_ptr<Histogram> histogram;
   };
 

@@ -17,6 +17,10 @@
 
 namespace qse {
 
+namespace obs {
+class QualityMonitor;
+}  // namespace obs
+
 /// Clock used for request deadlines and trace timestamps.  MonotonicClock
 /// is steady_clock-backed (immune to wall-clock jumps) and overridable
 /// with a FakeClock in tests, so deadline tests advance time instead of
@@ -75,6 +79,13 @@ struct RetrievalOptions {
   /// FailedPrecondition).  Refine always re-scores with exact distances,
   /// so this shifts top-p candidate recall, never final distances.
   FilterPrecision filter_precision = FilterPrecision::kExact64;
+  /// When non-null, the backend offers 1-in-N completed responses to
+  /// this monitor for background exact-kNN auditing (quality_monitor.h).
+  /// Does not change results — the audit runs off the hot path against
+  /// the same pinned snapshot the response was served from.  The async
+  /// server attaches its configured monitor here; direct engine callers
+  /// may set it themselves.  Borrowed: must outlive the request.
+  obs::QualityMonitor* audit_monitor = nullptr;
 
   RetrievalOptions() = default;
   /// The common case: everything default except k and p.
@@ -91,8 +102,9 @@ struct RetrievalOptions {
   /// True when two requests are guaranteed identical backend results for
   /// the same dx, so a batcher may run them as one RetrieveBatch call.
   /// priority/tenant/deadline shape admission, num_threads shapes
-  /// execution; none of them change results.  filter_precision does —
-  /// different precisions rank the filter scan differently.
+  /// execution, audit_monitor only observes; none of them change
+  /// results.  filter_precision does — different precisions rank the
+  /// filter scan differently.
   bool SameResultKey(const RetrievalOptions& other) const {
     return k == other.k && p == other.p && want_stats == other.want_stats &&
            filter_precision == other.filter_precision;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/distance/simd/dispatch.h"
+#include "src/obs/quality_monitor.h"
 #include "src/obs/trace.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
@@ -54,14 +55,15 @@ RetrievalEngine::RetrievalEngine(const Embedder* embedder,
 StatusOr<RetrievalResponse> RetrievalEngine::Retrieve(
     const RetrievalRequest& request) const {
   StatusOr<RetrievalResponse> result =
-      RetrieveOne(request.dx, request.options, request.trace.get());
+      RetrieveOne(request.dx, request.options, request.trace);
   if (result.ok()) result.value().trace = request.trace;
   return result;
 }
 
 StatusOr<RetrievalResponse> RetrievalEngine::RetrieveOne(
     const DxToDatabaseFn& dx, const RetrievalOptions& options,
-    obs::RequestTrace* trace) const {
+    const std::shared_ptr<obs::RequestTrace>& trace_ptr) const {
+  obs::RequestTrace* trace = trace_ptr.get();
   QSE_RETURN_IF_ERROR(ValidateRetrievalOptions(options));
   // Fast-fail on an empty database before spending embedding distances
   // on `dx` (cheap atomic peek; the pinned snapshot below re-checks
@@ -151,6 +153,26 @@ StatusOr<RetrievalResponse> RetrievalEngine::RetrieveOne(
   response.exact_distances = embed_cost + candidates.size();
   retrievals_total_->Increment();
   exact_distances_total_->Add(response.exact_distances);
+
+  // Quality audit hook: offer 1-in-N completed responses to the
+  // monitor, handing it the SAME pinned snapshot this response was
+  // served from so the background exact re-scan scores identical rows
+  // under concurrent mutation.  Costs one atomic tick when a monitor is
+  // attached; sampled responses additionally move the pin instead of
+  // dropping it here.
+  if (options.audit_monitor != nullptr &&
+      options.audit_monitor->ShouldSample()) {
+    obs::AuditTask audit;
+    audit.dx = dx;
+    audit.k = k;
+    audit.served.reserve(response.neighbors.size());
+    for (const ScoredIndex& nb : response.neighbors) {
+      audit.served.push_back({view.id_of(nb.index), nb.score});
+    }
+    audit.snapshots.push_back(std::move(snap));
+    audit.trace = trace_ptr;
+    options.audit_monitor->SubmitAudit(std::move(audit));
+  }
   return response;
 }
 
@@ -176,7 +198,7 @@ StatusOr<std::vector<RetrievalResponse>> RetrievalEngine::RetrieveBatch(
       0, queries.size(), 2,
       [&](size_t i) {
         StatusOr<RetrievalResponse> r =
-            RetrieveOne(queries[i], options, /*trace=*/nullptr);
+            RetrieveOne(queries[i], options, /*trace=*/{});
         if (!r.ok()) {
           std::lock_guard<std::mutex> lock(error_mu);
           if (first_error.ok()) first_error = r.status();

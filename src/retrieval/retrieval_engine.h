@@ -85,10 +85,11 @@ class RetrievalEngine : public RetrievalBackend {
   /// envelope pieces by reference so the batch loop never copies a
   /// query functor or the options (tenant_id) per query.  A non-null
   /// `trace` gets embed / filter_scan / refine spans (sampled requests
-  /// coming through Retrieve; RetrieveBatch runs untraced).
-  StatusOr<RetrievalResponse> RetrieveOne(const DxToDatabaseFn& dx,
-                                          const RetrievalOptions& options,
-                                          obs::RequestTrace* trace) const;
+  /// coming through Retrieve; RetrieveBatch runs untraced).  Shared
+  /// ownership so a sampled quality audit can carry the trace along.
+  StatusOr<RetrievalResponse> RetrieveOne(
+      const DxToDatabaseFn& dx, const RetrievalOptions& options,
+      const std::shared_ptr<obs::RequestTrace>& trace) const;
 
   const Embedder* embedder_;
   const FilterScorer* scorer_;

@@ -5,6 +5,8 @@
 #include <optional>
 #include <utility>
 
+#include "src/obs/exposition.h"
+#include "src/obs/quality_monitor.h"
 #include "src/util/logging.h"
 
 namespace qse {
@@ -92,8 +94,10 @@ AsyncRetrievalServer::AsyncRetrievalServer(const RetrievalBackend* backend,
           "qse_server_batch_size", BatchSizeBoundaries(options_.max_batch))) {
   for (size_t l = 0; l < kNumPriorityLanes; ++l) {
     const std::string label =
-        std::string("{lane=\"") +
-        RequestPriorityName(static_cast<RequestPriority>(l)) + "\"}";
+        "{" +
+        obs::PromLabel("lane",
+                       RequestPriorityName(static_cast<RequestPriority>(l))) +
+        "}";
     lane_counters_[l] = LaneCounters{
         registry_->GetCounter("qse_server_lane_submitted_total" + label),
         registry_->GetCounter("qse_server_lane_admitted_total" + label),
@@ -109,7 +113,9 @@ AsyncRetrievalServer::AsyncRetrievalServer(const RetrievalBackend* backend,
     bool inserted = tenant_slots_.emplace(q.tenant_id, slot).second;
     QSE_CHECK_MSG(inserted, "duplicate tenant quota: '" << q.tenant_id
                                                         << "'");
-    const std::string label = "{tenant=\"" + q.tenant_id + "\"}";
+    // Tenant ids are caller-supplied: escape them so a quote or newline
+    // in an id cannot corrupt the exposition.
+    const std::string label = "{" + obs::PromLabel("tenant", q.tenant_id) + "}";
     tenant_counters_.push_back(TenantCounters{
         registry_->GetCounter("qse_server_tenant_submitted_total" + label),
         registry_->GetCounter("qse_server_tenant_admitted_total" + label),
@@ -172,6 +178,13 @@ Future<StatusOr<RetrievalResponse>> AsyncRetrievalServer::Submit(
     request.trace = std::make_shared<obs::RequestTrace>();
   }
 #endif
+  // Offer the server's quality monitor to the backend; the 1-in-N
+  // sampling decision itself happens inside the backend, once per
+  // completed response.  A caller-provided monitor wins.
+  if (options_.quality_monitor != nullptr &&
+      request.options.audit_monitor == nullptr) {
+    request.options.audit_monitor = options_.quality_monitor;
+  }
   const size_t lane = static_cast<size_t>(request.options.priority);
   size_t tenant_slot = kNoTenantSlot;
   if (!tenant_slots_.empty()) {

@@ -76,6 +76,13 @@ struct AsyncServerOptions {
   /// registries keep concurrently running servers (tests, benches) from
   /// summing into each other.  Non-null: must outlive the server.
   obs::MetricRegistry* registry = nullptr;
+  /// Quality monitor offered to the backend on every request that does
+  /// not already carry one (RetrievalOptions::audit_monitor): the
+  /// backend samples 1-in-N completed responses into background
+  /// exact-kNN audits (quality_monitor.h) feeding the qse_quality_*
+  /// instruments and the drift alarm.  Null (default): no auditing.
+  /// Borrowed; must outlive the server.
+  obs::QualityMonitor* quality_monitor = nullptr;
 };
 
 /// Per-priority-lane counter slice of ServerStats.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <unordered_set>
 
 #include "src/distance/simd/dispatch.h"
+#include "src/obs/quality_monitor.h"
 #include "src/obs/trace.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
@@ -116,13 +118,23 @@ size_t ShardedRetrievalEngine::AssignShard(size_t db_id) const {
 
 StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
     const DxToDatabaseFn& dx, const RetrievalOptions& options,
-    size_t scatter_threads, obs::RequestTrace* trace) const {
+    size_t scatter_threads,
+    const std::shared_ptr<obs::RequestTrace>& trace_ptr) const {
+  obs::RequestTrace* trace = trace_ptr.get();
   QSE_RETURN_IF_ERROR(ValidateRetrievalOptions(options));
   if (size() == 0) {
     return Status::FailedPrecondition("embedded database is empty");
   }
   const size_t k = options.k;
   const size_t p = std::min(options.p, size());
+
+  // Quality audit: decide before the scatter so each shard scan can
+  // retain (move out) the snapshot it pinned — the audit must score the
+  // exact views this response was served from, not the live shards.
+  const bool audit_this = options.audit_monitor != nullptr &&
+                          options.audit_monitor->ShouldSample();
+  std::vector<std::optional<EmbeddedDatabase::Snapshot>> audit_snaps(
+      audit_this ? shards_.size() : 0);
 
   RetrievalResponse response;
   // Embedding step: once per query, shared by every shard's scan.
@@ -170,6 +182,9 @@ StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
         for (ScoredIndex& c : local) c.index = view.id_of(c.index);
         std::sort(local.begin(), local.end());
         per_shard[s] = std::move(local);
+        // `view` stays valid: moving a Snapshot moves its pin, not the
+        // View it exposes.
+        if (audit_this) audit_snaps[s].emplace(std::move(snap));
         obs::TraceMark(
             trace, "shard_scan", shard_span_start,
             {obs::TraceArg{"shard", static_cast<int64_t>(s), nullptr},
@@ -255,6 +270,23 @@ StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
   filter_rows_visited_total_->Add(total_rows);
   filter_rows_pruned_total_->Add(
       rows_pruned_all.load(std::memory_order_relaxed));
+
+  if (audit_this) {
+    obs::AuditTask audit;
+    audit.dx = dx;
+    audit.k = k;
+    audit.served.reserve(response.neighbors.size());
+    // Sharded neighbor indices already are database ids.
+    for (const ScoredIndex& nb : response.neighbors) {
+      audit.served.push_back({nb.index, nb.score});
+    }
+    audit.snapshots.reserve(audit_snaps.size());
+    for (auto& snap : audit_snaps) {
+      if (snap.has_value()) audit.snapshots.push_back(std::move(*snap));
+    }
+    audit.trace = trace_ptr;
+    options.audit_monitor->SubmitAudit(std::move(audit));
+  }
   return response;
 }
 
@@ -262,7 +294,7 @@ StatusOr<RetrievalResponse> ShardedRetrievalEngine::Retrieve(
     const RetrievalRequest& request) const {
   StatusOr<RetrievalResponse> result =
       ScatterGather(request.dx, request.options, options_.scatter_threads,
-                    request.trace.get());
+                    request.trace);
   if (result.ok()) result.value().trace = request.trace;
   return result;
 }
@@ -288,7 +320,7 @@ StatusOr<std::vector<RetrievalResponse>> ShardedRetrievalEngine::RetrieveBatch(
       0, queries.size(), 2,
       [&](size_t i) {
         StatusOr<RetrievalResponse> r = ScatterGather(
-            queries[i], options, /*scatter_threads=*/1, /*trace=*/nullptr);
+            queries[i], options, /*scatter_threads=*/1, /*trace=*/{});
         if (!r.ok()) {
           std::lock_guard<std::mutex> lock(error_mu);
           if (first_error.ok()) first_error = r.status();

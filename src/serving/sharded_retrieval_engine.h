@@ -147,11 +147,12 @@ class ShardedRetrievalEngine : public RetrievalBackend {
   /// copies a query functor or the options per query.  A non-null
   /// `trace` gets embed / per-shard shard_scan / merge / refine spans
   /// (sampled requests coming through Retrieve; RetrieveBatch runs
-  /// untraced).
-  StatusOr<RetrievalResponse> ScatterGather(const DxToDatabaseFn& dx,
-                                            const RetrievalOptions& options,
-                                            size_t scatter_threads,
-                                            obs::RequestTrace* trace) const;
+  /// untraced).  Shared ownership so a sampled quality audit can carry
+  /// the trace along.
+  StatusOr<RetrievalResponse> ScatterGather(
+      const DxToDatabaseFn& dx, const RetrievalOptions& options,
+      size_t scatter_threads,
+      const std::shared_ptr<obs::RequestTrace>& trace) const;
 
   const Embedder* embedder_;
   const FilterScorer* scorer_;

@@ -1,0 +1,144 @@
+// Exporter edge cases: label-value escaping (the malformed-label
+// regression), float gauges in both formats, empty and counter-only
+// registries, the zero-observation histogram that must not leak NaN into
+// JSON, and the qse_build_info identity gauge.
+#include "src/obs/exposition.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/build_info.h"
+#include "src/obs/metric_registry.h"
+
+namespace qse {
+namespace obs {
+namespace {
+
+TEST(LabelEscapingTest, EscapesBackslashQuoteAndNewline) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeLabelValue("line1\nline2"), "line1\\nline2");
+  // Backslash first, so an input that already looks escaped is escaped
+  // again rather than passed through.
+  EXPECT_EQ(EscapeLabelValue("\\n"), "\\\\n");
+}
+
+TEST(LabelEscapingTest, PromLabelBuildsQuotedEscapedPair) {
+  EXPECT_EQ(PromLabel("tenant", "acme"), "tenant=\"acme\"");
+  EXPECT_EQ(PromLabel("tenant", "a\"b\\c\nd"),
+            "tenant=\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(LabelEscapingTest, MalformedTenantCannotBreakExposition) {
+  // The regression this satellite exists for: a tenant id carrying a
+  // quote and a newline must reach the text format as ONE well-formed
+  // series line, not as an unterminated label plus a stray line.
+  MetricRegistry registry;
+  const std::string hostile = "evil\"} 999\nqse_fake_total 1";
+  registry
+      .GetCounter("qse_tenant_total{" + PromLabel("tenant", hostile) + "}")
+      ->Add(3);
+  std::string text = PrometheusText(registry);
+  EXPECT_NE(
+      text.find("qse_tenant_total{tenant=\"evil\\\"} 999\\nqse_fake_total "
+                "1\"} 3"),
+      std::string::npos);
+  // The injected payload did not become its own series.
+  EXPECT_EQ(text.find("\nqse_fake_total"), std::string::npos);
+  // Exactly one non-comment line: no label value opened a second line.
+  size_t series_lines = 0;
+  for (size_t pos = 0; pos < text.size();) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    if (eol > pos && text[pos] != '#') ++series_lines;
+    pos = eol + 1;
+  }
+  EXPECT_EQ(series_lines, 1u);
+}
+
+TEST(ExpositionEdgeTest, EmptyRegistryProducesValidOutputs) {
+  MetricRegistry registry;
+  EXPECT_EQ(PrometheusText(registry), "");
+  std::string json = MetricsJson(registry);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_EQ(json.find("NaN"), std::string::npos);
+}
+
+TEST(ExpositionEdgeTest, CounterOnlyRegistryExportsJustCounters) {
+  MetricRegistry registry;
+  registry.GetCounter("qse_only_total")->Add(4);
+  std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE qse_only_total counter"), std::string::npos);
+  EXPECT_NE(text.find("qse_only_total 4"), std::string::npos);
+  EXPECT_EQ(text.find("gauge"), std::string::npos);
+  EXPECT_EQ(text.find("histogram"), std::string::npos);
+  std::string json = MetricsJson(registry);
+  EXPECT_NE(json.find("\"qse_only_total\": 4"), std::string::npos);
+}
+
+TEST(ExpositionEdgeTest, ZeroObservationHistogramEmitsNoNaNJson) {
+  // An empty histogram has no defensible quantile; the JSON exporter
+  // must write finite placeholders — JSON has no NaN literal, and one
+  // would corrupt the whole bench artifact for every downstream parser.
+  MetricRegistry registry;
+  registry.GetHistogram("qse_idle_lat", {10.0, 20.0});
+  std::string json = MetricsJson(registry);
+  EXPECT_EQ(json.find("NaN"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_NE(json.find("\"qse_idle_lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 0"), std::string::npos);
+  // Prometheus text MAY say NaN (the format allows it); the series
+  // structure itself must still be complete.
+  std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("qse_idle_lat_count 0"), std::string::npos);
+  EXPECT_NE(text.find("qse_idle_lat_bucket{le=\"+Inf\"} 0"),
+            std::string::npos);
+}
+
+TEST(ExpositionEdgeTest, FloatGaugeExportsInBothFormats) {
+  MetricRegistry registry;
+  registry.GetFloatGauge("qse_quality_recall_at_k")->Set(0.875);
+  registry.GetFloatGauge("qse_quality_zero")->Set(0.0);
+  std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE qse_quality_recall_at_k gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("qse_quality_recall_at_k 0.875"), std::string::npos);
+  EXPECT_NE(text.find("qse_quality_zero 0"), std::string::npos);
+  std::string json = MetricsJson(registry);
+  EXPECT_NE(json.find("\"qse_quality_recall_at_k\": 0.875"),
+            std::string::npos);
+}
+
+TEST(BuildInfoTest, RegistersLabeledGaugeSetToOne) {
+  MetricRegistry registry;
+  Gauge* gauge = RegisterBuildInfo(&registry);
+  EXPECT_EQ(gauge->Value(), 1);
+  // Idempotent: same gauge back.
+  EXPECT_EQ(RegisterBuildInfo(&registry), gauge);
+  std::string name = BuildInfoMetricName();
+  EXPECT_EQ(name.rfind("qse_build_info{", 0), 0u);
+  EXPECT_NE(name.find("version=\""), std::string::npos);
+  EXPECT_NE(name.find("commit=\""), std::string::npos);
+  EXPECT_NE(name.find("simd=\""), std::string::npos);
+  EXPECT_NE(name.find("tracing=\""), std::string::npos);
+  std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE qse_build_info gauge"), std::string::npos);
+  EXPECT_NE(text.find(name + " 1"), std::string::npos);
+}
+
+TEST(BuildInfoTest, GlobalRegistryCarriesBuildInfoAtStartup) {
+  // MetricRegistry::Global() self-registers the identity gauge on first
+  // use, so every exported snapshot names the binary that produced it.
+  std::string text = PrometheusText(MetricRegistry::Global());
+  EXPECT_NE(text.find("qse_build_info{"), std::string::npos);
+  EXPECT_NE(text.find(BuildInfoMetricName() + " 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace qse

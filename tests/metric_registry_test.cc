@@ -179,9 +179,11 @@ TEST(MetricRegistryTest, ForEachVisitsInLexicographicOrder) {
   registry.GetHistogram("mm_lat", {1.0});
   std::vector<std::string> names;
   registry.ForEach([&](const std::string& name, const Counter* c,
-                       const Gauge* g, const Histogram* h) {
+                       const Gauge* g, const FloatGauge* fg,
+                       const Histogram* h) {
     names.push_back(name);
-    EXPECT_EQ((c != nullptr) + (g != nullptr) + (h != nullptr), 1);
+    EXPECT_EQ(
+        (c != nullptr) + (g != nullptr) + (fg != nullptr) + (h != nullptr), 1);
   });
   ASSERT_EQ(names.size(), 3u);
   EXPECT_EQ(names[0], "aa_depth");

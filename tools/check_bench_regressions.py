@@ -156,6 +156,23 @@ def tracing_overhead_bound():
     return 1.30
 
 
+def audit_sampling_tail_bound():
+    """Max allowed p99 ratio, the adaptive closed loop with 1-in-16
+    quality-audit sampling vs the identical audit-free configuration.
+
+    The hot path pays one relaxed fetch_add per response plus, on
+    sampled requests, moving a snapshot pin and k neighbor ids into the
+    audit queue.  The brute-force re-scans themselves run on the single
+    background worker, which time-shares a core with the serving
+    threads — cheap on a multi-core host, visible on small ones."""
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        return 1.50
+    if cores >= 2:
+        return 2.00
+    return 2.50
+
+
 def micro_batching_tail_bound():
     """Max allowed p99 ratio for the same pair.  Under closed-loop load,
     coalescing strictly reduces queueing, so the tail must not regress
@@ -262,6 +279,16 @@ RULES = [
         "priority lanes: high-lane p99 under saturation vs low lane",
         "p99",
     ),
+    # Quality auditing: sampling 1-in-16 responses into background
+    # exact-kNN audits must not buy drift visibility with a serving-tail
+    # blowup.
+    (
+        "SL_Drift/mono/control",
+        "SL_Closed/mono/async_adaptive",
+        audit_sampling_tail_bound,
+        "quality audits (1/16) vs audit-free adaptive loop (p99 tail)",
+        "p99",
+    ),
     # Runtime dispatch on the exact path must never lose to the seed
     # scalar scan it replaced (same math, same bits, wider registers).
     (
@@ -337,6 +364,79 @@ FLOOR_RULES = [
         0.99,
         "int8 filter recall@100 (n=1M, d=256, p=500)",
     ),
+    # The drift-detection acceptance gates.  Injected abrupt drift MUST
+    # raise the alarm (the whole monitor exists for this signal), and the
+    # alarm must be about a real degradation of audited recall.
+    (
+        "SL_Drift/mono/abrupt",
+        "alarm_raised",
+        1,
+        "injected abrupt drift raises qse_quality_drift_alarm",
+    ),
+    (
+        "SL_Drift/mono/abrupt",
+        "recall_degradation",
+        0.02,
+        "audited recall actually degraded when the alarm fired",
+    ),
+    # p = n degenerates to exact brute force: every audited answer is
+    # bit-identical to ground truth, so windowed recall is exactly 1.
+    (
+        "SL_Drift/sharded/verify_pn",
+        "exact_recall",
+        1.0,
+        "p = n verify run: audited recall exactly 1",
+    ),
+    (
+        "SL_Drift/sharded/verify_pn",
+        "audits_completed",
+        1,
+        "p = n verify run actually audited something",
+    ),
+    (
+        "SL_Drift/mono/control",
+        "audits_completed",
+        1,
+        "control run: background audits completed under load",
+    ),
+]
+
+# (benchmark, counter, max value, label).  The inverse of FLOOR_RULES:
+# absolute ceilings on user counters.  A ceiling of 0 means "never".
+CEILING_RULES = [
+    # A stationary workload must not alarm — a drift detector that cries
+    # wolf gets ignored, which is worse than no detector.
+    (
+        "SL_Drift/mono/control",
+        "false_alarms",
+        0,
+        "no-drift control run raises zero drift alarms",
+    ),
+    # Auditing sheds under pressure by design, but the control load must
+    # leave the worker mostly keeping up.
+    (
+        "SL_Drift/mono/control",
+        "audit_shed_ratio",
+        0.5,
+        "control run: audit shed ratio bounded",
+    ),
+    # Alarm latency: audit-every-query means post-onset audits == queries
+    # after the change; Page-Hinkley needs only ~lambda/drop of them
+    # (measured: 2-3).
+    (
+        "SL_Drift/mono/abrupt",
+        "audits_to_alarm",
+        64,
+        "abrupt drift alarm latency (audited queries past onset)",
+    ),
+    # The bit-identity acceptance: p = n and nothing drifting, so every
+    # served answer equals exact kNN over the same pinned snapshots.
+    (
+        "SL_Drift/sharded/verify_pn",
+        "audit_mismatches",
+        0,
+        "p = n verify run: zero served-vs-exact mismatches",
+    ),
 ]
 
 
@@ -345,26 +445,41 @@ FLOOR_RULES = [
 # run must register and bump the counters of every instrumented layer —
 # an instrumentation point silently falling out of the build fails here,
 # not in a dashboard weeks later.  Histogram floors check the merged
-# observation count.
+# observation count.  A name ending in "*" matches any metric with that
+# prefix (labeled series whose label values vary run to run, e.g. the
+# commit in qse_build_info).
 METRIC_FLOORS = [
-    ("counters", "qse_engine_retrievals_total",
+    ("counters", "qse_engine_retrievals_total", 1,
      "monolithic engine retrievals recorded"),
-    ("counters", "qse_engine_filter_rows_visited_total",
+    ("counters", "qse_engine_filter_rows_visited_total", 1,
      "monolithic filter scan row accounting"),
-    ("counters", "qse_sharded_retrievals_total",
+    ("counters", "qse_sharded_retrievals_total", 1,
      "sharded engine retrievals recorded"),
-    ("counters", "qse_sharded_filter_rows_visited_total",
+    ("counters", "qse_sharded_filter_rows_visited_total", 1,
      "sharded filter scan row accounting"),
-    ("counters", "qse_server_submitted_total",
+    ("counters", "qse_server_submitted_total", 1,
      "server admission accounting (submitted)"),
-    ("counters", "qse_server_completed_total",
+    ("counters", "qse_server_completed_total", 1,
      "server admission accounting (completed)"),
-    ("histograms", "qse_server_batch_size",
+    ("histograms", "qse_server_batch_size", 1,
      "server batch-size histogram populated"),
-    ("histograms", "qse_sharded_scatter_latency_ns",
+    ("histograms", "qse_sharded_scatter_latency_ns", 1,
      "sharded scatter stage latency recorded"),
-    ("histograms", "qse_engine_filter_latency_ns",
+    ("histograms", "qse_engine_filter_latency_ns", 1,
      "monolithic filter stage latency recorded"),
+    # The quality monitor's instruments, bumped by the control run.
+    ("counters", "qse_quality_audits_sampled_total", 1,
+     "quality audits sampled off the hot path"),
+    ("counters", "qse_quality_audits_completed_total", 1,
+     "quality audits completed by the background worker"),
+    # Windowed audited recall: a float gauge in [0, 1].  0.5 is a
+    # sanity floor, not a target — the control run audits an exact-ish
+    # p/n configuration and measures ~1.0.
+    ("gauges", "qse_quality_recall_at_k", 0.5,
+     "audited recall gauge populated and sane"),
+    # Identity gauge: labels carry the commit, so prefix-match.
+    ("gauges", "qse_build_info*", 1,
+     "build identity gauge registered at startup"),
 ]
 
 # Benchmarks compared across the two builds of --overhead-pair mode
@@ -380,8 +495,14 @@ def check_metric_floors(path, failures):
     """Applies METRIC_FLOORS to one obs::MetricsJson snapshot."""
     with open(path) as f:
         doc = json.load(f)
-    for section, name, label in METRIC_FLOORS:
-        entry = doc.get(section, {}).get(name)
+    for section, name, minimum, label in METRIC_FLOORS:
+        table = doc.get(section, {})
+        if name.endswith("*"):
+            prefix = name[:-1]
+            matches = [v for k, v in table.items() if k.startswith(prefix)]
+            entry = matches[0] if matches else None
+        else:
+            entry = table.get(name)
         value = None
         if section == "histograms":
             if entry is not None:
@@ -393,9 +514,9 @@ def check_metric_floors(path, failures):
             print(msg)
             failures.append(msg)
             continue
-        status = "FAIL" if float(value) < 1 else "ok"
-        print(f"{status:7}  {label}: {name} = {value}")
-        if float(value) < 1:
+        status = "FAIL" if float(value) < minimum else "ok"
+        print(f"{status:7}  {label}: {name} = {value} (floor {minimum})")
+        if float(value) < minimum:
             failures.append(label)
 
 
@@ -523,6 +644,19 @@ def main():
         status = "FAIL" if val < floor else "ok"
         print(f"{status:7}  {label}: {val:.4f} (floor {floor:.3f})")
         if val < floor:
+            failures.append(label)
+
+    for name, counter, ceiling, label in CEILING_RULES:
+        val = metric_value(benchmarks, name, counter)
+        if val is None:
+            msg = f"MISSING  {label}: needs {counter} of {name}"
+            print(msg)
+            if args.strict:
+                failures.append(msg)
+            continue
+        status = "FAIL" if val > ceiling else "ok"
+        print(f"{status:7}  {label}: {val:.4f} (ceiling {ceiling:.3f})")
+        if val > ceiling:
             failures.append(label)
 
     if failures:
