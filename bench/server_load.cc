@@ -34,6 +34,11 @@
 //
 // Run: ./build/bench/server_load [--n=20000] [--clients=8]
 //        [--requests=2000] [--open_seconds=1.0] [--out=path.json]
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -57,6 +62,10 @@
 #include "src/obs/trace.h"
 #include "src/distance/lp.h"
 #include "src/embedding/fastmap.h"
+#include "src/net/hedged_backend.h"
+#include "src/net/remote_backend.h"
+#include "src/net/retrieval_server.h"
+#include "src/net/socket_transport.h"
 #include "src/retrieval/filter_refine.h"
 #include "src/retrieval/retrieval_engine.h"
 #include "src/server/async_retrieval_server.h"
@@ -418,12 +427,100 @@ struct DriftStack {
   }
 };
 
+// --- SL_Remote: the multi-process shard cluster ---------------------
+//
+// The bench binary doubles as its own shard server: the parent
+// fork/execs itself with --shard_server=1, and each child rebuilds the
+// identical deterministic stack (same flags, same seed), carves out its
+// shard by the engine's own hash partition, and serves it over TCP
+// until the parent kills the process.
+
+/// Child mode.  Never returns normally — serves until SIGKILLed.
+int RunShardServer(const bench::Flags& flags) {
+  const size_t n = flags.GetSize("n", 20000);
+  const size_t dims = flags.GetSize("dims", 8);
+  const size_t num_queries = flags.GetSize("queries", 256);
+  const size_t shard = flags.GetSize("shard", 0);
+  const size_t num_shards = flags.GetSize("num_shards", 2);
+  const uint16_t port = static_cast<uint16_t>(flags.GetSize("port", 0));
+
+  auto oracle = LoadStack::MakeOracle(n + num_queries, 2005);
+  std::vector<size_t> db_ids = LoadStack::Iota(n);
+  FastMapModel model = LoadStack::BuildModel(oracle, db_ids, dims, 2005);
+  std::vector<size_t> shard_ids;
+  for (size_t id : db_ids) {
+    if (HashShardOf(id, num_shards) == shard) shard_ids.push_back(id);
+  }
+  EmbeddedDatabase shard_db = EmbedDatabase(model, oracle, shard_ids);
+  L2Scorer scorer;
+  RetrievalEngine engine(&model, &scorer, &shard_db, shard_ids);
+
+  net::RetrievalServerOptions options;
+  options.debug_delay_every_n = flags.GetSize("slow_every", 0);
+  options.debug_delay = std::chrono::milliseconds(flags.GetSize("slow_ms", 0));
+  net::RetrievalServer server(&engine, options);
+  Status s = server.Start(port);
+  QSE_CHECK_MSG(s.ok(), s.ToString());
+  for (;;) std::this_thread::sleep_for(std::chrono::seconds(60));
+}
+
+/// Picks a currently-free loopback port by binding an ephemeral one and
+/// closing it — a bind race the single-host cluster tolerates.
+uint16_t PickFreePort() {
+  auto listener = net::ServerSocket::Listen(0, {});
+  QSE_CHECK_MSG(listener.ok(), listener.status().ToString());
+  return listener.value().port();
+}
+
+pid_t SpawnShardServer(const char* self, size_t shard, size_t num_shards,
+                       uint16_t port, size_t n, size_t dims,
+                       size_t num_queries, size_t slow_every,
+                       size_t slow_ms) {
+  std::vector<std::string> args = {
+      self,
+      "--shard_server=1",
+      "--shard=" + std::to_string(shard),
+      "--num_shards=" + std::to_string(num_shards),
+      "--port=" + std::to_string(port),
+      "--n=" + std::to_string(n),
+      "--dims=" + std::to_string(dims),
+      "--queries=" + std::to_string(num_queries),
+      "--slow_every=" + std::to_string(slow_every),
+      "--slow_ms=" + std::to_string(slow_ms),
+  };
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  pid_t pid = fork();
+  QSE_CHECK_MSG(pid >= 0, "fork failed");
+  if (pid == 0) {
+    execv(self, argv.data());
+    _exit(127);  // exec failed; async-signal-safe exit only
+  }
+  return pid;
+}
+
+/// Polls until the child's server accepts connections (it first has to
+/// rebuild the embedding model, which takes a moment).
+bool WaitForServer(uint16_t port, double timeout_seconds) {
+  net::TransportOptions options;
+  options.connect_timeout = std::chrono::milliseconds(250);
+  Timer t;
+  while (t.Seconds() < timeout_seconds) {
+    if (net::Socket::Connect("127.0.0.1", port, options).ok()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return false;
+}
+
 }  // namespace
 }  // namespace qse
 
 int main(int argc, char** argv) {
   using namespace qse;
   bench::Flags flags(argc, argv);
+  if (flags.GetSize("shard_server", 0) != 0) return RunShardServer(flags);
   const size_t n = flags.GetSize("n", 20000);
   const size_t dims = flags.GetSize("dims", 8);
   const size_t num_queries = flags.GetSize("queries", 256);
@@ -637,6 +734,165 @@ int main(int argc, char** argv) {
                   "mutation loop did not restore the database");
     Report("SL_Mutate/mono/async_adaptive", res, &json,
            {{"mutations", static_cast<double>(mutations.load())}});
+  }
+
+  // --- SL_Remote: 2-shard x 2-replica multi-process serving ---------
+  //
+  // Four child processes (fork/exec of this binary in --shard_server
+  // mode) serve the hash-partitioned database over TCP; the parent
+  // composes ShardedRetrievalEngine over two HedgedReplicaBackends,
+  // each over two RemoteRetrievalBackends.  Replica (shard 0, replica
+  // 1) injects a 40ms delay on every 32nd scan it serves — rare enough
+  // (~3% of that server's scans) to keep its latency-quantile hedge
+  // estimate fast, frequent enough (~1.6% of caller requests) to own
+  // the no-hedging p99.
+  //
+  // Phases, each gated by tools/check_bench_regressions.py:
+  //  * parity: the cluster answers bit-identically to the in-process
+  //    2-shard engine (zero mismatches);
+  //  * nohedge/hedged closed loops: hedging must cut the p99 the slow
+  //    replica inflates, and win at least one race;
+  //  * killed: SIGKILL the slow replica mid-cluster; failover must
+  //    leave zero caller-visible failures.
+  {
+    constexpr size_t kRemoteShards = 2;
+    constexpr size_t kReplicas = 2;
+    const size_t remote_requests = flags.GetSize("remote_requests", 600);
+    const size_t parity_queries = std::min<size_t>(64, stack.queries.size());
+    std::printf("--- remote cluster (%zu shards x %zu replicas, "
+                "multi-process) ---\n",
+                kRemoteShards, kReplicas);
+
+    uint16_t ports[kRemoteShards][kReplicas];
+    pid_t pids[kRemoteShards][kReplicas];
+    for (size_t s = 0; s < kRemoteShards; ++s) {
+      for (size_t r = 0; r < kReplicas; ++r) {
+        ports[s][r] = PickFreePort();
+        const bool slow = s == 0 && r == 1;
+        pids[s][r] =
+            SpawnShardServer(argv[0], s, kRemoteShards, ports[s][r], n, dims,
+                             num_queries, slow ? 32 : 0, slow ? 40 : 0);
+      }
+    }
+    for (size_t s = 0; s < kRemoteShards; ++s) {
+      for (size_t r = 0; r < kReplicas; ++r) {
+        QSE_CHECK_MSG(WaitForServer(ports[s][r], 120.0),
+                      "shard server did not come up");
+      }
+    }
+
+    std::vector<std::shared_ptr<RetrievalBackend>> hedged_shards;
+    std::vector<std::shared_ptr<RetrievalBackend>> nohedge_shards;
+    for (size_t s = 0; s < kRemoteShards; ++s) {
+      std::vector<std::shared_ptr<RetrievalBackend>> replicas;
+      for (size_t r = 0; r < kReplicas; ++r) {
+        replicas.push_back(std::make_shared<net::RemoteRetrievalBackend>(
+            &stack.model, "127.0.0.1", ports[s][r]));
+      }
+      hedged_shards.push_back(std::make_shared<net::HedgedReplicaBackend>(
+          replicas, net::HedgedBackendOptions{}));
+      net::HedgedBackendOptions hedge_off;
+      hedge_off.enable_hedging = false;
+      nohedge_shards.push_back(std::make_shared<net::HedgedReplicaBackend>(
+          std::move(replicas), hedge_off));
+    }
+    ShardedRetrievalEngine hedged_cluster(&stack.model, hedged_shards);
+    ShardedRetrievalEngine nohedge_cluster(&stack.model, nohedge_shards);
+
+    // Parity against an in-process engine with the same shard count
+    // (and therefore, via the shared hash partition, the same shards).
+    // Embed a fresh database rather than reusing stack.db: SL_Mutate's
+    // remove/re-insert churn permutes the physical row order, and the
+    // partitioning constructor pairs db_ids[row] with row(row)
+    // positionally — it needs a database whose row order matches
+    // db_ids, exactly as the shard servers rebuilt theirs.
+    EmbeddedDatabase pristine_db =
+        EmbedDatabase(stack.model, stack.oracle, stack.db_ids);
+    ShardedEngineOptions ref_options;
+    ref_options.num_shards = kRemoteShards;
+    ShardedRetrievalEngine reference(&stack.model, &stack.scorer, pristine_db,
+                                     stack.db_ids, ref_options);
+    size_t mismatches = 0;
+    for (size_t q = 0; q < parity_queries; ++q) {
+      auto want = reference.Retrieve({stack.queries[q], base_options});
+      auto got = hedged_cluster.Retrieve({stack.queries[q], base_options});
+      QSE_CHECK_MSG(want.ok(), want.status().ToString());
+      QSE_CHECK_MSG(got.ok(), got.status().ToString());
+      bool same = want->neighbors.size() == got->neighbors.size();
+      for (size_t i = 0; same && i < want->neighbors.size(); ++i) {
+        same = want->neighbors[i].index == got->neighbors[i].index &&
+               want->neighbors[i].score == got->neighbors[i].score;
+      }
+      if (!same) ++mismatches;
+    }
+    std::printf("parity: %zu/%zu queries bit-identical to the in-process "
+                "2-shard engine\n",
+                parity_queries - mismatches, parity_queries);
+    BenchJsonEntry parity;
+    parity.name = "SL_Remote/parity";
+    parity.real_time_ns = 0;
+    parity.extras.emplace_back("parity_queries",
+                               static_cast<double>(parity_queries));
+    parity.extras.emplace_back("parity_mismatches",
+                               static_cast<double>(mismatches));
+    json.push_back(std::move(parity));
+
+    // Closed loops: no-hedging first — it doubles as the warmup that
+    // populates the replica latency histograms the hedge timer
+    // estimates its delays from.
+    RunResult nohedge =
+        RunClosedLoop(clients, remote_requests, stack.queries,
+                      [&](const DxToDatabaseFn& dx) {
+                        auto r = nohedge_cluster.Retrieve({dx, base_options});
+                        QSE_CHECK_MSG(r.ok(), r.status().ToString());
+                      });
+    Report("SL_Remote/cluster/nohedge", nohedge, &json);
+
+    auto& registry = obs::MetricRegistry::Global();
+    obs::Counter* fired = registry.GetCounter("qse_hedged_fired_total");
+    obs::Counter* wins = registry.GetCounter("qse_hedged_wins_total");
+    const uint64_t fired_before = fired->Value();
+    const uint64_t wins_before = wins->Value();
+    RunResult hedged =
+        RunClosedLoop(clients, remote_requests, stack.queries,
+                      [&](const DxToDatabaseFn& dx) {
+                        auto r = hedged_cluster.Retrieve({dx, base_options});
+                        QSE_CHECK_MSG(r.ok(), r.status().ToString());
+                      });
+    const double hedges_fired =
+        static_cast<double>(fired->Value() - fired_before);
+    const double hedge_wins = static_cast<double>(wins->Value() - wins_before);
+    Report("SL_Remote/cluster/hedged", hedged, &json,
+           {{"hedges_fired", hedges_fired}, {"hedge_wins", hedge_wins}});
+    std::printf("hedging: %.0f fired, %.0f won their race\n", hedges_fired,
+                hedge_wins);
+
+    // Kill the slow replica outright.  Failover (immediate on error, no
+    // hedge delay spent) must keep every request succeeding; the cost is
+    // at most one refused reconnect per affected call.
+    QSE_CHECK(kill(pids[0][1], SIGKILL) == 0);
+    int wstatus = 0;
+    waitpid(pids[0][1], &wstatus, 0);
+    std::atomic<size_t> failed{0};
+    RunResult killed =
+        RunClosedLoop(clients, remote_requests, stack.queries,
+                      [&](const DxToDatabaseFn& dx) {
+                        auto r = hedged_cluster.Retrieve({dx, base_options});
+                        if (!r.ok()) failed.fetch_add(1);
+                      });
+    Report("SL_Remote/cluster/killed", killed, &json,
+           {{"failed_requests", static_cast<double>(failed.load())}});
+    std::printf("killed replica (shard 0, replica 1): %zu/%zu requests "
+                "failed (must be 0)\n",
+                failed.load(), remote_requests);
+
+    for (size_t s = 0; s < kRemoteShards; ++s) {
+      for (size_t r = 0; r < kReplicas; ++r) {
+        if (s == 0 && r == 1) continue;  // already reaped
+        kill(pids[s][r], SIGKILL);
+        waitpid(pids[s][r], &wstatus, 0);
+      }
+    }
   }
 
   const std::string stem =

@@ -1,0 +1,302 @@
+#include "src/net/remote_backend.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/obs/trace.h"
+#include "src/util/parallel.h"
+#include "src/util/timer.h"
+
+namespace qse {
+namespace net {
+namespace {
+
+uint64_t NsSince(MonotonicClock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          MonotonicClock::now() - start)
+          .count());
+}
+
+bool IsReadOp(WireOp op) {
+  return op == WireOp::kScan || op == WireOp::kRetrieve || op == WireOp::kInfo;
+}
+
+/// Transport faults where a second attempt over a fresh connection can
+/// honestly succeed.  Deadline expiry is excluded: retrying a spent
+/// budget only spends more of it.
+bool IsRetryableTransportError(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDataLoss;
+}
+
+}  // namespace
+
+RemoteRetrievalBackend::RemoteRetrievalBackend(const Embedder* embedder,
+                                               std::string host, uint16_t port,
+                                               RemoteBackendOptions options)
+    : embedder_(embedder),
+      host_(std::move(host)),
+      port_(port),
+      options_(std::move(options)),
+      rpcs_total_(
+          obs::MetricRegistry::Global().GetCounter("qse_remote_rpcs_total")),
+      rpc_errors_total_(obs::MetricRegistry::Global().GetCounter(
+          "qse_remote_rpc_errors_total")),
+      rpc_retries_total_(obs::MetricRegistry::Global().GetCounter(
+          "qse_remote_rpc_retries_total")),
+      rpc_latency_ns_(obs::MetricRegistry::Global().GetHistogram(
+          "qse_remote_rpc_latency_ns", obs::DefaultLatencyBoundariesNs())) {}
+
+StatusOr<WireResponse> RemoteRetrievalBackend::CallOnce(
+    const WireRequest& request, const std::string& payload) const {
+  // Checkout a pooled connection or dial a fresh one.
+  Socket sock;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!pool_.empty()) {
+      sock = std::move(pool_.back());
+      pool_.pop_back();
+    }
+  }
+  if (!sock.valid()) {
+    auto dialed = Socket::Connect(host_, port_, options_.transport);
+    QSE_RETURN_IF_ERROR(dialed.status());
+    sock = std::move(dialed).value();
+  }
+
+  // Bound the response wait by the remaining deadline budget, so a slow
+  // peer fails this call at the deadline instead of the full transport
+  // timeout.
+  std::chrono::nanoseconds read_timeout = options_.transport.read_timeout;
+  if (request.deadline_budget_ns > 0) {
+    read_timeout = std::min(
+        read_timeout,
+        std::chrono::nanoseconds(request.deadline_budget_ns));
+  }
+  Status status = sock.SetReadTimeout(read_timeout);
+  if (status.ok()) status = sock.SendFrame(payload);
+  StatusOr<std::string> frame = status.ok()
+                                    ? sock.RecvFrame()
+                                    : StatusOr<std::string>(status);
+  if (!frame.ok()) return frame.status();  // dead socket stays out of pool
+
+  WireResponse response;
+  Status decoded = DecodeResponse(frame.value(), &response);
+  if (!decoded.ok()) return decoded;  // framing broken: drop the socket
+
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  pool_.push_back(std::move(sock));
+  return response;
+}
+
+StatusOr<WireResponse> RemoteRetrievalBackend::Call(WireRequest request) const {
+  rpcs_total_->Increment();
+  const MonotonicClock::time_point start = MonotonicClock::now();
+
+  // Deadline -> remaining budget, computed as late as possible so queue
+  // and embed time already spent is reflected.
+  if (request.options.deadline != RetrievalClock::time_point::max()) {
+    auto remaining = request.options.deadline - MonotonicClock::now();
+    if (remaining.count() <= 0) {
+      rpc_errors_total_->Increment();
+      return Status::DeadlineExceeded("deadline expired before RPC send");
+    }
+    request.deadline_budget_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(remaining)
+            .count());
+  }
+
+  StatusOr<WireResponse> result = CallOnce(request, EncodeRequest(request));
+  if (!result.ok() && options_.retry_reads && IsReadOp(request.op) &&
+      IsRetryableTransportError(result.status())) {
+    rpc_retries_total_->Increment();
+    result = CallOnce(request, EncodeRequest(request));
+  }
+  if (!result.ok()) {
+    rpc_errors_total_->Increment();
+    return result.status();
+  }
+  rpc_latency_ns_->Record(NsSince(start));
+  const WireResponse& response = result.value();
+  if (response.code != StatusCode::kOk) {
+    // An application-level error the server answered with; surface it
+    // as-is — it is the backend's own contract (InvalidArgument,
+    // FailedPrecondition, NotFound, ...) speaking through the wire.
+    rpc_errors_total_->Increment();
+    return Status(response.code, response.message);
+  }
+  return result;
+}
+
+StatusOr<ScanCandidatesResult> RemoteRetrievalBackend::ScanCandidates(
+    const Vector& embedded_query, const RetrievalOptions& options) const {
+  QSE_RETURN_IF_ERROR(ValidateRetrievalOptions(options));
+  WireRequest request;
+  request.op = WireOp::kScan;
+  request.options = options;
+  request.options.audit_monitor = nullptr;  // client-side only
+  request.query = embedded_query;
+  auto response = Call(std::move(request));
+  QSE_RETURN_IF_ERROR(response.status());
+  ScanCandidatesResult result;
+  result.candidates = std::move(response.value().neighbors);
+  result.rows = static_cast<size_t>(response.value().rows);
+  result.rows_pruned = static_cast<size_t>(response.value().rows_pruned);
+  return result;
+}
+
+StatusOr<RetrievalResponse> RemoteRetrievalBackend::Retrieve(
+    const RetrievalRequest& request) const {
+  QSE_RETURN_IF_ERROR(ValidateRetrievalOptions(request.options));
+  obs::RequestTrace* trace = request.trace.get();
+
+  // Embed client-side (the dx closure stays home), exactly the
+  // monolithic engine's first step.
+  size_t embed_cost = 0;
+  uint64_t span_start = obs::TraceNowNs(trace);
+  Vector fq = embedder_->Embed(request.dx, &embed_cost);
+  obs::TraceMark(trace, "embed", span_start);
+
+  WireRequest rpc;
+  rpc.op = WireOp::kScan;
+  rpc.options = request.options;
+  rpc.options.audit_monitor = nullptr;
+  rpc.want_trace = trace != nullptr;
+  rpc.query = std::move(fq);
+
+  span_start = obs::TraceNowNs(trace);
+  auto call = Call(std::move(rpc));
+  obs::TraceMark(trace, "rpc_scan", span_start);
+  QSE_RETURN_IF_ERROR(call.status());
+  WireResponse& scan = call.value();
+
+  if (trace != nullptr) {
+    // Graft server-side spans: their times are relative to the server's
+    // receipt of the request, which from this trace's view is no earlier
+    // than the RPC span's start.  Clocks of two processes are never
+    // compared — only the server's own durations ride on our anchor.
+    for (const WireSpan& span : scan.spans) {
+      obs::TraceSpan grafted;
+      grafted.name = obs::InternString("remote:" + span.name);
+      grafted.start_ns = span_start + span.start_ns;
+      grafted.dur_ns = span.dur_ns;
+      grafted.tid = span.tid;
+      trace->AddSpan(std::move(grafted));
+    }
+  }
+
+  if (scan.rows == 0 && scan.neighbors.empty()) {
+    // The remote scan contract is OK-empty (a shard in a scatter must
+    // not fail the query); a STANDALONE retrieval against an empty
+    // database keeps the engines' FailedPrecondition contract.
+    return Status::FailedPrecondition("embedded database is empty");
+  }
+
+  // Refine with the caller's dx — identical to the engines' refine step.
+  RetrievalResponse result;
+  span_start = obs::TraceNowNs(trace);
+  std::vector<ScoredIndex>& candidates = scan.neighbors;
+  std::vector<ScoredIndex> refined;
+  refined.reserve(candidates.size());
+  for (const ScoredIndex& c : candidates) {
+    refined.push_back({c.index, request.dx(c.index)});
+  }
+  std::sort(refined.begin(), refined.end());
+  if (refined.size() > request.options.k) refined.resize(request.options.k);
+  obs::TraceMark(trace, "refine", span_start,
+                 {obs::TraceArg{"candidates",
+                                static_cast<int64_t>(candidates.size()),
+                                nullptr}});
+  result.exact_distances = embed_cost + candidates.size();
+  result.embedding_distances = embed_cost;
+  if (request.options.want_stats) {
+    // The remote database is one pseudo-shard, mirroring the monolithic
+    // engine's want_stats shape.
+    result.shard_stats = {
+        {static_cast<size_t>(scan.rows), candidates.size()}};
+  }
+  result.neighbors = std::move(refined);
+  result.trace = request.trace;
+  return result;
+}
+
+StatusOr<std::vector<RetrievalResponse>> RemoteRetrievalBackend::RetrieveBatch(
+    const std::vector<DxToDatabaseFn>& queries,
+    const RetrievalOptions& options) const {
+  QSE_RETURN_IF_ERROR(ValidateRetrievalOptions(options));
+  std::vector<RetrievalResponse> results(queries.size());
+  std::mutex error_mu;
+  Status first_error = Status::OK();
+  ParallelForGrain(
+      0, queries.size(), 2,
+      [&](size_t i) {
+        RetrievalRequest one;
+        one.dx = queries[i];
+        one.options = options;
+        StatusOr<RetrievalResponse> r = Retrieve(one);
+        if (!r.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = r.status();
+          return;
+        }
+        results[i] = std::move(r).value();
+      },
+      options.num_threads);
+  QSE_RETURN_IF_ERROR(first_error);
+  return results;
+}
+
+StatusOr<RetrievalResponse> RemoteRetrievalBackend::RetrieveRaw(
+    const std::vector<double>& raw_query,
+    const RetrievalOptions& options) const {
+  QSE_RETURN_IF_ERROR(ValidateRetrievalOptions(options));
+  WireRequest request;
+  request.op = WireOp::kRetrieve;
+  request.options = options;
+  request.options.audit_monitor = nullptr;
+  request.query = raw_query;
+  auto call = Call(std::move(request));
+  QSE_RETURN_IF_ERROR(call.status());
+  WireResponse& wire = call.value();
+  RetrievalResponse result;
+  result.neighbors = std::move(wire.neighbors);
+  result.exact_distances = static_cast<size_t>(wire.exact_distances);
+  result.embedding_distances = static_cast<size_t>(wire.embedding_distances);
+  result.shard_stats = std::move(wire.shard_stats);
+  return result;
+}
+
+Status RemoteRetrievalBackend::Insert(size_t db_id, const DxToDatabaseFn& dx) {
+  Vector row = embedder_->Embed(dx);
+  return InsertEmbedded(db_id, row);
+}
+
+Status RemoteRetrievalBackend::InsertEmbedded(size_t db_id,
+                                              const Vector& embedded_row) {
+  WireRequest request;
+  request.op = WireOp::kInsert;
+  request.db_id = db_id;
+  request.query = embedded_row;
+  return Call(std::move(request)).status();
+}
+
+Status RemoteRetrievalBackend::Remove(size_t db_id) {
+  WireRequest request;
+  request.op = WireOp::kRemove;
+  request.db_id = db_id;
+  return Call(std::move(request)).status();
+}
+
+size_t RemoteRetrievalBackend::size() const {
+  WireRequest request;
+  request.op = WireOp::kInfo;
+  // size() feeds load hints and routing, not correctness; an
+  // unreachable peer reads as empty rather than erroring.
+  auto call = Call(std::move(request));
+  if (!call.ok()) return 0;
+  return static_cast<size_t>(call.value().db_size);
+}
+
+}  // namespace net
+}  // namespace qse

@@ -1,0 +1,120 @@
+#ifndef QSE_NET_REMOTE_BACKEND_H_
+#define QSE_NET_REMOTE_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/embedding/embedder.h"
+#include "src/net/socket_transport.h"
+#include "src/net/wire_codec.h"
+#include "src/obs/metric_registry.h"
+#include "src/retrieval/retrieval_backend.h"
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace qse {
+namespace net {
+
+struct RemoteBackendOptions {
+  TransportOptions transport;
+  /// Idempotent read RPCs (kScan / kRetrieve / kInfo) are retried once
+  /// on kUnavailable / kDataLoss over a fresh connection — a dropped
+  /// connection between requests is routine, not an error.  Mutations
+  /// are never retried (a duplicate Insert is not idempotent).
+  bool retry_reads = true;
+};
+
+/// A RetrievalBackend whose data lives in another process, behind a
+/// RetrievalServer.  Drop-in for local engines: ShardedRetrievalEngine's
+/// composed constructor or HedgedReplicaBackend stack on it with zero
+/// scatter/gather changes.
+///
+/// Division of labor (the paper's pipeline, cut at the only seam that
+/// survives a process boundary): the EMBEDDING step runs client-side —
+/// `dx` is an opaque closure — and only the embedded vector crosses the
+/// wire (kScan).  The server runs the filter scan; the client refines
+/// the returned candidates with its own dx.  For a single remote backend
+/// this reproduces RetrievalEngine bit for bit; under the sharded
+/// engine, the composed ScatterScan merges remote candidate lists
+/// exactly as local ones.
+///
+/// Deadlines cross the wire as REMAINING budget: each RPC computes
+/// options.deadline - now at send time, the server re-anchors against
+/// its own clock, and the client caps its socket read timeout to the
+/// same budget, so an expired deadline fails at whichever side notices
+/// first.
+///
+/// Thread-safety: safe for concurrent use; connections are pooled, each
+/// RPC checks one out (or dials a new one) and returns it on success.
+class RemoteRetrievalBackend : public RetrievalBackend {
+ public:
+  /// `embedder` runs the client-side embedding step and must match the
+  /// remote database's dimensionality.  Borrowed, must outlive this.
+  RemoteRetrievalBackend(const Embedder* embedder, std::string host,
+                         uint16_t port, RemoteBackendOptions options = {});
+
+  StatusOr<RetrievalResponse> Retrieve(
+      const RetrievalRequest& request) const override;
+
+  StatusOr<std::vector<RetrievalResponse>> RetrieveBatch(
+      const std::vector<DxToDatabaseFn>& queries,
+      const RetrievalOptions& options) const override;
+
+  /// Ships the embedded query; returns the remote backend's top-p.
+  StatusOr<ScanCandidatesResult> ScanCandidates(
+      const Vector& embedded_query,
+      const RetrievalOptions& options) const override;
+
+  /// Embeds client-side, ships the row (kInsert).
+  Status Insert(size_t db_id, const DxToDatabaseFn& dx) override;
+  Status InsertEmbedded(size_t db_id, const Vector& embedded_row) override;
+  Status Remove(size_t db_id) override;
+
+  /// Remote full retrieval (kRetrieve) for servers configured with a
+  /// RawQueryResolver: ships the RAW query, embedding and refine both
+  /// run server-side.  Not part of the scatter path — a convenience for
+  /// thin clients that cannot evaluate dx themselves.
+  StatusOr<RetrievalResponse> RetrieveRaw(
+      const std::vector<double>& raw_query,
+      const RetrievalOptions& options) const;
+
+  /// Remote size via kInfo; 0 when the peer is unreachable (size() has
+  /// no error channel — used for load hints, not correctness).
+  size_t size() const override;
+
+  /// Remote responses already carry database ids.
+  size_t db_id_of(size_t neighbor_index) const override {
+    return neighbor_index;
+  }
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  /// One RPC: checkout/dial, send, receive, decode, return-to-pool.
+  /// Applies the deadline budget from options and the read-retry policy.
+  StatusOr<WireResponse> Call(WireRequest request) const;
+  StatusOr<WireResponse> CallOnce(const WireRequest& request,
+                                  const std::string& payload) const;
+
+  const Embedder* embedder_;
+  std::string host_;
+  uint16_t port_;
+  RemoteBackendOptions options_;
+
+  mutable std::mutex pool_mu_;
+  mutable std::vector<Socket> pool_;
+
+  obs::Counter* rpcs_total_;
+  obs::Counter* rpc_errors_total_;
+  obs::Counter* rpc_retries_total_;
+  obs::Histogram* rpc_latency_ns_;
+};
+
+}  // namespace net
+}  // namespace qse
+
+#endif  // QSE_NET_REMOTE_BACKEND_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <sstream>
+#include <unordered_set>
 #include <utility>
 
 namespace qse {
@@ -34,6 +35,20 @@ uint32_t RequestTrace::ThisThreadId() {
   static std::atomic<uint32_t> next{1};
   thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
+}
+
+const char* InternString(const std::string& s) {
+  // Leaky by design (like the global metric registry): interned names
+  // must outlive every trace that references them, including traces
+  // still draining during static teardown.
+  static std::mutex* mu = new std::mutex;
+  static std::unordered_set<std::string>* pool =
+      new std::unordered_set<std::string>;
+  std::lock_guard<std::mutex> lock(*mu);
+  auto it = pool->find(s);
+  if (it != pool->end()) return it->c_str();
+  if (pool->size() >= kInternPoolCap) return "<intern-pool-full>";
+  return pool->insert(s).first->c_str();
 }
 
 std::string RequestTrace::ChromeTraceJson() const {

@@ -80,6 +80,16 @@ class RequestTrace {
 double SpanCoverage(const std::vector<TraceSpan>& spans,
                     const char* denominator_name = "request");
 
+/// Interns a dynamic string into a process-lifetime pool and returns a
+/// stable `const char*` — the bridge between wire-decoded span names
+/// (owned std::strings) and TraceSpan's static-string contract.  The
+/// pool is capped: past kInternPoolCap distinct strings, a shared
+/// placeholder is returned instead, so a hostile peer cannot grow
+/// process memory through novel span names.  Thread-safe; interned
+/// pointers stay valid for the process lifetime.
+inline constexpr size_t kInternPoolCap = 4096;
+const char* InternString(const std::string& s);
+
 #ifdef QSE_DISABLE_TRACING
 /// Tracing compiled out: recording collapses to nothing, the types stay
 /// so call sites need no #ifdefs.

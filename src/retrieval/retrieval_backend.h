@@ -166,6 +166,21 @@ struct RetrievalResponse {
   std::shared_ptr<obs::RequestTrace> trace;
 };
 
+/// Result of a filter-only candidate scan (ScanCandidates): the
+/// backend's local top-p under the filter metric, before any exact
+/// refine.  Candidate `index` fields are DATABASE IDS, not rows, and the
+/// list is sorted by (score, id) — exactly the per-shard lists the
+/// sharded engine's k-way merge consumes, so a remote shard's scan can
+/// be merged interchangeably with local ones.
+struct ScanCandidatesResult {
+  std::vector<ScoredIndex> candidates;
+  /// Rows the backend held at scan time (the shard size a want_stats
+  /// response reports for this backend).
+  size_t rows = 0;
+  /// Rows whose scan the early-abandon filter cut short.
+  size_t rows_pruned = 0;
+};
+
 /// The serving-facing face of a retrieval engine: the filter-and-refine
 /// query API plus incremental mutation, shared by the monolithic
 /// RetrievalEngine and the sharded scatter/gather engine so examples,
@@ -207,6 +222,35 @@ class RetrievalBackend {
 
   /// Removes the object with id `db_id`.
   virtual Status Remove(size_t db_id) = 0;
+
+  /// Filter-only scan: the backend's top-min(p, size()) candidates for
+  /// an already-embedded query, as (database id, filter score) sorted by
+  /// (score, id) — the distributable half of the pipeline.  The exact
+  /// refine (which needs the caller's `dx` closure and so cannot cross a
+  /// process boundary) stays with the caller: embed once, scatter scans,
+  /// merge, refine the merged top-p — byte-identical to what the sharded
+  /// engine does in-process.  Honors k/p/filter_precision/want_stats
+  /// semantics of Retrieve; `options.k` is ignored (no refine here).
+  /// Default: Unimplemented, for backends that only serve full
+  /// retrievals.
+  virtual StatusOr<ScanCandidatesResult> ScanCandidates(
+      const Vector& embedded_query, const RetrievalOptions& options) const {
+    (void)embedded_query;
+    (void)options;
+    return Status::Unimplemented(
+        "this backend does not serve filter-only candidate scans");
+  }
+
+  /// Adds an object whose embedding was already computed (the remote
+  /// path: the client embeds with its own `dx`, the row crosses the wire
+  /// pre-embedded).  Same duplicate-id contract as Insert; the row must
+  /// have the backend's dimensionality.  Default: Unimplemented.
+  virtual Status InsertEmbedded(size_t db_id, const Vector& embedded_row) {
+    (void)db_id;
+    (void)embedded_row;
+    return Status::Unimplemented(
+        "this backend does not accept pre-embedded rows");
+  }
 
   /// Number of database objects currently live.
   virtual size_t size() const = 0;

@@ -211,6 +211,68 @@ StatusOr<std::vector<RetrievalResponse>> RetrievalEngine::RetrieveBatch(
   return results;
 }
 
+StatusOr<ScanCandidatesResult> RetrievalEngine::ScanCandidates(
+    const Vector& embedded_query, const RetrievalOptions& options) const {
+  QSE_RETURN_IF_ERROR(ValidateRetrievalOptions(options));
+  if (embedded_query.size() != db_->dims()) {
+    return Status::InvalidArgument(
+        "embedded query has " + std::to_string(embedded_query.size()) +
+        " dims, database holds " + std::to_string(db_->dims()));
+  }
+  EmbeddedDatabase::Snapshot snap = db_->snapshot();
+  const EmbeddedDatabase::View& view = snap.view();
+  // Unlike Retrieve, an empty backend is NOT an error here: a scan
+  // contributes nothing, and the gathering caller — who can see every
+  // shard — decides whether overall emptiness is FailedPrecondition.
+  if (view.empty()) return ScanCandidatesResult{};
+  uint32_t needed = ShadowMaskFor(options.filter_precision);
+  if ((view.shadows() & needed) != needed) {
+    return Status::FailedPrecondition(
+        std::string("filter precision ") +
+        FilterPrecisionName(options.filter_precision) +
+        " needs a shadow matrix this database does not carry; call "
+        "EnableFilterShadows on it first");
+  }
+  const size_t p = std::min(options.p, view.size());
+
+  FilterScanStats scan_stats;
+  MonotonicClock::time_point stage_start = MonotonicClock::now();
+  std::vector<ScoredIndex> local = scorer_->ScoreTopP(
+      embedded_query, view, p, options.filter_precision, &scan_stats);
+  filter_ns_->Record(NsSince(stage_start));
+  filter_rows_visited_total_->Add(scan_stats.rows_visited);
+  filter_rows_pruned_total_->Add(scan_stats.rows_pruned);
+
+  // Rows -> database ids through the same snapshot, then re-sort into
+  // the (score, id) total order the k-way merge requires — exactly the
+  // per-shard translation ShardedRetrievalEngine::ScatterGather does.
+  for (ScoredIndex& c : local) c.index = view.id_of(c.index);
+  std::sort(local.begin(), local.end());
+
+  ScanCandidatesResult result;
+  result.candidates = std::move(local);
+  result.rows = view.size();
+  result.rows_pruned = scan_stats.rows_pruned;
+  return result;
+}
+
+Status RetrievalEngine::InsertEmbedded(size_t db_id,
+                                       const Vector& embedded_row) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  if (row_of_.count(db_id) != 0) {
+    return Status::InvalidArgument("database id already present: " +
+                                   std::to_string(db_id));
+  }
+  if (embedded_row.size() != db_->dims()) {
+    return Status::InvalidArgument(
+        "embedded row has " + std::to_string(embedded_row.size()) +
+        " dims, database holds " + std::to_string(db_->dims()));
+  }
+  size_t row = db_->Append(embedded_row, db_id);
+  row_of_.emplace(db_id, row);
+  return Status::OK();
+}
+
 Status RetrievalEngine::Insert(size_t db_id, const DxToDatabaseFn& dx) {
   std::lock_guard<std::mutex> lock(mutation_mu_);
   if (row_of_.count(db_id) != 0) {

@@ -70,6 +70,19 @@ class RetrievalEngine : public RetrievalBackend {
   /// ids.  Safe concurrently with retrievals.
   Status Remove(size_t db_id) override;
 
+  /// Filter-only scan over one pinned snapshot; candidates carry
+  /// database ids in (score, id) order — the same list a shard of the
+  /// sharded engine contributes to its merge, so a RetrievalServer
+  /// wrapping this engine is a drop-in remote shard.
+  StatusOr<ScanCandidatesResult> ScanCandidates(
+      const Vector& embedded_query,
+      const RetrievalOptions& options) const override;
+
+  /// Appends an already-embedded row (the remote Insert path; the
+  /// embedding step ran client-side).  InvalidArgument on duplicate id
+  /// or wrong dimensionality.  Safe concurrently with retrievals.
+  Status InsertEmbedded(size_t db_id, const Vector& embedded_row) override;
+
   /// Number of database objects currently live.
   size_t size() const override { return db_->size(); }
 

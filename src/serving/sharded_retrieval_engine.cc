@@ -39,6 +39,10 @@ size_t ResolveNumShards(size_t requested) {
 
 }  // namespace
 
+size_t HashShardOf(size_t db_id, size_t num_shards) {
+  return static_cast<size_t>(Mix64(db_id) % num_shards);
+}
+
 ShardedRetrievalEngine::ShardedRetrievalEngine(const Embedder* embedder,
                                                const FilterScorer* scorer,
                                                ShardedEngineOptions options)
@@ -100,14 +104,42 @@ ShardedRetrievalEngine::ShardedRetrievalEngine(
   total_size_.store(db.size(), std::memory_order_relaxed);
 }
 
+ShardedRetrievalEngine::ShardedRetrievalEngine(
+    const Embedder* embedder,
+    std::vector<std::shared_ptr<RetrievalBackend>> shard_backends,
+    ShardedEngineOptions options)
+    : embedder_(embedder),
+      scorer_(nullptr),
+      options_(options),
+      composed_(true) {
+  QSE_CHECK_MSG(!shard_backends.empty(),
+                "composed sharded engine needs at least one shard backend");
+  options_.num_shards = shard_backends.size();
+  shards_.reserve(shard_backends.size());
+  size_t total = 0;
+  for (std::shared_ptr<RetrievalBackend>& backend : shard_backends) {
+    QSE_CHECK_MSG(backend != nullptr, "null shard backend");
+    total += backend->size();
+    Shard shard;
+    shard.backend = std::move(backend);
+    shards_.push_back(std::move(shard));
+  }
+  total_size_.store(total, std::memory_order_relaxed);
+}
+
+size_t ShardedRetrievalEngine::ShardSize(size_t s) const {
+  return shards_[s].backend != nullptr ? shards_[s].backend->size()
+                                       : shards_[s].db->size();
+}
+
 size_t ShardedRetrievalEngine::AssignShard(size_t db_id) const {
   switch (options_.assignment) {
     case ShardAssignment::kHashId:
-      return static_cast<size_t>(Mix64(db_id) % shards_.size());
+      return HashShardOf(db_id, shards_.size());
     case ShardAssignment::kLeastLoaded: {
       size_t best = 0;
       for (size_t s = 1; s < shards_.size(); ++s) {
-        if (shards_[s].db->size() < shards_[best].db->size()) best = s;
+        if (ShardSize(s) < ShardSize(best)) best = s;
       }
       return best;
     }
@@ -131,7 +163,9 @@ StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
   // Quality audit: decide before the scatter so each shard scan can
   // retain (move out) the snapshot it pinned — the audit must score the
   // exact views this response was served from, not the live shards.
-  const bool audit_this = options.audit_monitor != nullptr &&
+  // Composed shards hold their snapshots in other processes, so audits
+  // are disabled for them.
+  const bool audit_this = !composed_ && options.audit_monitor != nullptr &&
                           options.audit_monitor->ShouldSample();
   std::vector<std::optional<EmbeddedDatabase::Snapshot>> audit_snaps(
       audit_this ? shards_.size() : 0);
@@ -147,68 +181,18 @@ StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
   response.embedding_distances = embed_cost;
 
   // Scatter: each shard's filter step keeps its local top p (the global
-  // top p could in the worst case live entirely in one shard), over its
-  // own pinned epoch snapshot so a concurrent mutation of the shard
-  // never tears the scan.  Grain 2: one item is a whole shard scan; a
-  // single shard stays serial.
+  // top p could in the worst case live entirely in one shard).
   const size_t num_shards = shards_.size();
-  const uint32_t needed_shadows = ShadowMaskFor(options.filter_precision);
-  std::atomic<bool> missing_shadow{false};
   std::vector<std::vector<ScoredIndex>> per_shard(num_shards);
   std::vector<size_t> rows_scanned(num_shards, 0);
-  std::atomic<size_t> rows_pruned_all{0};
+  size_t rows_pruned_all = 0;
   MonotonicClock::time_point scatter_start = MonotonicClock::now();
-  ParallelForGrain(
-      0, num_shards, 2,
-      [&](size_t s) {
-        uint64_t shard_span_start = obs::TraceNowNs(trace);
-        EmbeddedDatabase::Snapshot snap = shards_[s].db->snapshot();
-        const EmbeddedDatabase::View& view = snap.view();
-        if ((view.shadows() & needed_shadows) != needed_shadows) {
-          missing_shadow.store(true, std::memory_order_relaxed);
-          return;
-        }
-        if (view.empty()) return;
-        rows_scanned[s] = view.size();
-        FilterScanStats scan_stats;
-        std::vector<ScoredIndex> local = scorer_->ScoreTopP(
-            fq, view, p, options.filter_precision, &scan_stats);
-        rows_pruned_all.fetch_add(scan_stats.rows_pruned,
-                                  std::memory_order_relaxed);
-        // Translate shard-local rows to database ids through the same
-        // snapshot, then re-sort: the shard's (score, row) tie order
-        // need not survive the translation, and the k-way merge
-        // requires every list in (score, id) order.
-        for (ScoredIndex& c : local) c.index = view.id_of(c.index);
-        std::sort(local.begin(), local.end());
-        per_shard[s] = std::move(local);
-        // `view` stays valid: moving a Snapshot moves its pin, not the
-        // View it exposes.
-        if (audit_this) audit_snaps[s].emplace(std::move(snap));
-        obs::TraceMark(
-            trace, "shard_scan", shard_span_start,
-            {obs::TraceArg{"shard", static_cast<int64_t>(s), nullptr},
-             obs::TraceArg{"rows",
-                           static_cast<int64_t>(scan_stats.rows_visited),
-                           nullptr},
-             obs::TraceArg{"rows_pruned",
-                           static_cast<int64_t>(scan_stats.rows_pruned),
-                           nullptr},
-             obs::TraceArg{"simd", 0,
-                           simd::SimdLevelName(simd::ActiveSimdLevel())},
-             obs::TraceArg{"precision", 0,
-                           FilterPrecisionName(options.filter_precision)}});
-      },
-      scatter_threads);
+  Status scatter_status =
+      ScatterScan(fq, options, p, scatter_threads, trace, &per_shard,
+                  &rows_scanned, &rows_pruned_all,
+                  audit_this ? &audit_snaps : nullptr);
   scatter_ns_->Record(NsSince(scatter_start));
-
-  if (missing_shadow.load(std::memory_order_relaxed)) {
-    return Status::FailedPrecondition(
-        std::string("filter precision ") +
-        FilterPrecisionName(options.filter_precision) +
-        " needs a shadow matrix the shards do not carry; construct the "
-        "engine with ShardedEngineOptions::filter_shadows");
-  }
+  QSE_RETURN_IF_ERROR(scatter_status);
 
   // The size() pre-check above is a momentary peek: concurrent removals
   // can empty every shard before the snapshots pin.  The pinned views
@@ -268,8 +252,7 @@ StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
   retrievals_total_->Increment();
   exact_distances_total_->Add(response.exact_distances);
   filter_rows_visited_total_->Add(total_rows);
-  filter_rows_pruned_total_->Add(
-      rows_pruned_all.load(std::memory_order_relaxed));
+  filter_rows_pruned_total_->Add(rows_pruned_all);
 
   if (audit_this) {
     obs::AuditTask audit;
@@ -288,6 +271,137 @@ StatusOr<RetrievalResponse> ShardedRetrievalEngine::ScatterGather(
     options.audit_monitor->SubmitAudit(std::move(audit));
   }
   return response;
+}
+
+Status ShardedRetrievalEngine::ScatterScan(
+    const Vector& fq, const RetrievalOptions& options, size_t p,
+    size_t scatter_threads, obs::RequestTrace* trace,
+    std::vector<std::vector<ScoredIndex>>* per_shard,
+    std::vector<size_t>* rows_scanned, size_t* rows_pruned_out,
+    std::vector<std::optional<EmbeddedDatabase::Snapshot>>* audit_snaps)
+    const {
+  const size_t num_shards = shards_.size();
+  const uint32_t needed_shadows = ShadowMaskFor(options.filter_precision);
+  std::atomic<bool> missing_shadow{false};
+  std::atomic<size_t> rows_pruned_all{0};
+  // Composed shard scans can fail outright (a remote peer down mid
+  // fan-out); collect the first failure and fail the query honestly.
+  std::mutex error_mu;
+  Status first_error = Status::OK();
+  // Grain 2: one item is a whole shard scan; a single shard stays
+  // serial.
+  ParallelForGrain(
+      0, num_shards, 2,
+      [&](size_t s) {
+        uint64_t shard_span_start = obs::TraceNowNs(trace);
+        if (shards_[s].backend != nullptr) {
+          StatusOr<ScanCandidatesResult> scan =
+              shards_[s].backend->ScanCandidates(fq, options);
+          if (!scan.ok()) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (first_error.ok()) first_error = scan.status();
+            return;
+          }
+          (*rows_scanned)[s] = scan->rows;
+          rows_pruned_all.fetch_add(scan->rows_pruned,
+                                    std::memory_order_relaxed);
+          obs::TraceMark(
+              trace, "shard_scan", shard_span_start,
+              {obs::TraceArg{"shard", static_cast<int64_t>(s), nullptr},
+               obs::TraceArg{"rows", static_cast<int64_t>(scan->rows),
+                             nullptr},
+               obs::TraceArg{"rows_pruned",
+                             static_cast<int64_t>(scan->rows_pruned),
+                             nullptr},
+               obs::TraceArg{"composed", 1, nullptr}});
+          (*per_shard)[s] = std::move(scan.value().candidates);
+          return;
+        }
+        // Local shard: scan one pinned epoch snapshot so a concurrent
+        // mutation of the shard never tears the scan.
+        EmbeddedDatabase::Snapshot snap = shards_[s].db->snapshot();
+        const EmbeddedDatabase::View& view = snap.view();
+        if ((view.shadows() & needed_shadows) != needed_shadows) {
+          missing_shadow.store(true, std::memory_order_relaxed);
+          return;
+        }
+        if (view.empty()) return;
+        (*rows_scanned)[s] = view.size();
+        FilterScanStats scan_stats;
+        std::vector<ScoredIndex> local = scorer_->ScoreTopP(
+            fq, view, p, options.filter_precision, &scan_stats);
+        rows_pruned_all.fetch_add(scan_stats.rows_pruned,
+                                  std::memory_order_relaxed);
+        // Translate shard-local rows to database ids through the same
+        // snapshot, then re-sort: the shard's (score, row) tie order
+        // need not survive the translation, and the k-way merge
+        // requires every list in (score, id) order.
+        for (ScoredIndex& c : local) c.index = view.id_of(c.index);
+        std::sort(local.begin(), local.end());
+        (*per_shard)[s] = std::move(local);
+        // `view` stays valid: moving a Snapshot moves its pin, not the
+        // View it exposes.
+        if (audit_snaps != nullptr) (*audit_snaps)[s].emplace(std::move(snap));
+        obs::TraceMark(
+            trace, "shard_scan", shard_span_start,
+            {obs::TraceArg{"shard", static_cast<int64_t>(s), nullptr},
+             obs::TraceArg{"rows",
+                           static_cast<int64_t>(scan_stats.rows_visited),
+                           nullptr},
+             obs::TraceArg{"rows_pruned",
+                           static_cast<int64_t>(scan_stats.rows_pruned),
+                           nullptr},
+             obs::TraceArg{"simd", 0,
+                           simd::SimdLevelName(simd::ActiveSimdLevel())},
+             obs::TraceArg{"precision", 0,
+                           FilterPrecisionName(options.filter_precision)}});
+      },
+      scatter_threads);
+
+  if (missing_shadow.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition(
+        std::string("filter precision ") +
+        FilterPrecisionName(options.filter_precision) +
+        " needs a shadow matrix the shards do not carry; construct the "
+        "engine with ShardedEngineOptions::filter_shadows");
+  }
+  QSE_RETURN_IF_ERROR(first_error);
+  *rows_pruned_out = rows_pruned_all.load(std::memory_order_relaxed);
+  return Status::OK();
+}
+
+StatusOr<ScanCandidatesResult> ShardedRetrievalEngine::ScanCandidates(
+    const Vector& embedded_query, const RetrievalOptions& options) const {
+  QSE_RETURN_IF_ERROR(ValidateRetrievalOptions(options));
+  if (embedded_query.size() != embedder_->dims()) {
+    return Status::InvalidArgument(
+        "embedded query has " + std::to_string(embedded_query.size()) +
+        " dims, engine embeds to " + std::to_string(embedder_->dims()));
+  }
+  // Composed shard sizes are only tracked through this engine's own
+  // mutations, so do not let a stale total clamp the merge; the
+  // per-shard lists bound it anyway.
+  const size_t total = size();
+  const size_t p = composed_ ? options.p : std::min(options.p, total);
+
+  const size_t num_shards = shards_.size();
+  std::vector<std::vector<ScoredIndex>> per_shard(num_shards);
+  std::vector<size_t> rows_scanned(num_shards, 0);
+  size_t rows_pruned_all = 0;
+  MonotonicClock::time_point scatter_start = MonotonicClock::now();
+  QSE_RETURN_IF_ERROR(ScatterScan(embedded_query, options, p,
+                                  options_.scatter_threads, /*trace=*/nullptr,
+                                  &per_shard, &rows_scanned, &rows_pruned_all,
+                                  /*audit_snaps=*/nullptr));
+  scatter_ns_->Record(NsSince(scatter_start));
+
+  ScanCandidatesResult result;
+  result.candidates = MergeSortedTopK(per_shard, p);
+  for (size_t rows : rows_scanned) result.rows += rows;
+  result.rows_pruned = rows_pruned_all;
+  filter_rows_visited_total_->Add(result.rows);
+  filter_rows_pruned_total_->Add(result.rows_pruned);
+  return result;
 }
 
 StatusOr<RetrievalResponse> ShardedRetrievalEngine::Retrieve(
@@ -340,7 +454,26 @@ Status ShardedRetrievalEngine::Insert(size_t db_id, const DxToDatabaseFn& dx) {
                                    std::to_string(db_id));
   }
   size_t s = AssignShard(db_id);
-  Status status = shards_[s].engine->Insert(db_id, dx);
+  Status status = shards_[s].backend != nullptr
+                      ? shards_[s].backend->Insert(db_id, dx)
+                      : shards_[s].engine->Insert(db_id, dx);
+  if (!status.ok()) return status;
+  shard_of_.emplace(db_id, s);
+  total_size_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+Status ShardedRetrievalEngine::InsertEmbedded(size_t db_id,
+                                              const Vector& embedded_row) {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  if (shard_of_.count(db_id) != 0) {
+    return Status::InvalidArgument("database id already present: " +
+                                   std::to_string(db_id));
+  }
+  size_t s = AssignShard(db_id);
+  Status status = shards_[s].backend != nullptr
+                      ? shards_[s].backend->InsertEmbedded(db_id, embedded_row)
+                      : shards_[s].engine->InsertEmbedded(db_id, embedded_row);
   if (!status.ok()) return status;
   shard_of_.emplace(db_id, s);
   total_size_.fetch_add(1, std::memory_order_acq_rel);
@@ -354,7 +487,9 @@ Status ShardedRetrievalEngine::Remove(size_t db_id) {
     return Status::NotFound("database id not present: " +
                             std::to_string(db_id));
   }
-  Status status = shards_[it->second].engine->Remove(db_id);
+  Shard& shard = shards_[it->second];
+  Status status = shard.backend != nullptr ? shard.backend->Remove(db_id)
+                                           : shard.engine->Remove(db_id);
   if (!status.ok()) return status;
   shard_of_.erase(it);
   total_size_.fetch_sub(1, std::memory_order_acq_rel);
@@ -364,7 +499,7 @@ Status ShardedRetrievalEngine::Remove(size_t db_id) {
 std::vector<size_t> ShardedRetrievalEngine::shard_sizes() const {
   std::vector<size_t> sizes;
   sizes.reserve(shards_.size());
-  for (const Shard& shard : shards_) sizes.push_back(shard.db->size());
+  for (size_t s = 0; s < shards_.size(); ++s) sizes.push_back(ShardSize(s));
   return sizes;
 }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +29,12 @@ enum class ShardAssignment {
   /// distribution, at the cost of a layout that depends on insert order.
   kLeastLoaded,
 };
+
+/// The kHashId partition function, exposed so out-of-process shard
+/// builders (a remote shard server populating its slice of the database)
+/// can reproduce the exact partition a composed ShardedRetrievalEngine
+/// will route against.
+size_t HashShardOf(size_t db_id, size_t num_shards);
 
 struct ShardedEngineOptions {
   /// Number of shards S.  0 means one shard per hardware core.
@@ -93,6 +100,24 @@ class ShardedRetrievalEngine : public RetrievalBackend {
                          const std::vector<size_t>& db_ids,
                          ShardedEngineOptions options = {});
 
+  /// Composes over pre-built shard backends instead of owning local
+  /// engines — the multi-node topology: each backend is typically a
+  /// RemoteRetrievalBackend (or a HedgedReplicaBackend over several),
+  /// and the scatter step calls its ScanCandidates over the wire while
+  /// everything else (embed once, merge, single global refine) runs
+  /// unchanged.  shard_backends[s] serves shard s; with kHashId
+  /// assignment the backends must hold the same id partition this
+  /// engine's own constructors would build, or Insert routing and
+  /// retrieval parity break.  options.num_shards is taken from the
+  /// backend count; options.filter_shadows is ignored (the backends own
+  /// their shadow setup).  size() is the construction-time sum plus
+  /// mutations routed through this engine; quality audits are disabled
+  /// (the pinned snapshots live in other processes).
+  ShardedRetrievalEngine(
+      const Embedder* embedder,
+      std::vector<std::shared_ptr<RetrievalBackend>> shard_backends,
+      ShardedEngineOptions options = {});
+
   /// Scatter/gather retrieval; neighbor indices are database ids.  Same
   /// validation contract as RetrievalEngine::Retrieve.
   StatusOr<RetrievalResponse> Retrieve(
@@ -113,6 +138,17 @@ class ShardedRetrievalEngine : public RetrievalBackend {
   /// Safe concurrently with retrievals.
   Status Remove(size_t db_id) override;
 
+  /// Filter-only scan: scatter across shards, merge to the global top-p,
+  /// skip the refine — what this engine contributes when it is itself a
+  /// shard of a larger (hierarchical or multi-node) deployment.
+  StatusOr<ScanCandidatesResult> ScanCandidates(
+      const Vector& embedded_query,
+      const RetrievalOptions& options) const override;
+
+  /// Routes an already-embedded row to the shard the assignment policy
+  /// picks (the remote Insert path).  InvalidArgument on duplicate id.
+  Status InsertEmbedded(size_t db_id, const Vector& embedded_row) override;
+
   /// Total objects across all shards.
   size_t size() const override {
     return total_size_.load(std::memory_order_acquire);
@@ -129,6 +165,9 @@ class ShardedRetrievalEngine : public RetrievalBackend {
   /// Shard an id would route to under kHashId, or currently lives in.
   /// Serialized with mutations (it reads the routing table).
   StatusOr<size_t> ShardOf(size_t db_id) const;
+  /// The local engine of shard `s`; only valid for locally-owned shards
+  /// (engines constructed by the first two constructors, never the
+  /// backend-composing one).
   const RetrievalEngine& shard(size_t s) const { return *shards_[s].engine; }
 
  private:
@@ -137,10 +176,30 @@ class ShardedRetrievalEngine : public RetrievalBackend {
     // moves: each engine holds a raw pointer to its shard's database.
     std::unique_ptr<EmbeddedDatabase> db;
     std::unique_ptr<RetrievalEngine> engine;
+    /// Non-null for composed (typically remote) shards; db/engine are
+    /// null then and every operation goes through this interface.
+    std::shared_ptr<RetrievalBackend> backend;
   };
 
   /// Shard that Insert would place `db_id` in right now.
   size_t AssignShard(size_t db_id) const;
+
+  /// Rows shard `s` holds right now, whichever kind it is.
+  size_t ShardSize(size_t s) const;
+
+  /// The scatter phase shared by ScatterGather and ScanCandidates: runs
+  /// every shard's filter-only scan (locally over a pinned snapshot, or
+  /// through the shard's composed backend) and fills the per-shard
+  /// (score, id)-sorted candidate lists plus scan accounting.  `p` must
+  /// already be clamped to size().  audit_snaps is null when no audit
+  /// will run (always, for composed shards).
+  Status ScatterScan(
+      const Vector& fq, const RetrievalOptions& options, size_t p,
+      size_t scatter_threads, obs::RequestTrace* trace,
+      std::vector<std::vector<ScoredIndex>>* per_shard,
+      std::vector<size_t>* rows_scanned, size_t* rows_pruned_out,
+      std::vector<std::optional<EmbeddedDatabase::Snapshot>>* audit_snaps)
+      const;
 
   /// The scatter/gather pipeline behind both Retrieve entry points,
   /// taking the envelope pieces by reference so the batch loop never
@@ -158,6 +217,9 @@ class ShardedRetrievalEngine : public RetrievalBackend {
   const FilterScorer* scorer_;
   ShardedEngineOptions options_;
   std::vector<Shard> shards_;
+  /// True when built over composed shard backends (third constructor):
+  /// disables quality audits (no local snapshots to pin).
+  bool composed_ = false;
   /// Global-registry metrics, resolved once at construction (in-class
   /// so both constructors share the list); the hot path only touches
   /// the striped cells behind these pointers.

@@ -1,9 +1,16 @@
 #include "src/util/serialize.h"
 
+#include <cstring>
 #include <limits>
 
 namespace qse {
 
+void BinaryWriter::WriteU8(uint8_t v) {
+  out_->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void BinaryWriter::WriteU16(uint16_t v) {
+  out_->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
 void BinaryWriter::WriteU32(uint32_t v) {
   out_->write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
@@ -47,6 +54,8 @@ Status BinaryReader::ReadRaw(void* dst, size_t n) {
   return Status::OK();
 }
 
+Status BinaryReader::ReadU8(uint8_t* v) { return ReadRaw(v, sizeof(*v)); }
+Status BinaryReader::ReadU16(uint16_t* v) { return ReadRaw(v, sizeof(*v)); }
 Status BinaryReader::ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
 Status BinaryReader::ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
 Status BinaryReader::ReadI64(int64_t* v) { return ReadRaw(v, sizeof(*v)); }
@@ -84,6 +93,58 @@ Status BinaryReader::ReadU32Vec(std::vector<uint32_t>* v) {
   if (n > kMaxVecElems) return Status::IOError("vector length implausible");
   v->resize(n);
   return n == 0 ? Status::OK() : ReadRaw(v->data(), n * sizeof(uint32_t));
+}
+
+Status ByteReader::ReadRaw(void* dst, size_t n) {
+  if (n > size_ - pos_) {
+    return Status::DataLoss("truncated buffer: need " + std::to_string(n) +
+                            " bytes, have " + std::to_string(size_ - pos_));
+  }
+  std::memcpy(dst, data_ + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::CheckCount(uint64_t count, size_t elem_size,
+                              uint64_t max_elems) {
+  // remaining() bounds the count unconditionally: the elements must be
+  // physically present behind the prefix, so a hostile count can demand
+  // at most the bytes the caller already holds.
+  if (count > remaining() / elem_size) {
+    return Status::DataLoss("length prefix exceeds remaining bytes: " +
+                            std::to_string(count) + " elements of " +
+                            std::to_string(elem_size) + " bytes, " +
+                            std::to_string(remaining()) + " bytes left");
+  }
+  if (max_elems != 0 && count > max_elems) {
+    return Status::DataLoss("length prefix exceeds field cap: " +
+                            std::to_string(count) + " > " +
+                            std::to_string(max_elems));
+  }
+  return Status::OK();
+}
+
+Status ByteReader::ReadU8(uint8_t* v) { return ReadRaw(v, sizeof(*v)); }
+Status ByteReader::ReadU16(uint16_t* v) { return ReadRaw(v, sizeof(*v)); }
+Status ByteReader::ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+Status ByteReader::ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+Status ByteReader::ReadI64(int64_t* v) { return ReadRaw(v, sizeof(*v)); }
+Status ByteReader::ReadDouble(double* v) { return ReadRaw(v, sizeof(*v)); }
+
+Status ByteReader::ReadString(std::string* s, uint64_t max_elems) {
+  uint64_t n = 0;
+  QSE_RETURN_IF_ERROR(ReadU64(&n));
+  QSE_RETURN_IF_ERROR(CheckCount(n, 1, max_elems));
+  s->resize(n);
+  return n == 0 ? Status::OK() : ReadRaw(&(*s)[0], n);
+}
+
+Status ByteReader::ReadDoubleVec(std::vector<double>* v, uint64_t max_elems) {
+  uint64_t n = 0;
+  QSE_RETURN_IF_ERROR(ReadU64(&n));
+  QSE_RETURN_IF_ERROR(CheckCount(n, sizeof(double), max_elems));
+  v->resize(n);
+  return n == 0 ? Status::OK() : ReadRaw(v->data(), n * sizeof(double));
 }
 
 }  // namespace qse

@@ -19,6 +19,8 @@ class BinaryWriter {
  public:
   explicit BinaryWriter(std::ostream* out) : out_(out) {}
 
+  void WriteU8(uint8_t v);
+  void WriteU16(uint16_t v);
   void WriteU32(uint32_t v);
   void WriteU64(uint64_t v);
   void WriteI64(int64_t v);
@@ -40,6 +42,8 @@ class BinaryReader {
  public:
   explicit BinaryReader(std::istream* in) : in_(in) {}
 
+  Status ReadU8(uint8_t* v);
+  Status ReadU16(uint16_t* v);
   Status ReadU32(uint32_t* v);
   Status ReadU64(uint64_t* v);
   Status ReadI64(int64_t* v);
@@ -52,6 +56,49 @@ class BinaryReader {
  private:
   Status ReadRaw(void* dst, size_t n);
   std::istream* in_;
+};
+
+/// Bounds-checked sequential reader over an in-memory buffer — the decode
+/// side of untrusted wire frames, where BinaryReader's stream model is the
+/// wrong shape: a frame's total size is known up front, so every length
+/// prefix can be validated against the bytes actually remaining BEFORE
+/// any allocation.  A hostile length prefix therefore costs nothing; it
+/// can never over-allocate.  All failures are kDataLoss (the buffer
+/// contradicts its own framing).  Borrows the buffer; does not copy.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t size)
+      : data_(static_cast<const uint8_t*>(data)), size_(size) {}
+  explicit ByteReader(const std::string& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  Status ReadU8(uint8_t* v);
+  Status ReadU16(uint16_t* v);
+  Status ReadU32(uint32_t* v);
+  Status ReadU64(uint64_t* v);
+  Status ReadI64(int64_t* v);
+  Status ReadDouble(double* v);
+  /// Length-prefixed (u64 count) reads; the count is validated against
+  /// remaining() before the destination is resized, so a corrupt prefix
+  /// fails without allocating.  `max_elems` tightens the cap further for
+  /// fields with a known plausible bound (0 = remaining-bytes cap only).
+  Status ReadString(std::string* s, uint64_t max_elems = 0);
+  Status ReadDoubleVec(std::vector<double>* v, uint64_t max_elems = 0);
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return size_ - pos_; }
+  /// True when every byte has been consumed (a well-formed frame ends
+  /// exactly at its length prefix).
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  Status ReadRaw(void* dst, size_t n);
+  /// Validates a length prefix for elements of `elem_size` bytes.
+  Status CheckCount(uint64_t count, size_t elem_size, uint64_t max_elems);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
 };
 
 }  // namespace qse

@@ -24,6 +24,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

@@ -21,6 +21,8 @@ enum class StatusCode {
   kUnimplemented = 7,
   kDeadlineExceeded = 8,
   kResourceExhausted = 9,
+  kUnavailable = 10,
+  kDataLoss = 11,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -67,6 +69,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

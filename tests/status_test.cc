@@ -30,6 +30,8 @@ TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
             StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
   EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
 }
 
@@ -56,6 +58,8 @@ TEST(StatusTest, EveryEnumeratorRoundTripsThroughFactoryAndName) {
        "DEADLINE_EXCEEDED"},
       {Status::ResourceExhausted("m"), StatusCode::kResourceExhausted,
        "RESOURCE_EXHAUSTED"},
+      {Status::Unavailable("m"), StatusCode::kUnavailable, "UNAVAILABLE"},
+      {Status::DataLoss("m"), StatusCode::kDataLoss, "DATA_LOSS"},
   };
   for (const auto& c : kCases) {
     EXPECT_EQ(c.status.code(), c.code) << c.name;

@@ -173,6 +173,26 @@ def audit_sampling_tail_bound():
     return 2.50
 
 
+def remote_overhead_bound():
+    """Max allowed p99 ratio, the hedged multi-process remote cluster vs
+    in-process direct sharded serving.
+
+    Remote serving pays two loopback RPCs (framing, serialization, one
+    kernel round trip each) plus the hedge-delay waits its degraded
+    replica forces, on top of the same scan the in-process engine runs —
+    a constant-factor tax, not a scaling change.  This is a blowup
+    guard: it catches a hedging or transport regression that turns
+    milliseconds into hundreds, while staying insensitive to how
+    contended the host is (smaller hosts time-share four extra server
+    processes, so the tax grows as cores shrink)."""
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        return 8.0
+    if cores >= 2:
+        return 12.0
+    return 20.0
+
+
 def micro_batching_tail_bound():
     """Max allowed p99 ratio for the same pair.  Under closed-loop load,
     coalescing strictly reduces queueing, so the tail must not regress
@@ -289,6 +309,28 @@ RULES = [
         "quality audits (1/16) vs audit-free adaptive loop (p99 tail)",
         "p99",
     ),
+    # The hedged-read acceptance gate: over the degraded multi-process
+    # cluster (one replica injects a 40ms delay on every 32nd scan),
+    # hedging must measurably cut the p99 that the no-hedging arm eats
+    # in full.  The injected delay dwarfs host noise on any core count,
+    # so the bound is flat.
+    (
+        "SL_Remote/cluster/hedged",
+        "SL_Remote/cluster/nohedge",
+        0.90,
+        "hedged reads vs no-hedging over the degraded cluster (p99 tail)",
+        "p99",
+    ),
+    # Crossing a process boundary is a constant-factor tax, not a
+    # blowup: the remote cluster's tail must stay within a bounded
+    # multiple of in-process sharded serving.
+    (
+        "SL_Remote/cluster/hedged",
+        "SL_Closed/sharded/direct",
+        remote_overhead_bound,
+        "remote hedged cluster vs in-process sharded serving (p99 tail)",
+        "p99",
+    ),
     # Runtime dispatch on the exact path must never lose to the seed
     # scalar scan it replaced (same math, same bits, wider registers).
     (
@@ -399,6 +441,15 @@ FLOOR_RULES = [
         1,
         "control run: background audits completed under load",
     ),
+    # Hedging must actually race and win against the injected-delay
+    # replica — a hedge path that silently stopped firing would pass the
+    # ratio rule on a healthy-enough cluster.
+    (
+        "SL_Remote/cluster/hedged",
+        "hedge_wins",
+        1,
+        "hedged cluster run: at least one hedge won its race",
+    ),
 ]
 
 # (benchmark, counter, max value, label).  The inverse of FLOOR_RULES:
@@ -436,6 +487,22 @@ CEILING_RULES = [
         "audit_mismatches",
         0,
         "p = n verify run: zero served-vs-exact mismatches",
+    ),
+    # The multi-node acceptance pair: the composed remote cluster must
+    # answer bit-identically to the in-process sharded engine, and a
+    # SIGKILLed replica must be invisible to callers (failover, not
+    # failures).
+    (
+        "SL_Remote/parity",
+        "parity_mismatches",
+        0,
+        "remote cluster bit-identical to in-process sharded engine",
+    ),
+    (
+        "SL_Remote/cluster/killed",
+        "failed_requests",
+        0,
+        "replica kill: zero caller-visible request failures",
     ),
 ]
 
@@ -480,6 +547,15 @@ METRIC_FLOORS = [
     # Identity gauge: labels carry the commit, so prefix-match.
     ("gauges", "qse_build_info*", 1,
      "build identity gauge registered at startup"),
+    # The remote cluster's client-side instruments (server-side twins
+    # live in the child processes and are not exported here).  Replica
+    # series carry labels-in-name, so prefix-match.
+    ("counters", "qse_remote_rpcs_total", 1,
+     "remote RPCs issued by the cluster phases"),
+    ("counters", "qse_replica_attempts_total*", 1,
+     "hedged replica attempt accounting"),
+    ("histograms", "qse_remote_rpc_latency_ns", 1,
+     "remote RPC latency recorded"),
 ]
 
 # Benchmarks compared across the two builds of --overhead-pair mode
