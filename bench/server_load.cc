@@ -35,6 +35,7 @@
 // Run: ./build/bench/server_load [--n=20000] [--clients=8]
 //        [--requests=2000] [--open_seconds=1.0] [--out=path.json]
 #include <signal.h>
+#include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -66,6 +67,8 @@
 #include "src/net/remote_backend.h"
 #include "src/net/retrieval_server.h"
 #include "src/net/socket_transport.h"
+#include "src/persist/durability.h"
+#include "src/persist/durable_backend.h"
 #include "src/retrieval/filter_refine.h"
 #include "src/retrieval/retrieval_engine.h"
 #include "src/server/async_retrieval_server.h"
@@ -1105,6 +1108,168 @@ int main(int argc, char** argv) {
                               static_cast<double>(ms.mismatches));
     entry.extras.emplace_back("exact_recall", ms.recall_at_k);
     json.push_back(std::move(entry));
+  }
+
+  // --- SL_Recover: durability — WAL tail cost + warm restart --------
+  //
+  // The same closed-loop-with-background-mutator workload as SL_Mutate,
+  // run twice over two identically-built engines: once bare (WAL off,
+  // the baseline) and once behind the DurableBackend with fsync-every-N
+  // and auto-snapshots (WAL on).  Then a warm restart: recover a THIRD
+  // engine from the directory the WAL-on run left behind and verify it
+  // bit-identical (memcmp over rows + ids) and answer-identical to the
+  // live engine.  Gates in tools/check_bench_regressions.py: zero
+  // parity mismatches, at least one record actually replayed, and the
+  // WAL-on p99 within a host-adaptive factor of WAL-off.
+  {
+    const size_t recover_n =
+        flags.GetSize("recover_n", std::min<size_t>(n, 4000));
+    const std::string dur_dir = stem + "_durability";
+    ::mkdir(dur_dir.c_str(), 0755);
+    for (const char* f : {"/wal.qse", "/snapshot.qse", "/snapshot.qse.tmp"}) {
+      std::remove((dur_dir + f).c_str());
+    }
+    std::printf("--- durability (mono, n=%zu, fsync every 64, dir %s) ---\n",
+                recover_n, dur_dir.c_str());
+
+    const auto dx_of = [&](size_t id) {
+      return [&stack, id](size_t other) {
+        return id == other ? 0.0 : stack.oracle.Distance(id, other);
+      };
+    };
+    // Closed loop + mutator over any backend, SL_Mutate's shape.
+    const auto run_mutating_loop = [&](RetrievalBackend* backend) {
+      AsyncServerOptions options;
+      options.queue_capacity = 4096;
+      options.max_batch = max_batch;
+      options.num_workers = 1;
+      options.retrieve_threads = 0;
+      AsyncRetrievalServer server(backend, options);
+      std::atomic<bool> stop{false};
+      std::thread mutator([&] {
+        Rng rng(911);
+        while (!stop.load(std::memory_order_relaxed)) {
+          size_t id = rng.Index(recover_n);
+          if (server.Remove(id).ok()) {
+            Status st = server.Insert(id, dx_of(id));
+            QSE_CHECK_MSG(st.ok(), st.ToString());
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(5000));
+        }
+      });
+      RunResult res = RunClosedLoop(
+          clients, requests, stack.queries, [&](const DxToDatabaseFn& dx) {
+            Future<StatusOr<RetrievalResponse>> f =
+                server.Submit({dx, base_options});
+            const auto& r = f.Get();
+            QSE_CHECK_MSG(r.ok(), r.status().ToString());
+          });
+      stop.store(true, std::memory_order_relaxed);
+      mutator.join();
+      server.Shutdown(AsyncRetrievalServer::DrainMode::kDrain);
+      return res;
+    };
+
+    // (a) WAL off: bare engine, same content, same churn.
+    EmbeddedDatabase off_db(dims);
+    RetrievalEngine off_engine(&stack.model, &stack.scorer, &off_db, {});
+    for (size_t id = 0; id < recover_n; ++id) {
+      QSE_CHECK(off_engine.Insert(id, dx_of(id)).ok());
+    }
+    RunResult res_off = run_mutating_loop(&off_engine);
+    Report("SL_Recover/mono/wal_off", res_off, &json);
+
+    // (b) WAL on: every mutation logged, snapshots compacting mid-run.
+    persist::DurabilityOptions dopts;
+    dopts.dir = dur_dir;
+    dopts.fsync = persist::FsyncPolicy::kEveryN;
+    dopts.fsync_every_n = 64;
+    dopts.snapshot_every_records = recover_n / 2;
+    auto opened = persist::DurabilityManager::Open(dopts);
+    QSE_CHECK_MSG(opened.ok(), opened.status().ToString());
+    persist::DurabilityManager* manager = opened.value().get();
+    EmbeddedDatabase wal_db(dims);
+    RetrievalEngine wal_engine(&stack.model, &stack.scorer, &wal_db, {});
+    persist::DurableBackend durable(&wal_engine, &stack.model, manager,
+                                    {&wal_db});
+    for (size_t id = 0; id < recover_n; ++id) {
+      QSE_CHECK(durable.Insert(id, dx_of(id)).ok());
+    }
+    RunResult res_on = run_mutating_loop(&durable);
+    // Two more logged mutations so the WAL always has a live tail past
+    // the last auto-snapshot — recovery below must have records to
+    // replay even if a snapshot happened to fire on the loop's final
+    // mutation.
+    QSE_CHECK(durable.Remove(0).ok());
+    QSE_CHECK(durable.Insert(0, dx_of(0)).ok());
+    const uint64_t wal_last_seq = manager->last_seq();
+    Report("SL_Recover/mono/wal_on", res_on, &json,
+           {{"wal_last_seq", static_cast<double>(wal_last_seq)}});
+
+    // (c) Warm restart: recover a fresh engine from the directory the
+    // WAL-on run just left (snapshot + live tail; the process conveniently
+    // did not crash, but recovery cannot tell).
+    Timer recover_timer;
+    auto reopened = persist::DurabilityManager::Open(dopts);
+    QSE_CHECK_MSG(reopened.ok(), reopened.status().ToString());
+    persist::DurabilityManager* rec_manager = reopened.value().get();
+    EmbeddedDatabase rec_db(dims);
+    RetrievalEngine rec_engine(&stack.model, &stack.scorer, &rec_db, {});
+    QSE_CHECK(rec_manager->InstallSnapshot({&rec_db}).ok());
+    rec_engine.RebuildIdIndex();
+    auto replayed = rec_manager->Replay(&rec_engine);
+    QSE_CHECK_MSG(replayed.ok(), replayed.status().ToString());
+    const double recovery_ms = recover_timer.Seconds() * 1e3;
+
+    // Parity: the recovered database must be memcmp-identical to the
+    // live one (the WAL is the exact successful mutation sequence), and
+    // answer-identically on queries.
+    size_t parity_mismatches = 0;
+    {
+      EmbeddedDatabase::Snapshot live_pin = wal_db.snapshot();
+      EmbeddedDatabase::Snapshot rec_pin = rec_db.snapshot();
+      const EmbeddedDatabase::View& lv = live_pin.view();
+      const EmbeddedDatabase::View& rv = rec_pin.view();
+      if (lv.size() != rv.size() ||
+          std::memcmp(lv.data(), rv.data(),
+                      lv.size() * lv.dims() * sizeof(double)) != 0 ||
+          std::memcmp(lv.ids(), rv.ids(), lv.size() * sizeof(size_t)) != 0) {
+        ++parity_mismatches;
+      }
+    }
+    const size_t parity_queries = std::min<size_t>(64, stack.queries.size());
+    for (size_t q = 0; q < parity_queries; ++q) {
+      auto want = wal_engine.Retrieve({stack.queries[q], base_options});
+      auto got = rec_engine.Retrieve({stack.queries[q], base_options});
+      QSE_CHECK_MSG(want.ok(), want.status().ToString());
+      QSE_CHECK_MSG(got.ok(), got.status().ToString());
+      bool same = want->neighbors.size() == got->neighbors.size();
+      for (size_t i = 0; same && i < want->neighbors.size(); ++i) {
+        same = want->neighbors[i].index == got->neighbors[i].index &&
+               want->neighbors[i].score == got->neighbors[i].score;
+      }
+      if (!same) ++parity_mismatches;
+    }
+    std::printf("recovery: %.1f ms to warm-restart (%llu records replayed "
+                "over a snapshot at seq %llu); %zu parity mismatches "
+                "(must be 0)\n",
+                recovery_ms,
+                static_cast<unsigned long long>(replayed.value()),
+                static_cast<unsigned long long>(
+                    rec_manager->recovery().snapshot_cut_seq),
+                parity_mismatches);
+    BenchJsonEntry recover;
+    recover.name = "SL_Recover/mono/recovery";
+    recover.real_time_ns = recovery_ms * 1e6;
+    recover.extras.emplace_back("recovery_ms", recovery_ms);
+    recover.extras.emplace_back("replayed_records",
+                                static_cast<double>(replayed.value()));
+    recover.extras.emplace_back(
+        "snapshot_cut_seq",
+        static_cast<double>(rec_manager->recovery().snapshot_cut_seq));
+    recover.extras.emplace_back("parity_mismatches",
+                                static_cast<double>(parity_mismatches));
+    json.push_back(std::move(recover));
   }
 
   Status s = bench::WriteBenchJson(out, json);

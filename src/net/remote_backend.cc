@@ -1,6 +1,7 @@
 #include "src/net/remote_backend.h"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "src/obs/trace.h"
@@ -45,49 +46,102 @@ RemoteRetrievalBackend::RemoteRetrievalBackend(const Embedder* embedder,
           "qse_remote_rpc_errors_total")),
       rpc_retries_total_(obs::MetricRegistry::Global().GetCounter(
           "qse_remote_rpc_retries_total")),
+      reconnects_total_(obs::MetricRegistry::Global().GetCounter(
+          "qse_remote_reconnects_total")),
       rpc_latency_ns_(obs::MetricRegistry::Global().GetHistogram(
           "qse_remote_rpc_latency_ns", obs::DefaultLatencyBoundariesNs())) {}
 
+StatusOr<Socket> RemoteRetrievalBackend::Dial(uint64_t deadline_budget_ns)
+    const {
+  // Dial with doubling backoff: a restarted peer (kill, WAL recovery,
+  // re-listen) comes back within a few backoff periods, and since
+  // nothing has been sent yet this is safe for every op, mutations
+  // included.  The loop respects the deadline budget — waiting out a
+  // backoff the request cannot afford just fails it later.
+  const size_t attempts =
+      options_.reconnect_attempts == 0 ? 1 : options_.reconnect_attempts;
+  std::chrono::nanoseconds backoff = options_.reconnect_backoff;
+  const MonotonicClock::time_point dial_start = MonotonicClock::now();
+  for (size_t attempt = 0;; ++attempt) {
+    StatusOr<Socket> dialed = Socket::Connect(host_, port_, options_.transport);
+    if (dialed.ok()) return dialed;
+    const bool budget_left =
+        deadline_budget_ns == 0 ||
+        NsSince(dial_start) + static_cast<uint64_t>(backoff.count()) <
+            deadline_budget_ns;
+    if (attempt + 1 >= attempts ||
+        !IsRetryableTransportError(dialed.status()) || !budget_left) {
+      return dialed.status();
+    }
+    reconnects_total_->Increment();
+    std::this_thread::sleep_for(backoff);
+    backoff *= 2;
+  }
+}
+
 StatusOr<WireResponse> RemoteRetrievalBackend::CallOnce(
     const WireRequest& request, const std::string& payload) const {
-  // Checkout a pooled connection or dial a fresh one.
-  Socket sock;
-  {
-    std::lock_guard<std::mutex> lock(pool_mu_);
-    if (!pool_.empty()) {
-      sock = std::move(pool_.back());
-      pool_.pop_back();
+  // Up to two SEND attempts: a pooled connection may have died while
+  // idle (the peer restarted between requests).  A send failure on a
+  // pooled socket is pre-delivery — the request never reached a live
+  // connection — so retrying it over a fresh dial is safe for every op,
+  // mutations included.  Failures AFTER a successful send are never
+  // retried here; Call's read-only retry policy owns those.
+  for (int attempt = 0;; ++attempt) {
+    Socket sock;
+    bool pooled = false;
+    {
+      // Checkout with a health check: a pooled connection whose peer died
+      // while it sat idle (restart between requests) shows a pending EOF
+      // — discard it instead of sending into it, so even a MUTATION's
+      // first attempt after a peer restart lands on a fresh dial rather
+      // than a socket known to be dead.
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      while (!pool_.empty()) {
+        Socket candidate = std::move(pool_.back());
+        pool_.pop_back();
+        if (!candidate.StaleWhileIdle()) {
+          sock = std::move(candidate);
+          pooled = true;
+          break;
+        }
+        reconnects_total_->Increment();
+      }
     }
-  }
-  if (!sock.valid()) {
-    auto dialed = Socket::Connect(host_, port_, options_.transport);
-    QSE_RETURN_IF_ERROR(dialed.status());
-    sock = std::move(dialed).value();
-  }
+    if (!sock.valid()) {
+      StatusOr<Socket> dialed = Dial(request.deadline_budget_ns);
+      QSE_RETURN_IF_ERROR(dialed.status());
+      sock = std::move(dialed).value();
+    }
 
-  // Bound the response wait by the remaining deadline budget, so a slow
-  // peer fails this call at the deadline instead of the full transport
-  // timeout.
-  std::chrono::nanoseconds read_timeout = options_.transport.read_timeout;
-  if (request.deadline_budget_ns > 0) {
-    read_timeout = std::min(
-        read_timeout,
-        std::chrono::nanoseconds(request.deadline_budget_ns));
+    // Bound the response wait by the remaining deadline budget, so a
+    // slow peer fails this call at the deadline instead of the full
+    // transport timeout.
+    std::chrono::nanoseconds read_timeout = options_.transport.read_timeout;
+    if (request.deadline_budget_ns > 0) {
+      read_timeout = std::min(
+          read_timeout,
+          std::chrono::nanoseconds(request.deadline_budget_ns));
+    }
+    Status status = sock.SetReadTimeout(read_timeout);
+    if (status.ok()) status = sock.SendFrame(payload);
+    if (!status.ok()) {
+      if (pooled && attempt == 0 && IsRetryableTransportError(status)) {
+        continue;  // stale pooled socket: redial and resend
+      }
+      return status;
+    }
+    StatusOr<std::string> frame = sock.RecvFrame();
+    if (!frame.ok()) return frame.status();  // dead socket stays out of pool
+
+    WireResponse response;
+    Status decoded = DecodeResponse(frame.value(), &response);
+    if (!decoded.ok()) return decoded;  // framing broken: drop the socket
+
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    pool_.push_back(std::move(sock));
+    return response;
   }
-  Status status = sock.SetReadTimeout(read_timeout);
-  if (status.ok()) status = sock.SendFrame(payload);
-  StatusOr<std::string> frame = status.ok()
-                                    ? sock.RecvFrame()
-                                    : StatusOr<std::string>(status);
-  if (!frame.ok()) return frame.status();  // dead socket stays out of pool
-
-  WireResponse response;
-  Status decoded = DecodeResponse(frame.value(), &response);
-  if (!decoded.ok()) return decoded;  // framing broken: drop the socket
-
-  std::lock_guard<std::mutex> lock(pool_mu_);
-  pool_.push_back(std::move(sock));
-  return response;
 }
 
 StatusOr<WireResponse> RemoteRetrievalBackend::Call(WireRequest request) const {

@@ -1,6 +1,7 @@
 #ifndef QSE_NET_REMOTE_BACKEND_H_
 #define QSE_NET_REMOTE_BACKEND_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -25,6 +26,16 @@ struct RemoteBackendOptions {
   /// connection between requests is routine, not an error.  Mutations
   /// are never retried (a duplicate Insert is not idempotent).
   bool retry_reads = true;
+  /// Dial attempts per RPC when no pooled connection exists: a refused
+  /// or timed-out CONNECT is retried with doubling backoff up to this
+  /// many total attempts.  Unlike post-send read retries, dial retries
+  /// are safe for mutations too — nothing has been sent yet — which is
+  /// what lets a client ride out a shard server restart (kill, recover
+  /// from WAL, re-listen) without itself being restarted.  1 = dial
+  /// once, fail fast.
+  size_t reconnect_attempts = 4;
+  /// Backoff before the second dial attempt; doubles per attempt.
+  std::chrono::milliseconds reconnect_backoff{10};
 };
 
 /// A RetrievalBackend whose data lives in another process, behind a
@@ -99,6 +110,10 @@ class RemoteRetrievalBackend : public RetrievalBackend {
   StatusOr<WireResponse> Call(WireRequest request) const;
   StatusOr<WireResponse> CallOnce(const WireRequest& request,
                                   const std::string& payload) const;
+  /// Dials a fresh connection, retrying refused/unreachable connects
+  /// with doubling backoff per options.reconnect_* within the deadline
+  /// budget (0 = no deadline).
+  StatusOr<Socket> Dial(uint64_t deadline_budget_ns) const;
 
   const Embedder* embedder_;
   std::string host_;
@@ -111,6 +126,7 @@ class RemoteRetrievalBackend : public RetrievalBackend {
   obs::Counter* rpcs_total_;
   obs::Counter* rpc_errors_total_;
   obs::Counter* rpc_retries_total_;
+  obs::Counter* reconnects_total_;
   obs::Histogram* rpc_latency_ns_;
 };
 

@@ -157,6 +157,16 @@ Status Socket::SetReadTimeout(std::chrono::nanoseconds timeout) {
   return SetTimeoutOpt(fd_, SO_RCVTIMEO, timeout);
 }
 
+bool Socket::StaleWhileIdle() const {
+  if (fd_ < 0) return true;
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  // Readable / HUP / error / poll failure: anything but a quiet socket.
+  return ::poll(&pfd, 1, 0) != 0;
+}
+
 void Socket::ShutdownBoth() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }

@@ -75,6 +75,13 @@ class Socket {
   /// deadline budgets bound the wait for a response.
   Status SetReadTimeout(std::chrono::nanoseconds timeout);
 
+  /// True when the connection is readable (or errored) while it should
+  /// be idle — how the connection pool detects a peer that died between
+  /// requests.  In this request/response protocol a healthy idle
+  /// connection is never readable (the peer only speaks when spoken to),
+  /// so pending bytes, EOF or RST all mean: do not reuse.  Non-blocking.
+  bool StaleWhileIdle() const;
+
   /// Half-closes both directions without releasing the fd: a thread
   /// blocked in RecvFrame on this socket wakes with an error.  Safe to
   /// call from another thread while RecvFrame runs; Close/destruction is

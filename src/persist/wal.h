@@ -1,0 +1,166 @@
+#ifndef QSE_PERSIST_WAL_H_
+#define QSE_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+
+namespace qse {
+namespace persist {
+
+/// The write-ahead log of the durability subsystem: one append-only file
+/// of length-prefixed, versioned, CRC-guarded mutation records — the
+/// wire_codec framing discipline applied to disk, where the adversary is
+/// a power cut instead of a hostile peer.
+///
+/// File layout:
+///
+///     header:  u32 magic "QSEL" | u16 version | u16 reserved |
+///              u64 base_seq
+///     record:  u32 magic "QSER" | u32 payload_len | u32 crc32(payload) |
+///              payload
+///     payload: u16 version | u16 op | u64 seq | u64 db_id |
+///              (kInsert) u64 dims + dims raw float64
+///
+/// All integers and doubles are host-order little-endian, the same
+/// contract as util/serialize and the wire codec.  `base_seq` is the
+/// sequence number of the last record compacted OUT of this file: after
+/// a snapshot at cut C is durably published, the log is rewritten empty
+/// with base_seq = C, so replay never needs records a snapshot already
+/// holds.  Record sequence numbers are assigned contiguously by the
+/// writer (base_seq + 1, base_seq + 2, ...).
+///
+/// Reading is defensive end to end: every length prefix is validated
+/// against the bytes actually remaining BEFORE any allocation, the CRC
+/// is checked before any payload field is trusted, and decode runs
+/// through the bounds-checked ByteReader.  A record that fails any of
+/// these checks ends the valid prefix — in an append-only log, nothing
+/// after the first corruption can be trusted, so the reader reports the
+/// clean prefix plus how many bytes it refused, and the recovery policy
+/// (DurabilityOptions::repair_wal) decides between truncating to the
+/// prefix and failing kDataLoss.  The reader never crashes and never
+/// allocates more than the file it was handed.
+inline constexpr uint32_t kWalFileMagic = 0x4C455351u;    // "QSEL"
+inline constexpr uint32_t kWalRecordMagic = 0x52455351u;  // "QSER"
+inline constexpr uint16_t kWalVersion = 1;
+/// Plausibility cap on one record's payload (dims cap times
+/// sizeof(double) plus headers, rounded way up).
+inline constexpr uint32_t kMaxWalRecordBytes = 16u << 20;
+/// Same dims plausibility cap as the wire codec.
+inline constexpr uint64_t kMaxWalDims = 1u << 20;
+/// Bytes of the file header and of each record's frame header.
+inline constexpr size_t kWalFileHeaderBytes = 16;
+inline constexpr size_t kWalRecordHeaderBytes = 12;
+
+enum class WalOp : uint16_t {
+  kInsert = 1,  // row carries the EMBEDDED vector (replay needs no dx).
+  kRemove = 2,
+};
+
+/// One logged mutation.  Inserts log the embedded row, not the raw
+/// object: replay is then closure-free and deterministic — applying the
+/// records in order through the engine API reproduces the exact same
+/// Append/SwapRemove sequence, which is what makes recovery bit-identical
+/// to the crashed process (the PR 5 serializable-snapshot guarantee).
+struct WalRecord {
+  WalOp op = WalOp::kInsert;
+  uint64_t seq = 0;
+  uint64_t db_id = 0;
+  std::vector<double> row;  // kInsert only.
+};
+
+/// How often the WAL writer fsyncs.
+enum class FsyncPolicy {
+  /// fsync after every record: an acknowledged mutation survives power
+  /// loss.  The strongest and slowest policy.
+  kEveryRecord,
+  /// fsync every fsync_every_n records: bounds the loss window to N
+  /// acknowledged mutations while amortizing the sync cost.
+  kEveryN,
+  /// Never fsync (the OS flushes when it pleases): survives process
+  /// crashes (the page cache persists) but not power loss.
+  kOff,
+};
+
+/// Encodes one record as its on-disk bytes (frame header + payload).
+std::string EncodeWalRecord(const WalRecord& record);
+
+/// Result of scanning a WAL file.
+struct WalReadResult {
+  /// The records of the valid prefix, in file order.  Sequence-number
+  /// hygiene (duplicates, gaps) is the replay layer's job — byte-level
+  /// integrity is this layer's.
+  std::vector<WalRecord> records;
+  uint64_t base_seq = 0;
+  /// File offset where the valid prefix ends (== file size when clean).
+  uint64_t valid_bytes = 0;
+  /// Bytes after the valid prefix the reader refused to trust.
+  uint64_t dropped_bytes = 0;
+  /// Why the prefix ended early (kDataLoss describing the first broken
+  /// record); OK when the whole file parsed.
+  Status tail_status = Status::OK();
+};
+
+/// Scans `path` and returns its valid prefix.  A missing file reads as
+/// empty (base_seq 0, no records) — a fresh directory is not an error.
+/// kDataLoss only for a file whose HEADER is unreadable: with no valid
+/// header there is no valid prefix to repair to.
+StatusOr<WalReadResult> ReadWal(const std::string& path);
+
+/// Appends records to a WAL file under an fsync policy.  Not
+/// thread-safe; the durability manager serializes callers.
+class WalWriter {
+ public:
+  /// Opens `path` for appending at `offset` (the valid-prefix length —
+  /// anything after it is truncated away first, discarding a torn tail),
+  /// writing a fresh header with `base_seq` when the file is empty.
+  /// `next_seq` is the sequence number the first appended record gets.
+  static StatusOr<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                   FsyncPolicy policy,
+                                                   size_t fsync_every_n,
+                                                   uint64_t offset,
+                                                   uint64_t base_seq,
+                                                   uint64_t next_seq);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record, assigning it the next sequence number (returned
+  /// through record->seq), then applies the fsync policy.
+  Status Append(WalRecord* record);
+
+  /// Forces an fsync now (manual checkpoints; policy-independent).
+  Status Sync();
+
+  /// Truncates the log to an empty file with a new base_seq — the
+  /// compaction step after a snapshot at cut `base_seq` is durably
+  /// published.  Subsequent records continue at base_seq + 1.
+  Status ResetToBase(uint64_t base_seq);
+
+  /// Sequence number of the last appended (or compacted-away) record.
+  uint64_t last_seq() const { return next_seq_ - 1; }
+
+ private:
+  WalWriter(int fd, std::string path, FsyncPolicy policy,
+            size_t fsync_every_n, uint64_t next_seq);
+
+  Status WriteFully(const void* data, size_t size);
+  Status MaybeSync();
+
+  int fd_ = -1;
+  std::string path_;
+  FsyncPolicy policy_;
+  size_t fsync_every_n_;
+  uint64_t next_seq_;
+  size_t unsynced_records_ = 0;
+};
+
+}  // namespace persist
+}  // namespace qse
+
+#endif  // QSE_PERSIST_WAL_H_

@@ -471,6 +471,36 @@ size_t EmbeddedDatabase::SwapRemove(size_t i) {
   return last;
 }
 
+void EmbeddedDatabase::RestoreVersion(size_t rows, const double* data,
+                                      const size_t* ids, uint32_t shadow_mask,
+                                      const float* f32, const int8_t* i8,
+                                      const float* i8_scale) {
+  QSE_CHECK_MSG((shadow_mask & ~(kShadowFloat32 | kShadowInt8)) == 0,
+                "unknown shadow bits in mask " << shadow_mask);
+  QSE_CHECK((shadow_mask & kShadowFloat32) == 0 || f32 != nullptr ||
+            rows == 0);
+  QSE_CHECK((shadow_mask & kShadowInt8) == 0 ||
+            ((i8 != nullptr || rows == 0) && i8_scale != nullptr) ||
+            dims_ == 0);
+  shadow_mask_ = shadow_mask;
+  Version* next = NewVersion(rows);
+  next->shadow_mask = shadow_mask;
+  next->data.assign(data, data + rows * dims_);
+  next->ids.assign(ids, ids + rows);
+  if (shadow_mask & kShadowFloat32) {
+    next->f32.assign(f32, f32 + rows * dims_);
+  }
+  if (shadow_mask & kShadowInt8) {
+    next->i8.assign(i8, i8 + rows * dims_);
+    next->i8_scale.assign(i8_scale, i8_scale + dims_);
+  }
+  next->size.store(rows, std::memory_order_relaxed);
+  next->high_water = rows;
+  PublishAndRetire(next);
+  rows_.store(rows, std::memory_order_release);
+  epoch_.ReclaimDrained();
+}
+
 EmbeddedDatabase EmbeddedDatabase::FromRows(const std::vector<Vector>& rows) {
   EmbeddedDatabase db(rows.empty() ? 0 : rows[0].size());
   db.Reserve(rows.size());

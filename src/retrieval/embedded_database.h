@@ -90,6 +90,8 @@ class EmbeddedDatabase {
     const double* row(size_t i) const { return data_ + i * dims_; }
     /// Database id of row i.
     size_t id_of(size_t i) const { return ids_[i]; }
+    /// The whole id column, size() entries (snapshot serialization).
+    const size_t* ids() const { return ids_; }
 
     /// Which filter shadows this view carries (kShadowFloat32 /
     /// kShadowInt8 bits).  Shadows appear only after the database's
@@ -254,6 +256,20 @@ class EmbeddedDatabase {
 
   /// The epoch manager guarding this database's versions (tests).
   EpochManager& epoch_manager() const { return epoch_; }
+
+  /// Installs a complete version VERBATIM — rows, ids, shadow matrices
+  /// and int8 scales all copied bit-for-bit — replacing whatever the
+  /// database held.  The durability subsystem's restore path: shadow
+  /// scales are mutation-history-dependent (requant-on-overflow applies
+  /// 1.25x headroom, EnableFilterShadows fits 1.0x), so a recovery that
+  /// rebuilt shadows from the float64 rows would NOT be bit-identical to
+  /// the database it is restoring; this installs the serialized state
+  /// exactly.  `shadow_mask` becomes the database's shadow policy for
+  /// all subsequent mutations; f32/i8/i8_scale may be null only when the
+  /// matching bit is clear.  Quiescent API.
+  void RestoreVersion(size_t rows, const double* data, const size_t* ids,
+                      uint32_t shadow_mask, const float* f32,
+                      const int8_t* i8, const float* i8_scale);
 
   /// Builds a flat database from rows-of-vectors (all rows must share one
   /// dimensionality); row i gets id i.  Bridge from AoS call sites and

@@ -291,6 +291,17 @@ Status RetrievalEngine::Insert(size_t db_id, const DxToDatabaseFn& dx) {
   return Status::OK();
 }
 
+void RetrievalEngine::RebuildIdIndex() {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  std::vector<size_t> ids = db_->ids();
+  row_of_.clear();
+  row_of_.reserve(ids.size());
+  for (size_t row = 0; row < ids.size(); ++row) {
+    bool inserted = row_of_.emplace(ids[row], row).second;
+    QSE_CHECK_MSG(inserted, "duplicate database id " << ids[row]);
+  }
+}
+
 Status RetrievalEngine::Remove(size_t db_id) {
   std::lock_guard<std::mutex> lock(mutation_mu_);
   auto it = row_of_.find(db_id);

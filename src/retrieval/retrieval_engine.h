@@ -86,6 +86,13 @@ class RetrievalEngine : public RetrievalBackend {
   /// Number of database objects currently live.
   size_t size() const override { return db_->size(); }
 
+  /// Rebuilds the id -> row index from the database's current id column
+  /// — required after the durability subsystem restores the database
+  /// contents underneath a constructed engine (RestoreVersion replaces
+  /// rows and ids wholesale, leaving the construction-time index stale).
+  /// Quiescent API; duplicate ids abort.
+  void RebuildIdIndex();
+
   /// Database id of row `row` in the current version (quiescent peek;
   /// concurrent retrievals resolve ids against their own snapshot).
   size_t db_id_of(size_t row) const override { return db_->id_of(row); }

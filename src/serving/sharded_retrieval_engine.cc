@@ -496,6 +496,25 @@ Status ShardedRetrievalEngine::Remove(size_t db_id) {
   return Status::OK();
 }
 
+void ShardedRetrievalEngine::RebuildAfterRestore() {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  shard_of_.clear();
+  size_t total = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    QSE_CHECK_MSG(shards_[s].engine != nullptr,
+                  "RebuildAfterRestore needs locally-owned shards");
+    shards_[s].engine->RebuildIdIndex();
+    std::vector<size_t> ids = shards_[s].db->ids();
+    for (size_t id : ids) {
+      bool inserted = shard_of_.emplace(id, s).second;
+      QSE_CHECK_MSG(inserted, "duplicate database id " << id
+                                                       << " across shards");
+    }
+    total += ids.size();
+  }
+  total_size_.store(total, std::memory_order_release);
+}
+
 std::vector<size_t> ShardedRetrievalEngine::shard_sizes() const {
   std::vector<size_t> sizes;
   sizes.reserve(shards_.size());

@@ -170,6 +170,19 @@ class ShardedRetrievalEngine : public RetrievalBackend {
   /// backend-composing one).
   const RetrievalEngine& shard(size_t s) const { return *shards_[s].engine; }
 
+  /// Shard s's database, mutable — the durability subsystem's restore
+  /// target (RestoreVersion installs the snapshot contents verbatim,
+  /// then RebuildAfterRestore() re-derives the routing state).  Only
+  /// valid for locally-owned shards.  Quiescent API.
+  EmbeddedDatabase* mutable_shard_db(size_t s) { return shards_[s].db.get(); }
+
+  /// Re-derives every piece of state the constructors normally build —
+  /// each local engine's id -> row index, the id -> shard routing table
+  /// and the total size — from the shard databases' current contents.
+  /// Call after restoring shard databases via mutable_shard_db() +
+  /// RestoreVersion.  Quiescent API; local shards only.
+  void RebuildAfterRestore();
+
  private:
   struct Shard {
     // unique_ptr keeps addresses stable under vector growth and engine

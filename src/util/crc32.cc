@@ -1,0 +1,34 @@
+#include "src/util/crc32.h"
+
+namespace qse {
+namespace {
+
+/// The 256-entry lookup table for the reflected IEEE polynomial, built
+/// once at first use (byte-at-a-time; ~1 GB/s, far faster than the WAL's
+/// fsync cadence, and dependency-free).
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  static const Crc32Table table;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table.entries[(crc ^ p[i]) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace qse

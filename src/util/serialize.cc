@@ -42,6 +42,15 @@ void BinaryWriter::WriteU32Vec(const std::vector<uint32_t>& v) {
   out_->write(reinterpret_cast<const char*>(v.data()),
               static_cast<std::streamsize>(v.size() * sizeof(uint32_t)));
 }
+void BinaryWriter::WriteU64Vec(const std::vector<uint64_t>& v) {
+  WriteU64(v.size());
+  out_->write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(uint64_t)));
+}
+void BinaryWriter::WriteBytes(const void* data, size_t size) {
+  out_->write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+}
 
 Status BinaryReader::ReadRaw(void* dst, size_t n) {
   if (in_ == nullptr || !in_->good()) {
@@ -145,6 +154,22 @@ Status ByteReader::ReadDoubleVec(std::vector<double>* v, uint64_t max_elems) {
   QSE_RETURN_IF_ERROR(CheckCount(n, sizeof(double), max_elems));
   v->resize(n);
   return n == 0 ? Status::OK() : ReadRaw(v->data(), n * sizeof(double));
+}
+
+Status ByteReader::ReadFloatVec(std::vector<float>* v, uint64_t max_elems) {
+  uint64_t n = 0;
+  QSE_RETURN_IF_ERROR(ReadU64(&n));
+  QSE_RETURN_IF_ERROR(CheckCount(n, sizeof(float), max_elems));
+  v->resize(n);
+  return n == 0 ? Status::OK() : ReadRaw(v->data(), n * sizeof(float));
+}
+
+Status ByteReader::ReadU64Vec(std::vector<uint64_t>* v, uint64_t max_elems) {
+  uint64_t n = 0;
+  QSE_RETURN_IF_ERROR(ReadU64(&n));
+  QSE_RETURN_IF_ERROR(CheckCount(n, sizeof(uint64_t), max_elems));
+  v->resize(n);
+  return n == 0 ? Status::OK() : ReadRaw(v->data(), n * sizeof(uint64_t));
 }
 
 }  // namespace qse

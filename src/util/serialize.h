@@ -29,6 +29,9 @@ class BinaryWriter {
   void WriteDoubleVec(const std::vector<double>& v);
   void WriteFloatVec(const std::vector<float>& v);
   void WriteU32Vec(const std::vector<uint32_t>& v);
+  void WriteU64Vec(const std::vector<uint64_t>& v);
+  /// Raw bytes, no length prefix (callers that already framed the size).
+  void WriteBytes(const void* data, size_t size);
 
   bool ok() const { return out_ != nullptr && out_->good(); }
 
@@ -84,6 +87,8 @@ class ByteReader {
   /// fields with a known plausible bound (0 = remaining-bytes cap only).
   Status ReadString(std::string* s, uint64_t max_elems = 0);
   Status ReadDoubleVec(std::vector<double>* v, uint64_t max_elems = 0);
+  Status ReadFloatVec(std::vector<float>* v, uint64_t max_elems = 0);
+  Status ReadU64Vec(std::vector<uint64_t>* v, uint64_t max_elems = 0);
 
   /// Bytes not yet consumed.
   size_t remaining() const { return size_ - pos_; }

@@ -32,6 +32,7 @@
 //   QSE_STRESS_SEED   pins the master seed (logged on every run so any
 //                     failure is reproducible)
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 
 #include <atomic>
 #include <cmath>
@@ -48,60 +49,28 @@
 #include <vector>
 
 #include "src/embedding/embedder.h"
+#include "src/persist/durability.h"
+#include "src/persist/durable_backend.h"
 #include "src/retrieval/embedded_database.h"
 #include "src/retrieval/filter_scorer.h"
 #include "src/retrieval/retrieval_engine.h"
 #include "src/server/async_retrieval_server.h"
 #include "src/serving/sharded_retrieval_engine.h"
 #include "src/util/random.h"
+#include "tests/line_universe.h"
 
 namespace qse {
 namespace {
 
-// --- deterministic line geometry ----------------------------------------
-
-/// Reserved pseudo-id through which LineEmbedder reads the query's own
-/// coordinate from its dx callback; never a database id.
-constexpr size_t kProbe = std::numeric_limits<size_t>::max();
-
-uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-/// Coordinate of object `id`: deterministic, effectively collision-free.
-double XOf(size_t id) {
-  return static_cast<double>(Mix64(id + 1) >> 11) * 0x1p-53;
-}
-
-double Dist(double xq, size_t id) { return std::abs(xq - XOf(id)); }
-
-/// dx callback of an object (or query) at coordinate `x`.
-DxToDatabaseFn MakeDx(double x) {
-  return [x](size_t id) { return id == kProbe ? x : std::abs(x - XOf(id)); };
-}
-
-DxToDatabaseFn DxOfObject(size_t object_id) { return MakeDx(XOf(object_id)); }
-
-/// Embeds every object as its coordinate replicated across kLineDims
-/// dimensions: the L2 filter score is kLineDims * (x_q - x)^2, monotone
-/// in the exact distance, so embedded-space order equals exact-distance
-/// order and retrieval at p = n is exact k-NN.  The replication only
-/// lengthens the scan (wider query windows => more retrievals genuinely
-/// racing mutations).
-constexpr size_t kLineDims = 8;
-
-class LineEmbedder : public Embedder {
- public:
-  size_t dims() const override { return kLineDims; }
-  Vector Embed(const DxToDatabaseFn& dx, size_t* num_exact) const override {
-    if (num_exact != nullptr) *num_exact = 0;
-    return Vector(kLineDims, dx(kProbe));
-  }
-  size_t EmbeddingCost() const override { return 0; }
-};
+// Deterministic line geometry — shared with the durability and
+// crash-recovery suites.
+using test::Dist;
+using test::DxOfObject;
+using test::kLineDims;
+using test::LineEmbedder;
+using test::MakeDx;
+using test::Mix64;
+using test::XOf;
 
 // --- scale / seed knobs --------------------------------------------------
 
@@ -821,6 +790,155 @@ TEST(GoldenParity, MonoQuiescentStateMatchesSerialReplay) {
 
   ExpectBitIdentical(concurrent.db, serial.db, "mono database");
   ExpectSameAnswers(concurrent.engine, serial.engine, seed);
+}
+
+// --- WAL-on stress: durability under live retrieval, then recovery -------
+
+/// Fresh durability directory under gtest's temp dir (stale files from a
+/// previous run removed).
+std::string FreshDurabilityDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  ::mkdir(dir.c_str(), 0755);
+  std::remove((dir + "/wal.qse").c_str());
+  std::remove((dir + "/snapshot.qse").c_str());
+  std::remove((dir + "/snapshot.qse.tmp").c_str());
+  return dir;
+}
+
+persist::DurabilityOptions StressDurabilityOptions(const std::string& dir) {
+  persist::DurabilityOptions options;
+  options.dir = dir;
+  // kEveryN keeps the stress fast while still exercising the fsync
+  // batching path; the test harness never loses the page cache.
+  options.fsync = persist::FsyncPolicy::kEveryN;
+  options.fsync_every_n = 64;
+  // Low enough that the stress run compacts the WAL several times, so
+  // recovery genuinely exercises snapshot + tail replay.
+  options.snapshot_every_records = 300;
+  return options;
+}
+
+/// The serializable-snapshot oracle, re-run against a QUIESCENT
+/// (recovered) backend: every id the database holds has been visible
+/// since before any query, nothing else ever existed, so each retrieval
+/// must be the exact top-k of exactly that set.
+void RerunOracleQuiescent(RetrievalBackend* backend,
+                          const std::vector<size_t>& live_ids,
+                          size_t universe, bool indices_are_ids,
+                          uint64_t seed) {
+  History history(universe);
+  for (size_t id : live_ids) {
+    ASSERT_LT(id, universe);
+    history.timelines[id].insert_begin.store(0, std::memory_order_seq_cst);
+    history.timelines[id].insert_end.store(0, std::memory_order_seq_cst);
+  }
+  // Start the clock at 1 so "inserted at stamp 0" precedes every window.
+  history.clock.store(1, std::memory_order_seq_cst);
+  FailureLog log;
+  Rng rng(Mix64(seed + 5000));
+  for (size_t q = 0; q < 50; ++q) {
+    double xq = rng.Uniform(0, 1);
+    QueryWindow w;
+    w.begin = history.Stamp();
+    StatusOr<RetrievalResponse> resp =
+        backend->Retrieve({MakeDx(xq), StressOptions()});
+    w.end = history.Stamp();
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    CheckSnapshotConsistent(history, w, xq, *resp, kNeighbors,
+                            indices_are_ids, &log);
+  }
+  log.ReportAll();
+}
+
+TEST(DurableConcurrentMutationStress, MonoWalOnStressThenRecover) {
+  const uint64_t seed = StressSeed();
+  QSE_LOG_STRESS_SEED(seed);
+  const std::string dir = FreshDurabilityDir("qse_stress_durability_mono");
+  const persist::DurabilityOptions dopts = StressDurabilityOptions(dir);
+
+  MonoStack live;
+  StatusOr<std::unique_ptr<persist::DurabilityManager>> manager =
+      persist::DurabilityManager::Open(dopts);
+  ASSERT_TRUE(manager.ok()) << manager.status();
+  persist::DurableBackend durable(&live.engine, &live.embedder,
+                                  manager.value().get(), {&live.db});
+
+  const StressConfig config = ScaledConfig();
+  RunConsistencyStress(&durable, /*indices_are_ids=*/false,
+                       QueryMode::kSingle, seed, config);
+  if (::testing::Test::HasFatalFailure() || HasFailure()) return;
+
+  // Recover into a fresh stack: snapshot + WAL tail must reproduce the
+  // live quiescent database bit for bit.
+  MonoStack recovered;
+  StatusOr<std::unique_ptr<persist::DurabilityManager>> rec =
+      persist::DurabilityManager::Open(dopts);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  Status installed = rec.value()->InstallSnapshot({&recovered.db});
+  ASSERT_TRUE(installed.ok()) << installed;
+  recovered.engine.RebuildIdIndex();
+  StatusOr<uint64_t> replayed = rec.value()->Replay(&recovered.engine);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  std::printf("[ stress ] recovery replayed %llu WAL records\n",
+              static_cast<unsigned long long>(replayed.value()));
+
+  ExpectBitIdentical(live.db, recovered.db, "recovered mono database");
+  ExpectSameAnswers(live.engine, recovered.engine, seed);
+  RerunOracleQuiescent(&recovered.engine, recovered.db.ids(),
+                       config.mutators * config.ids_per_mutator,
+                       /*indices_are_ids=*/false, seed);
+}
+
+TEST(DurableConcurrentMutationStress, ShardedWalOnStressThenRecover) {
+  const uint64_t seed = StressSeed();
+  QSE_LOG_STRESS_SEED(seed);
+  const std::string dir = FreshDurabilityDir("qse_stress_durability_sharded");
+  const persist::DurabilityOptions dopts = StressDurabilityOptions(dir);
+  constexpr size_t kShards = 3;
+
+  ShardedStack live(kShards);
+  StatusOr<std::unique_ptr<persist::DurabilityManager>> manager =
+      persist::DurabilityManager::Open(dopts);
+  ASSERT_TRUE(manager.ok()) << manager.status();
+  std::vector<const EmbeddedDatabase*> snapshot_dbs;
+  for (size_t s = 0; s < kShards; ++s) {
+    snapshot_dbs.push_back(live.engine->mutable_shard_db(s));
+  }
+  persist::DurableBackend durable(live.engine.get(), &live.embedder,
+                                  manager.value().get(), snapshot_dbs);
+
+  const StressConfig config = ScaledConfig();
+  RunConsistencyStress(&durable, /*indices_are_ids=*/true,
+                       QueryMode::kSingle, seed, config);
+  if (::testing::Test::HasFatalFailure() || HasFailure()) return;
+
+  ShardedStack recovered(kShards);
+  StatusOr<std::unique_ptr<persist::DurabilityManager>> rec =
+      persist::DurabilityManager::Open(dopts);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  std::vector<EmbeddedDatabase*> restore_dbs;
+  for (size_t s = 0; s < kShards; ++s) {
+    restore_dbs.push_back(recovered.engine->mutable_shard_db(s));
+  }
+  Status installed = rec.value()->InstallSnapshot(restore_dbs);
+  ASSERT_TRUE(installed.ok()) << installed;
+  recovered.engine->RebuildAfterRestore();
+  StatusOr<uint64_t> replayed = rec.value()->Replay(recovered.engine.get());
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+
+  std::vector<size_t> live_ids;
+  for (size_t s = 0; s < kShards; ++s) {
+    ExpectBitIdentical(live.engine->shard(s).db(),
+                       recovered.engine->shard(s).db(),
+                       "recovered shard " + std::to_string(s));
+    for (size_t id : recovered.engine->shard(s).db().ids()) {
+      live_ids.push_back(id);
+    }
+  }
+  ExpectSameAnswers(*live.engine, *recovered.engine, seed);
+  RerunOracleQuiescent(recovered.engine.get(), live_ids,
+                       config.mutators * config.ids_per_mutator,
+                       /*indices_are_ids=*/true, seed);
 }
 
 TEST(GoldenParity, ShardedQuiescentStateMatchesSerialReplay) {

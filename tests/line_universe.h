@@ -1,0 +1,71 @@
+#ifndef QSE_TESTS_LINE_UNIVERSE_H_
+#define QSE_TESTS_LINE_UNIVERSE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "src/embedding/embedder.h"
+
+namespace qse {
+namespace test {
+
+/// The deterministic line universe shared by the concurrent-mutation,
+/// durability and crash-recovery suites: object `id` sits at the
+/// deterministic coordinate XOf(id) in [0, 1), the exact distance is
+/// |x_q - XOf(id)|, and LineEmbedder embeds every object as its own
+/// coordinate (read out of the dx callback through the reserved kProbe
+/// pseudo-id).  The L2 filter score is monotone in the exact distance,
+/// so with p >= n every retrieval is the EXACT top-k of the snapshot it
+/// served — which is what makes randomized concurrent histories and
+/// crash-recovered databases checkable against closed-form answers.
+
+/// Reserved pseudo-id through which LineEmbedder reads the query's own
+/// coordinate from its dx callback; never a database id.
+inline constexpr size_t kProbe = std::numeric_limits<size_t>::max();
+
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Coordinate of object `id`: deterministic, effectively collision-free.
+inline double XOf(size_t id) {
+  return static_cast<double>(Mix64(id + 1) >> 11) * 0x1p-53;
+}
+
+inline double Dist(double xq, size_t id) { return std::abs(xq - XOf(id)); }
+
+/// dx callback of an object (or query) at coordinate `x`.
+inline DxToDatabaseFn MakeDx(double x) {
+  return [x](size_t id) { return id == kProbe ? x : std::abs(x - XOf(id)); };
+}
+
+inline DxToDatabaseFn DxOfObject(size_t object_id) {
+  return MakeDx(XOf(object_id));
+}
+
+/// Embeds every object as its coordinate replicated across kLineDims
+/// dimensions: the L2 filter score is kLineDims * (x_q - x)^2, monotone
+/// in the exact distance, so embedded-space order equals exact-distance
+/// order and retrieval at p = n is exact k-NN.  The replication only
+/// lengthens the scan (wider query windows => more retrievals genuinely
+/// racing mutations).
+inline constexpr size_t kLineDims = 8;
+
+class LineEmbedder : public Embedder {
+ public:
+  size_t dims() const override { return kLineDims; }
+  Vector Embed(const DxToDatabaseFn& dx, size_t* num_exact) const override {
+    if (num_exact != nullptr) *num_exact = 0;
+    return Vector(kLineDims, dx(kProbe));
+  }
+  size_t EmbeddingCost() const override { return 0; }
+};
+
+}  // namespace test
+}  // namespace qse
+
+#endif  // QSE_TESTS_LINE_UNIVERSE_H_

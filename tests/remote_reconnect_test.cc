@@ -1,0 +1,163 @@
+// Kill-restart-reconnect tests for RemoteRetrievalBackend: a client must
+// ride out a shard server restart (the durability story's "kill, recover
+// from WAL, re-listen" sequence) without itself being restarted — both
+// through a stale pooled connection (the send fails, the client redials
+// and resends, safe pre-delivery for every op) and through dial-with-
+// backoff while the server is still coming back up.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/net/remote_backend.h"
+#include "src/net/retrieval_server.h"
+#include "src/retrieval/embedded_database.h"
+#include "src/retrieval/filter_scorer.h"
+#include "src/retrieval/retrieval_engine.h"
+#include "tests/line_universe.h"
+
+namespace qse {
+namespace net {
+namespace {
+
+using test::DxOfObject;
+using test::kLineDims;
+using test::LineEmbedder;
+using test::MakeDx;
+using test::XOf;
+
+struct Stack {
+  LineEmbedder embedder;
+  L2Scorer scorer;
+  EmbeddedDatabase db{kLineDims};
+  RetrievalEngine engine{&embedder, &scorer, &db, {}};
+};
+
+TransportOptions FastTransport() {
+  TransportOptions options;
+  options.connect_timeout = std::chrono::milliseconds(1000);
+  options.read_timeout = std::chrono::milliseconds(2000);
+  options.write_timeout = std::chrono::milliseconds(2000);
+  return options;
+}
+
+RetrievalServerOptions ServerOptions() {
+  RetrievalServerOptions options;
+  options.transport = FastTransport();
+  return options;
+}
+
+RemoteBackendOptions ReconnectingClient() {
+  RemoteBackendOptions options;
+  options.transport = FastTransport();
+  options.reconnect_attempts = 8;
+  options.reconnect_backoff = std::chrono::milliseconds(10);
+  return options;
+}
+
+void ExpectNearestIs(const RemoteRetrievalBackend& remote, size_t id,
+                     const char* what) {
+  StatusOr<RetrievalResponse> got =
+      remote.Retrieve({MakeDx(XOf(id)), RetrievalOptions(1, 64)});
+  ASSERT_TRUE(got.ok()) << what << ": " << got.status();
+  ASSERT_EQ(1u, got->neighbors.size()) << what;
+  EXPECT_EQ(id, got->neighbors[0].index) << what;
+  EXPECT_EQ(0.0, got->neighbors[0].score) << what;
+}
+
+TEST(RemoteReconnect, KillRestartSamePortServesReadsAndMutations) {
+  Stack stack;
+  auto server = std::make_unique<RetrievalServer>(&stack.engine,
+                                                  ServerOptions());
+  ASSERT_TRUE(server->Start(0).ok());
+  const uint16_t port = server->port();
+
+  RemoteRetrievalBackend remote(&stack.embedder, "127.0.0.1", port,
+                                ReconnectingClient());
+  for (size_t id = 0; id < 8; ++id) {
+    ASSERT_TRUE(remote.Insert(id, DxOfObject(id)).ok());
+  }
+  ExpectNearestIs(remote, 3, "before restart");
+
+  // Kill the server.  The client's pooled connection is now stale.
+  server->Stop();
+  server.reset();
+
+  // "Recovered" server re-listens on the same port over the same engine
+  // (in production this is the post-WAL-replay engine).
+  auto restarted = std::make_unique<RetrievalServer>(&stack.engine,
+                                                     ServerOptions());
+  ASSERT_TRUE(restarted->Start(port).ok());
+
+  // A MUTATION is the first call after the restart: it must ride the
+  // stale-pool redial (send-path failure, nothing was delivered) rather
+  // than surface kUnavailable.
+  Status removed = remote.Remove(3);
+  EXPECT_TRUE(removed.ok()) << removed;
+  ASSERT_TRUE(remote.Insert(100, DxOfObject(100)).ok());
+  ExpectNearestIs(remote, 100, "after restart");
+  EXPECT_EQ(8u, remote.size());
+
+  restarted->Stop();
+}
+
+TEST(RemoteReconnect, DialBackoffRidesOutServerDowntime) {
+  Stack stack;
+  for (size_t id = 0; id < 8; ++id) {
+    ASSERT_TRUE(stack.engine.Insert(id, DxOfObject(id)).ok());
+  }
+  // Grab a port, then take the server down before the client ever
+  // connects: no pooled socket exists, so everything rides Dial().
+  uint16_t port = 0;
+  {
+    RetrievalServer ephemeral(&stack.engine, ServerOptions());
+    ASSERT_TRUE(ephemeral.Start(0).ok());
+    port = ephemeral.port();
+    ephemeral.Stop();
+  }
+
+  RemoteRetrievalBackend remote(&stack.embedder, "127.0.0.1", port,
+                                ReconnectingClient());
+
+  std::unique_ptr<RetrievalServer> late_server;
+  std::thread restarter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    late_server = std::make_unique<RetrievalServer>(&stack.engine,
+                                                    ServerOptions());
+    ASSERT_TRUE(late_server->Start(port).ok());
+  });
+
+  // 8 attempts with 10ms doubling backoff cover far more than the 60ms
+  // outage; both a read and a mutation must come through.
+  ExpectNearestIs(remote, 5, "during staggered restart");
+  ASSERT_TRUE(remote.Insert(50, DxOfObject(50)).ok());
+  restarter.join();
+  ExpectNearestIs(remote, 50, "after staggered restart");
+  late_server->Stop();
+}
+
+TEST(RemoteReconnect, FailsFastWithSingleAttemptWhenServerIsDown) {
+  Stack stack;
+  uint16_t port = 0;
+  {
+    RetrievalServer ephemeral(&stack.engine, ServerOptions());
+    ASSERT_TRUE(ephemeral.Start(0).ok());
+    port = ephemeral.port();
+    ephemeral.Stop();
+  }
+  RemoteBackendOptions options;
+  options.transport = FastTransport();
+  options.reconnect_attempts = 1;  // Dial once, fail fast.
+  options.retry_reads = false;
+  RemoteRetrievalBackend remote(&stack.embedder, "127.0.0.1", port, options);
+  StatusOr<RetrievalResponse> got =
+      remote.Retrieve({MakeDx(0.5), RetrievalOptions(1, 8)});
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(StatusCode::kUnavailable, got.status().code());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace qse

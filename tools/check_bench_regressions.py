@@ -193,6 +193,25 @@ def remote_overhead_bound():
     return 20.0
 
 
+def wal_tail_bound():
+    """Max allowed p99 ratio, the closed-loop-with-mutation workload
+    over the DurableBackend (WAL on, fsync every 64, auto-snapshots)
+    vs the identical workload over the bare engine.
+
+    Queries never touch the WAL (retrievals pass through the decorator
+    untouched), so the tail cost comes only from mutations holding the
+    log mutex across apply+append and from the occasional snapshot
+    stalling the mutator — both invisible to readers on their pinned
+    epochs.  The bound is a blowup guard sized to how contended the
+    host is, not a parity assertion."""
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        return 2.0
+    if cores >= 2:
+        return 2.5
+    return 3.0
+
+
 def micro_batching_tail_bound():
     """Max allowed p99 ratio for the same pair.  Under closed-loop load,
     coalescing strictly reduces queueing, so the tail must not regress
@@ -331,6 +350,16 @@ RULES = [
         "remote hedged cluster vs in-process sharded serving (p99 tail)",
         "p99",
     ),
+    # Durability: write-ahead logging must price mutations, not the
+    # serving tail — WAL-on p99 stays within a bounded multiple of the
+    # identical WAL-off run.
+    (
+        "SL_Recover/mono/wal_on",
+        "SL_Recover/mono/wal_off",
+        wal_tail_bound,
+        "WAL-on mutating closed loop vs WAL-off (p99 tail)",
+        "p99",
+    ),
     # Runtime dispatch on the exact path must never lose to the seed
     # scalar scan it replaced (same math, same bits, wider registers).
     (
@@ -450,6 +479,16 @@ FLOOR_RULES = [
         1,
         "hedged cluster run: at least one hedge won its race",
     ),
+    # Warm restart must actually replay a WAL tail over the snapshot —
+    # a recovery that found nothing to replay exercised only half the
+    # path (the bench appends tail records after its last snapshot to
+    # guarantee this has something to chew on).
+    (
+        "SL_Recover/mono/recovery",
+        "replayed_records",
+        1,
+        "warm restart replayed a WAL tail over the snapshot",
+    ),
 ]
 
 # (benchmark, counter, max value, label).  The inverse of FLOOR_RULES:
@@ -504,6 +543,23 @@ CEILING_RULES = [
         0,
         "replica kill: zero caller-visible request failures",
     ),
+    # The durability acceptance pair: the engine recovered from
+    # snapshot + WAL replay answers bit-identically to the live engine
+    # it mirrors (memcmp over rows and ids, plus query answer parity),
+    # and the warm restart finishes in interactive time — the ceiling is
+    # a blowup guard over the ~millisecond restart the bench measures.
+    (
+        "SL_Recover/mono/recovery",
+        "parity_mismatches",
+        0,
+        "recovered engine bit-identical to the live WAL-on engine",
+    ),
+    (
+        "SL_Recover/mono/recovery",
+        "recovery_ms",
+        30000,
+        "warm restart (snapshot load + WAL replay) bounded",
+    ),
 ]
 
 
@@ -556,6 +612,21 @@ METRIC_FLOORS = [
      "hedged replica attempt accounting"),
     ("histograms", "qse_remote_rpc_latency_ns", 1,
      "remote RPC latency recorded"),
+    # The durability subsystem's instruments, bumped by SL_Recover.
+    ("counters", "qse_persist_wal_records_total", 1,
+     "WAL records appended by the WAL-on run"),
+    ("counters", "qse_persist_wal_bytes_total", 1,
+     "WAL byte accounting"),
+    ("counters", "qse_persist_fsyncs_total", 1,
+     "WAL fsyncs issued under the every-N policy"),
+    ("counters", "qse_persist_snapshots_total", 1,
+     "compacted snapshots published"),
+    ("counters", "qse_persist_replay_records_total", 1,
+     "warm restart replayed records through the engine"),
+    ("histograms", "qse_persist_snapshot_duration_ns", 1,
+     "snapshot encode+publish duration recorded"),
+    ("histograms", "qse_persist_fsync_latency_ns", 1,
+     "WAL fsync latency recorded"),
 ]
 
 # Benchmarks compared across the two builds of --overhead-pair mode
